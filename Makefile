@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race cover bench figures examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every figure's data series into results/ (see EXPERIMENTS.md).
+figures:
+	go run ./cmd/udsm-bench -fig all -out results -scale 0.05 -runs 4 -ops 2
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/securestore
+	go run ./examples/asyncpipeline
+	go run ./examples/multistore
+	go run ./examples/cloudcache
+
+clean:
+	rm -rf results/*.tmp

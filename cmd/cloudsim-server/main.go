@@ -1,0 +1,54 @@
+// Command cloudsim-server runs a simulated cloud object store as a
+// standalone process: the stand-in for the paper's "Cloud Store 1" and
+// "Cloud Store 2" (§V), an HTTP object API with an injected WAN latency
+// model.
+//
+// Usage:
+//
+//	cloudsim-server -addr 127.0.0.1:8080 -profile cloudstore1 -scale 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"edsc/internal/cloudsim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		profile = flag.String("profile", "cloudstore1", "latency profile: cloudstore1, cloudstore2, local")
+		scale   = flag.Float64("scale", 1.0, "latency scale factor (1.0 = paper magnitude)")
+	)
+	flag.Parse()
+
+	var p cloudsim.Profile
+	switch *profile {
+	case "cloudstore1":
+		p = cloudsim.CloudStore1(*scale)
+	case "cloudstore2":
+		p = cloudsim.CloudStore2(*scale)
+	case "local":
+		p = cloudsim.LocalProfile("local")
+	default:
+		fmt.Fprintf(os.Stderr, "cloudsim-server: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	srv := cloudsim.NewServer(p)
+	if err := srv.StartAddr(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudsim-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cloudsim-server (%s, scale %.2f) at %s\n", *profile, *scale, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	_ = srv.Close()
+}

@@ -1,0 +1,169 @@
+// Command edsckv is a command-line key-value client for every store kind
+// the UDSM supports — the "same code, any store" property as a shell tool.
+//
+// Store selection (-store):
+//
+//	mem                         volatile in-memory (useful with -op bench only)
+//	fs:DIR                      file-system store rooted at DIR
+//	sql:DIR                     embedded SQL store in DIR (sql: = in-memory)
+//	redis:HOST:PORT[/PREFIX]    miniredis server
+//	cloud:URL/BUCKET            cloudsim server
+//
+// Operations (-op): get, put, del, keys, len, clear, bench.
+//
+// Examples:
+//
+//	edsckv -store fs:/tmp/data -op put -key greeting -value hello
+//	edsckv -store fs:/tmp/data -op get -key greeting
+//	edsckv -store redis:127.0.0.1:6379 -op keys
+//	edsckv -store sql:/tmp/db -op bench
+//
+// Optional enhancement flags apply the DSCL on top of any store:
+// -encrypt PASSPHRASE, -compress, -cache N (in-process cache of N entries).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edsc/dscl"
+	"edsc/kv"
+	"edsc/udsm"
+	"edsc/workload"
+)
+
+func main() {
+	var (
+		storeSpec = flag.String("store", "mem", "store spec (see package comment)")
+		op        = flag.String("op", "", "operation: get, put, del, keys, len, clear, bench")
+		key       = flag.String("key", "", "key for get/put/del")
+		value     = flag.String("value", "", "value for put (or @file to read a file)")
+		encrypt   = flag.String("encrypt", "", "enable client-side encryption with this passphrase")
+		compress  = flag.Bool("compress", false, "enable client-side compression")
+		cacheN    = flag.Int("cache", 0, "attach an in-process cache of N entries")
+	)
+	flag.Parse()
+
+	if err := run(*storeSpec, *op, *key, *value, *encrypt, *compress, *cacheN); err != nil {
+		fmt.Fprintln(os.Stderr, "edsckv:", err)
+		os.Exit(1)
+	}
+}
+
+// openStore resolves a -store spec.
+func openStore(spec string) (kv.Store, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "mem":
+		return udsm.NewMemStore("mem"), nil
+	case "fs":
+		if rest == "" {
+			return nil, fmt.Errorf("fs store needs a directory: fs:DIR")
+		}
+		return udsm.OpenFileStore("fs", rest)
+	case "sql":
+		return udsm.OpenSQLStore("sql", udsm.SQLStoreOptions{Dir: rest})
+	case "redis":
+		addr, prefix, _ := strings.Cut(rest, "/")
+		if addr == "" {
+			return nil, fmt.Errorf("redis store needs an address: redis:HOST:PORT[/PREFIX]")
+		}
+		return udsm.OpenMiniRedis("redis", addr, prefix), nil
+	case "cloud":
+		i := strings.LastIndex(rest, "/")
+		if i <= 0 || i == len(rest)-1 {
+			return nil, fmt.Errorf("cloud store needs cloud:URL/BUCKET")
+		}
+		return udsm.OpenCloudStore("cloud", rest[:i], rest[i+1:]), nil
+	default:
+		return nil, fmt.Errorf("unknown store kind %q", kind)
+	}
+}
+
+func run(storeSpec, op, key, value, encrypt string, compress bool, cacheN int) error {
+	ctx := context.Background()
+	store, err := openStore(storeSpec)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	// Optional DSCL enhancements over any store.
+	var opts []dscl.Option
+	if compress {
+		opts = append(opts, dscl.WithCompression(dscl.CompressionOptions{}))
+	}
+	if encrypt != "" {
+		opts = append(opts, dscl.WithTransform(dscl.EncryptionFromPassphrase(encrypt)))
+	}
+	if cacheN > 0 {
+		opts = append(opts, dscl.WithCache(dscl.NewInProcessCache(dscl.InProcessOptions{MaxEntries: cacheN})))
+	}
+	var s kv.Store = store
+	if len(opts) > 0 {
+		s = dscl.New(store, opts...)
+	}
+
+	switch op {
+	case "get":
+		if key == "" {
+			return fmt.Errorf("get needs -key")
+		}
+		v, err := s.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(v, '\n'))
+		return err
+	case "put":
+		if key == "" {
+			return fmt.Errorf("put needs -key")
+		}
+		data := []byte(value)
+		if strings.HasPrefix(value, "@") {
+			if data, err = os.ReadFile(value[1:]); err != nil {
+				return err
+			}
+		}
+		return s.Put(ctx, key, data)
+	case "del":
+		if key == "" {
+			return fmt.Errorf("del needs -key")
+		}
+		return s.Delete(ctx, key)
+	case "keys":
+		keys, err := s.Keys(ctx)
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+		return nil
+	case "len":
+		n, err := s.Len(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	case "clear":
+		return s.Clear(ctx)
+	case "bench":
+		rep, err := workload.RunMixed(ctx, s, workload.MixedConfig{
+			Clients: 4, Ops: 1000, ReadFraction: 0.9, Keys: 50, Size: 1 << 10, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	case "":
+		return fmt.Errorf("missing -op (get, put, del, keys, len, clear, bench)")
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+}

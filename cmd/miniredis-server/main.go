@@ -1,0 +1,50 @@
+// Command miniredis-server runs the repository's RESP-compatible cache
+// server as a standalone process — the remote process cache of §III.
+//
+// Usage:
+//
+//	miniredis-server -addr 127.0.0.1:6379 -snapshot dump.mrdb -sweep 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edsc/internal/miniredis"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6379", "listen address")
+		snapshot = flag.String("snapshot", "", "snapshot file for SAVE/warm restart (empty = persistence off)")
+		sweep    = flag.Duration("sweep", 30*time.Second, "expired-key sweep interval (0 = lazy expiry only)")
+	)
+	flag.Parse()
+
+	srv := miniredis.NewServer(miniredis.ServerConfig{
+		Addr:          *addr,
+		SnapshotPath:  *snapshot,
+		SweepInterval: *sweep,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "miniredis-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("miniredis-server listening on %s\n", srv.Addr())
+	if *snapshot != "" {
+		fmt.Printf("snapshot persistence: %s\n", *snapshot)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "miniredis-server: shutdown:", err)
+		os.Exit(1)
+	}
+}

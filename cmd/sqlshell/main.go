@@ -1,0 +1,152 @@
+// Command sqlshell is an interactive shell for the embedded minisql engine
+// — the "native interface" of the UDSM's SQL store, demonstrating that a
+// key-value store backed by the engine coexists with direct SQL access.
+//
+// Usage:
+//
+//	sqlshell                 # volatile in-memory database
+//	sqlshell -dir ./mydb     # durable database (WAL + snapshot)
+//
+// Statements end with ';'. Meta commands: .tables, .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edsc/internal/minisql"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	cmd := flag.String("c", "", "execute this semicolon-separated script and exit")
+	flag.Parse()
+
+	var (
+		db  *minisql.Database
+		err error
+	)
+	if *dir == "" {
+		db = minisql.OpenMemory()
+		fmt.Println("minisql shell (in-memory; use -dir for a durable database)")
+	} else {
+		db, err = minisql.Open(*dir, minisql.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlshell:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("minisql shell (database %s)\n", *dir)
+	}
+	defer db.Close()
+
+	if *cmd != "" {
+		for _, stmt := range splitScript(*cmd) {
+			execute(db, stmt)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := "sql> "
+	fmt.Print(prompt)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case ".quit", ".exit":
+			return
+		case ".tables":
+			for _, t := range db.Tables() {
+				fmt.Println(t)
+			}
+			fmt.Print(prompt)
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			fmt.Print("...> ")
+			continue
+		}
+		execute(db, pending.String())
+		pending.Reset()
+		fmt.Print(prompt)
+	}
+}
+
+// splitScript breaks a -c script on top-level semicolons (quotes respected
+// by reusing the executor's own statement-at-a-time parsing: we split
+// naively and let parse errors surface, which is fine for a dev shell).
+func splitScript(script string) []string {
+	parts := strings.Split(script, ";")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func execute(db *minisql.Database, sql string) {
+	sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	if sql == "" {
+		return
+	}
+	if strings.HasPrefix(strings.ToUpper(sql), "SELECT") {
+		res, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printResult(res)
+		return
+	}
+	n, err := db.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+func printResult(res *minisql.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		rendered[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			if v.IsNull() {
+				s = "NULL"
+			}
+			rendered[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range res.Columns {
+		fmt.Printf("%-*s ", widths[i], c)
+	}
+	fmt.Println()
+	for i := range res.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), " ")
+	}
+	fmt.Println()
+	for _, row := range rendered {
+		for i, s := range row {
+			fmt.Printf("%-*s ", widths[i], s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,235 @@
+// Command udsm-bench regenerates the data series behind every figure of
+// the paper's evaluation (§V): Figs. 9–21 plus the Fig. 8 delta-encoding
+// companion experiment. Output is one gnuplot-ready text file per figure in
+// -out, and a summary on stdout.
+//
+// Usage:
+//
+//	udsm-bench -fig all -out results -scale 0.02
+//	udsm-bench -fig 9            # just Fig. 9
+//	udsm-bench -fig 11 -scale 1  # Cloud Store 1 + in-process cache, paper-scale WAN latency
+//
+// -scale multiplies the simulated WAN latency model. 1.0 reproduces
+// paper-magnitude latencies (hundreds of ms per cloud request — slow!);
+// the default 0.05 preserves the orderings and crossovers of the figures
+// while keeping a full run to a few minutes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edsc/internal/benchkit"
+	"edsc/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", `figure to regenerate: 8..21, "all", or "mixed" (throughput extension)`)
+		out    = flag.String("out", "results", "output directory for .dat files")
+		scale  = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = paper magnitude)")
+		runs   = flag.Int("runs", 4, "runs averaged per data point")
+		ops    = flag.Int("ops", 2, "operations per run per point")
+		maxSz  = flag.Int("maxsize", 1<<20, "largest object size in bytes")
+		tmpDir = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir); err != nil {
+		fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, out string, scale float64, runs, ops, maxSize int, workdir string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	if workdir == "" {
+		dir, err := os.MkdirTemp("", "udsm-bench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		workdir = dir
+	}
+
+	env, err := benchkit.Setup(scale, workdir)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	cfg := benchkit.PaperConfig()
+	cfg.Runs, cfg.OpsPerRun = runs, ops
+	cfg.Sizes = nil
+	for _, s := range workload.DefaultSizes() {
+		if s <= maxSize {
+			cfg.Sizes = append(cfg.Sizes, s)
+		}
+	}
+
+	want := func(n string) bool { return fig == "all" || fig == n }
+	ctx := context.Background()
+
+	if want("9") || want("10") {
+		fmt.Println("running Figs. 9-10: read/write latency vs size, all stores ...")
+		read, write, err := env.Fig9And10(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if want("9") {
+			if err := save(out, "fig09_read_latency.dat", read); err != nil {
+				return err
+			}
+		}
+		if want("10") {
+			if err := save(out, "fig10_write_latency.dat", write); err != nil {
+				return err
+			}
+		}
+	}
+
+	cached := []struct {
+		fig   string
+		store string
+		kind  benchkit.CacheKind
+		file  string
+	}{
+		{"11", benchkit.Cloud1, benchkit.InProcess, "fig11_cloudstore1_inprocess.dat"},
+		{"12", benchkit.Cloud1, benchkit.Remote, "fig12_cloudstore1_remote.dat"},
+		{"13", benchkit.Cloud2, benchkit.InProcess, "fig13_cloudstore2_inprocess.dat"},
+		{"14", benchkit.Cloud2, benchkit.Remote, "fig14_cloudstore2_remote.dat"},
+		{"15", benchkit.SQL, benchkit.InProcess, "fig15_minisql_inprocess.dat"},
+		{"16", benchkit.SQL, benchkit.Remote, "fig16_minisql_remote.dat"},
+		{"17", benchkit.FS, benchkit.InProcess, "fig17_filesystem_inprocess.dat"},
+		{"18", benchkit.FS, benchkit.Remote, "fig18_filesystem_remote.dat"},
+		{"19", benchkit.Redis, benchkit.InProcess, "fig19_miniredis_inprocess.dat"},
+	}
+	for _, c := range cached {
+		if !want(c.fig) {
+			continue
+		}
+		fmt.Printf("running Fig. %s: %s with %s cache ...\n", c.fig, c.store, kindName(c.kind))
+		rep, err := env.FigCached(ctx, c.store, c.kind, cfg)
+		if err != nil {
+			return err
+		}
+		if err := save(out, c.file, rep); err != nil {
+			return err
+		}
+	}
+
+	if want("20") {
+		fmt.Println("running Fig. 20: AES-128 encryption/decryption overhead ...")
+		rep, err := env.Fig20(cfg)
+		if err != nil {
+			return err
+		}
+		if err := save(out, "fig20_encryption.dat", rep); err != nil {
+			return err
+		}
+	}
+	if want("21") {
+		fmt.Println("running Fig. 21: gzip compression/decompression overhead ...")
+		rep, err := env.Fig21(cfg)
+		if err != nil {
+			return err
+		}
+		if err := save(out, "fig21_compression.dat", rep); err != nil {
+			return err
+		}
+	}
+	if want("8") {
+		fmt.Println("running Fig. 8 companion: delta encoding vs change fraction ...")
+		rep, err := env.Fig8Delta(64<<10, 0, 3)
+		if err != nil {
+			return err
+		}
+		if err := save(out, "fig08_delta.dat", rep); err != nil {
+			return err
+		}
+	}
+	if fig == "mixed" || fig == "all" {
+		fmt.Println("running mixed-workload throughput (extension; 90% reads, 8 clients) ...")
+		if err := runMixed(ctx, env, out); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("done; data files in %s\n", out)
+	return nil
+}
+
+// runMixed measures closed-loop throughput per store — an extension beyond
+// the paper's latency figures, using the same workload machinery.
+func runMixed(ctx context.Context, env *benchkit.Env, out string) error {
+	f, err := os.Create(filepath.Join(out, "ext_mixed_throughput.dat"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# extension: mixed workload, 90% reads, 8 clients, 1 KiB objects")
+	fmt.Fprintln(f, "# columns: store ops_per_sec read_p99_ms write_p99_ms")
+	for _, name := range benchkit.AllStores() {
+		ds, err := env.Store(name)
+		if err != nil {
+			return err
+		}
+		ops := 2000
+		if name == benchkit.Cloud1 || name == benchkit.Cloud2 {
+			ops = 300 // WAN-latency stores are slow per op
+		}
+		rep, err := workload.RunMixed(ctx, ds, workload.MixedConfig{
+			Clients: 8, Ops: ops, ReadFraction: 0.9, Keys: 64, Size: 1 << 10,
+			Seed: 7, KeyPrefix: "mix:" + name + ":",
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", rep)
+		fmt.Fprintf(f, "%s %.0f %.4f %.4f\n", name, rep.Throughput,
+			float64(rep.ReadLatency.P99)/1e6, float64(rep.WriteLatency.P99)/1e6)
+	}
+	return nil
+}
+
+func kindName(k benchkit.CacheKind) string {
+	if k == benchkit.InProcess {
+		return "in-process"
+	}
+	return "remote"
+}
+
+func save(dir, name string, rep io.WriterTo) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Echo a short preview to stdout.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.SplitN(string(data), "\n", 4)
+	for i, l := range lines {
+		if i >= 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println(" ", l)
+	}
+	return nil
+}

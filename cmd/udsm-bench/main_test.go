@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	out := t.TempDir()
+	if err := run("20", out, 0.001, 1, 1, 4096, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "fig20_encryption.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty figure file")
+	}
+}
+
+func TestRunCachedFigureAndDelta(t *testing.T) {
+	out := t.TempDir()
+	if err := run("17", out, 0.001, 1, 1, 1024, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("8", out, 0.001, 1, 1, 1024, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig17_filesystem_inprocess.dat", "fig08_delta.dat"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunMixedMode(t *testing.T) {
+	out := t.TempDir()
+	if err := run("mixed", out, 0.001, 1, 1, 1024, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "ext_mixed_throughput.dat")); err != nil {
+		t.Fatal(err)
+	}
+}

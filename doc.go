@@ -1,0 +1,21 @@
+// Package edsc (Enhanced Data Store Clients) reproduces, in Go, the system
+// described in "Providing Enhanced Functionality for Data Store Clients"
+// (Arun Iyengar, ICDE 2017).
+//
+// The importable surface lives in subpackages:
+//
+//   - edsc/kv       — the common key-value interface every store implements
+//   - edsc/dscl     — the Data Store Client Library: caching (in-process and
+//     remote), encryption, compression, expiration management
+//     with revalidation, and delta encoding
+//   - edsc/udsm     — the Universal Data Store Manager: store registry,
+//     synchronous + asynchronous interfaces, monitoring, and
+//     the workload generator, plus constructors for every
+//     store kind this repository implements
+//   - edsc/future   — futures with completion callbacks and a worker pool
+//   - edsc/monitor  — latency statistics (summary + recent detail)
+//   - edsc/workload — the workload generator
+//
+// The root package holds only documentation and the benchmark harness that
+// regenerates the paper's figures (see bench_test.go and cmd/udsm-bench).
+package edsc

@@ -1,0 +1,114 @@
+package dscl
+
+import (
+	"context"
+	"sync"
+)
+
+// This file implements the second piece of the paper's future work (§VII):
+// "new techniques for providing data consistency between different data
+// stores ... the most compelling use case is providing stronger cache
+// consistency".
+//
+// A Hub connects enhanced clients that share a data store. When any
+// connected client writes or deletes a key, the hub notifies every other
+// client, which invalidates its cached entry — so a reader behind a
+// different cache observes the new value on its next Get instead of waiting
+// for its TTL to lapse. The writing client is excluded (its own cache was
+// just updated by its write policy).
+//
+// The hub is process-local; clients in different processes would bridge a
+// hub over a shared channel (e.g. the miniredis server). The consistency
+// upgrade is from TTL-bounded staleness to write-triggered invalidation;
+// it is not linearizability — notification races with in-flight reads.
+type Hub struct {
+	mu   sync.RWMutex
+	subs map[int]func(key string)
+	next int
+}
+
+// NewHub creates an empty invalidation hub.
+func NewHub() *Hub { return &Hub{subs: make(map[int]func(string))} }
+
+// subscribe registers fn and returns its id.
+func (h *Hub) subscribe(fn func(key string)) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.next
+	h.next++
+	h.subs[id] = fn
+	return id
+}
+
+// unsubscribe removes a subscriber.
+func (h *Hub) unsubscribe(id int) {
+	h.mu.Lock()
+	delete(h.subs, id)
+	h.mu.Unlock()
+}
+
+// publish invalidates key on every subscriber except the sender.
+// Callbacks run synchronously, so when a Put returns, sibling caches have
+// already dropped the key.
+func (h *Hub) publish(sender int, key string) {
+	h.mu.RLock()
+	fns := make([]func(string), 0, len(h.subs))
+	for id, fn := range h.subs {
+		if id != sender {
+			fns = append(fns, fn)
+		}
+	}
+	h.mu.RUnlock()
+	for _, fn := range fns {
+		fn(key)
+	}
+}
+
+// Subscribers reports how many clients are connected (for tests and
+// monitoring).
+func (h *Hub) Subscribers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.subs)
+}
+
+// WithInvalidationHub connects the client to a Hub. Must be combined with
+// WithCache; without a cache there is nothing to invalidate, and the client
+// still publishes its writes for others.
+func WithInvalidationHub(h *Hub) Option {
+	return func(cl *Client) {
+		cl.hub = h
+		cl.hubID = h.subscribe(func(key string) {
+			if cl.cache == nil {
+				return
+			}
+			dropped, err := cl.cache.Delete(context.Background(), key)
+			if err != nil {
+				cl.cacheErrs.Add(1)
+				return
+			}
+			if dropped {
+				cl.invalidations.Add(1)
+			}
+		})
+	}
+}
+
+// Invalidations reports how many keys this client dropped due to writes by
+// sibling clients on the hub.
+func (cl *Client) Invalidations() int64 { return cl.invalidations.Load() }
+
+// notifyWrite publishes a local write to the hub, if any.
+func (cl *Client) notifyWrite(key string) {
+	if cl.hub != nil {
+		cl.hub.publish(cl.hubID, key)
+	}
+}
+
+// DetachHub disconnects the client from its hub (also called by Close).
+func (cl *Client) DetachHub() {
+	if cl.hub != nil {
+		cl.hub.unsubscribe(cl.hubID)
+		cl.hub = nil
+	}
+}

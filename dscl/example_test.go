@@ -1,0 +1,74 @@
+package dscl_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"edsc/dscl"
+	"edsc/kv"
+)
+
+// The tight-integration pattern (§II): wrap any store, get caching and
+// transforms transparently.
+func ExampleNew() {
+	ctx := context.Background()
+	store := kv.NewMem("backend")
+
+	client := dscl.New(store,
+		dscl.WithCache(dscl.NewInProcessCache(dscl.InProcessOptions{MaxEntries: 1024})),
+		dscl.WithTTL(time.Minute),
+		dscl.WithCompression(dscl.CompressionOptions{}),
+	)
+
+	_ = client.Put(ctx, "config", []byte("feature-flags"))
+	v, _ := client.Get(ctx, "config") // served from cache
+	fmt.Println(string(v))
+	st := client.Stats()
+	fmt.Println("hits:", st.CacheHits, "store reads:", st.StoreReads)
+	// Output:
+	// feature-flags
+	// hits: 1 store reads: 0
+}
+
+// Explicit cache control (caching approach 2 of §III): applications can
+// manage the cache directly through the Cache interface.
+func ExampleClient_Cache() {
+	ctx := context.Background()
+	client := dscl.New(kv.NewMem("backend"),
+		dscl.WithCache(dscl.NewInProcessCache(dscl.InProcessOptions{})))
+
+	_ = client.Put(ctx, "user:1", []byte("cached"))
+	// Precise control: invalidate one entry explicitly.
+	dropped, _ := client.Cache().Delete(ctx, "user:1")
+	fmt.Println("dropped:", dropped)
+	// Output:
+	// dropped: true
+}
+
+// Client-side encryption (§II): the store only ever sees ciphertext.
+func ExampleEncryptionFromPassphrase() {
+	ctx := context.Background()
+	store := kv.NewMem("untrusted")
+	client := dscl.New(store, dscl.WithTransform(dscl.EncryptionFromPassphrase("secret")))
+
+	_ = client.Put(ctx, "doc", []byte("confidential"))
+	raw, _ := store.Get(ctx, "doc")
+	fmt.Println("store sees plaintext:", string(raw) == "confidential")
+	v, _ := client.Get(ctx, "doc")
+	fmt.Println("client reads:", string(v))
+	// Output:
+	// store sees plaintext: false
+	// client reads: confidential
+}
+
+// Chained transforms: compress first, then encrypt (the only useful order).
+func ExampleChain() {
+	t := dscl.Chain(
+		dscl.Compression(dscl.CompressionOptions{}),
+		dscl.EncryptionFromPassphrase("pw"),
+	)
+	fmt.Println(t.Name())
+	// Output:
+	// gzip+aes128
+}

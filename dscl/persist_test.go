@@ -1,0 +1,124 @@
+package dscl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"edsc/kv"
+)
+
+func TestSaveToLoadFromWarmStart(t *testing.T) {
+	ctx := context.Background()
+	hot := NewInProcessCache(InProcessOptions{})
+	for i := 0; i < 50; i++ {
+		_ = hot.Put(ctx, fmt.Sprintf("k%d", i), Entry{
+			Value:   []byte(fmt.Sprintf("v%d", i)),
+			Version: kv.Version(fmt.Sprintf("etag%d", i)),
+		})
+	}
+	durable := kv.NewMem("snapshots")
+	n, err := hot.SaveTo(ctx, durable)
+	if err != nil || n != 50 {
+		t.Fatalf("SaveTo = %d, %v", n, err)
+	}
+
+	// "Restart": a fresh cache warms from the durable store.
+	warm := NewInProcessCache(InProcessOptions{})
+	n, err = warm.LoadFrom(ctx, durable)
+	if err != nil || n != 50 {
+		t.Fatalf("LoadFrom = %d, %v", n, err)
+	}
+	e, state, _ := warm.Get(ctx, "k7")
+	if state != Hit || string(e.Value) != "v7" || e.Version != "etag7" {
+		t.Fatalf("warm entry = %+v, %v", e, state)
+	}
+}
+
+func TestSaveToPreservesExpiry(t *testing.T) {
+	ctx := context.Background()
+	hot := NewInProcessCache(InProcessOptions{})
+	past := time.Now().Add(-time.Minute)
+	future := time.Now().Add(time.Hour)
+	_ = hot.Put(ctx, "expired", Entry{Value: []byte("old"), Version: "v1", ExpiresAt: past})
+	_ = hot.Put(ctx, "fresh", Entry{Value: []byte("new"), ExpiresAt: future})
+
+	durable := kv.NewMem("snap")
+	if _, err := hot.SaveTo(ctx, durable); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewInProcessCache(InProcessOptions{})
+	if _, err := warm.LoadFrom(ctx, durable); err != nil {
+		t.Fatal(err)
+	}
+	// The expired entry survives the restart as a revalidation candidate.
+	e, state, _ := warm.Get(ctx, "expired")
+	if state != Stale || string(e.Value) != "old" {
+		t.Fatalf("expired entry = %+v, %v; want Stale with value", e, state)
+	}
+	if _, state, _ := warm.Get(ctx, "fresh"); state != Hit {
+		t.Fatalf("fresh entry state = %v", state)
+	}
+}
+
+func TestLoadFromSkipsForeignValues(t *testing.T) {
+	ctx := context.Background()
+	durable := kv.NewMem("mixed")
+	_ = durable.Put(ctx, "junk", []byte("not an envelope"))
+	hot := NewInProcessCache(InProcessOptions{})
+	_ = hot.Put(ctx, "good", Entry{Value: []byte("v")})
+	if _, err := hot.SaveTo(ctx, durable); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewInProcessCache(InProcessOptions{})
+	n, err := warm.LoadFrom(ctx, durable)
+	if err != nil || n != 1 {
+		t.Fatalf("LoadFrom = %d, %v; want 1 (junk skipped)", n, err)
+	}
+}
+
+func TestSavedCacheReadableAsStoreCache(t *testing.T) {
+	// SaveTo uses the StoreCache envelope, so a saved snapshot can serve as
+	// a remote cache directly.
+	ctx := context.Background()
+	hot := NewInProcessCache(InProcessOptions{})
+	_ = hot.Put(ctx, "k", Entry{Value: []byte("shared"), Version: "e1"})
+	durable := kv.NewMem("snap")
+	if _, err := hot.SaveTo(ctx, durable); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStoreCache(durable)
+	e, state, err := sc.Get(ctx, "k")
+	if err != nil || state != Hit || string(e.Value) != "shared" || e.Version != "e1" {
+		t.Fatalf("StoreCache view = %+v, %v, %v", e, state, err)
+	}
+}
+
+func TestSaveToFailurePropagates(t *testing.T) {
+	ctx := context.Background()
+	hot := NewInProcessCache(InProcessOptions{})
+	_ = hot.Put(ctx, "k", Entry{Value: []byte("v")})
+	dead := kv.NewMem("dead")
+	_ = dead.Close()
+	if _, err := hot.SaveTo(ctx, dead); err == nil {
+		t.Fatal("SaveTo to closed store succeeded")
+	}
+	if _, err := hot.LoadFrom(ctx, dead); err == nil {
+		t.Fatal("LoadFrom closed store succeeded")
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	ctx := context.Background()
+	c := NewInProcessCache(InProcessOptions{})
+	for i := 0; i < 20; i++ {
+		_ = c.Put(ctx, fmt.Sprintf("k%d", i), Entry{Value: []byte{byte(i)}})
+	}
+	durable := kv.NewMem("all")
+	n, _ := c.SaveTo(ctx, durable)
+	if cnt, _ := durable.Len(ctx); n != 20 || cnt != 20 {
+		t.Fatalf("saved %d, store has %d", n, cnt)
+	}
+}

@@ -1,0 +1,92 @@
+package dscl
+
+import (
+	"context"
+	"sync"
+)
+
+// Cache-stampede protection. When many goroutines miss on the same key at
+// once (a popular key just expired, or a cold start), a naive client sends
+// every one of them to the data store — the "thundering herd" §III's
+// latency argument implicitly warns about. With WithSingleflight enabled,
+// concurrent misses for one key share a single store fetch; the followers
+// wait for the leader's result instead of dialing the server.
+
+// flightGroup deduplicates concurrent fetches per key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// do runs fetch once per key among concurrent callers. leader reports
+// whether this caller performed the fetch.
+func (g *flightGroup) do(ctx context.Context, key string, fetch func() ([]byte, error)) (val []byte, leader bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, false, c.err
+		case <-ctx.Done():
+			// The follower gives up waiting; the leader's fetch continues
+			// and will still populate the cache.
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fetch()
+	close(c.done)
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.val, true, c.err
+}
+
+// WithSingleflight enables fetch deduplication: concurrent cache misses for
+// the same key issue one store read. The shared result slice must not be
+// mutated by callers (the same discipline reference caching already
+// requires).
+func WithSingleflight() Option {
+	return func(cl *Client) { cl.flights = &flightGroup{} }
+}
+
+// DedupedFetches reports how many Get calls were served by another caller's
+// in-flight fetch instead of reaching the store.
+func (cl *Client) DedupedFetches() int64 { return cl.deduped.Load() }
+
+// fetchShared routes a miss through the flight group when enabled.
+func (cl *Client) fetchShared(ctx context.Context, key string) ([]byte, error) {
+	if cl.flights == nil {
+		plain, raw, ver, err := cl.fetch(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		cl.cachePut(ctx, key, plain, raw, ver)
+		return plain, nil
+	}
+	val, leader, err := cl.flights.do(ctx, key, func() ([]byte, error) {
+		plain, raw, ver, ferr := cl.fetch(ctx, key)
+		if ferr != nil {
+			return nil, ferr
+		}
+		cl.cachePut(ctx, key, plain, raw, ver)
+		return plain, nil
+	})
+	if !leader && err == nil {
+		cl.deduped.Add(1)
+	}
+	return val, err
+}

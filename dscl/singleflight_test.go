@@ -1,0 +1,141 @@
+package dscl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edsc/kv"
+)
+
+// gatedStore blocks Gets until released, counting them.
+type gatedStore struct {
+	kv.Store
+	gate chan struct{}
+	gets atomic.Int64
+}
+
+func (g *gatedStore) Get(ctx context.Context, key string) ([]byte, error) {
+	g.gets.Add(1)
+	<-g.gate
+	return g.Store.Get(ctx, key)
+}
+
+func TestSingleflightDeduplicatesMisses(t *testing.T) {
+	ctx := context.Background()
+	base := kv.NewMem("m")
+	_ = base.Put(ctx, "hot", []byte("value"))
+	gated := &gatedStore{Store: base, gate: make(chan struct{})}
+	cl := New(gated,
+		WithCache(NewInProcessCache(InProcessOptions{})),
+		WithSingleflight())
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = cl.Get(ctx, "hot")
+		}(i)
+	}
+	// Give all goroutines time to pile onto the flight, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gated.gate)
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil || string(results[i]) != "value" {
+			t.Fatalf("caller %d: %q, %v", i, results[i], errs[i])
+		}
+	}
+	if got := gated.gets.Load(); got != 1 {
+		t.Fatalf("store gets = %d, want 1 (thundering herd not absorbed)", got)
+	}
+	if cl.DedupedFetches() != callers-1 {
+		t.Fatalf("DedupedFetches = %d, want %d", cl.DedupedFetches(), callers-1)
+	}
+	// And the cache is now warm.
+	if _, err := cl.Get(ctx, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	if gated.gets.Load() != 1 {
+		t.Fatal("cache not populated by the leader")
+	}
+}
+
+func TestSingleflightDistinctKeysIndependent(t *testing.T) {
+	ctx := context.Background()
+	base := kv.NewMem("m")
+	_ = base.Put(ctx, "a", []byte("1"))
+	_ = base.Put(ctx, "b", []byte("2"))
+	gated := &gatedStore{Store: base, gate: make(chan struct{})}
+	close(gated.gate) // no blocking; just count
+	cl := New(gated, WithSingleflight())
+	if _, err := cl.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if gated.gets.Load() != 2 {
+		t.Fatalf("gets = %d, want 2 (different keys must not dedupe)", gated.gets.Load())
+	}
+}
+
+func TestSingleflightErrorSharedThenRetried(t *testing.T) {
+	ctx := context.Background()
+	cl := New(kv.NewMem("m"), WithSingleflight())
+	if _, err := cl.Get(ctx, "absent"); !kv.IsNotFound(err) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed flight is forgotten: a later Get retries the store.
+	_ = cl.Store().Put(ctx, "absent", []byte("now present"))
+	v, err := cl.Get(ctx, "absent")
+	if err != nil || string(v) != "now present" {
+		t.Fatalf("retry after failed flight: %q, %v", v, err)
+	}
+}
+
+func TestSingleflightFollowerContextCancel(t *testing.T) {
+	ctx := context.Background()
+	base := kv.NewMem("m")
+	_ = base.Put(ctx, "k", []byte("v"))
+	gated := &gatedStore{Store: base, gate: make(chan struct{})}
+	cl := New(gated, WithCache(NewInProcessCache(InProcessOptions{})), WithSingleflight())
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Get(ctx, "k")
+		leaderDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // leader is in flight
+
+	cctx, cancel := context.WithCancel(ctx)
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Get(cctx, "k")
+		followerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel() // follower gives up
+	if err := <-followerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(gated.gate) // leader completes
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	// The leader still populated the cache despite the follower bailing.
+	if _, err := cl.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if gated.gets.Load() != 1 {
+		t.Fatalf("gets = %d, want 1", gated.gets.Load())
+	}
+}

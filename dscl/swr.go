@@ -1,0 +1,103 @@
+package dscl
+
+import (
+	"context"
+	"sync"
+
+	"edsc/kv"
+)
+
+// Stale-while-revalidate: §III keeps expired entries around so they can be
+// revalidated instead of re-fetched; the synchronous path still pays the
+// revalidation round trip on the first access after expiry. With
+// WithStaleWhileRevalidate enabled the client returns the stale value
+// immediately and refreshes the entry in the background, so readers never
+// block on the server once a value is cached — at the cost of bounded
+// staleness (one refresh interval past the TTL).
+//
+// Refreshes are deduplicated per key; a slow store cannot accumulate
+// goroutines for one hot entry.
+
+type refreshTracker struct {
+	mu       sync.Mutex
+	inflight map[string]bool
+	// wg lets tests (and Close) wait for background refreshes.
+	wg sync.WaitGroup
+}
+
+// WithStaleWhileRevalidate makes Get return stale entries immediately while
+// refreshing them asynchronously. Combine with WithTTL; without a TTL
+// entries never go stale and the option is inert.
+func WithStaleWhileRevalidate() Option {
+	return func(cl *Client) {
+		cl.refresher = &refreshTracker{inflight: make(map[string]bool)}
+	}
+}
+
+// Refreshes reports how many background refreshes have been started.
+func (cl *Client) Refreshes() int64 { return cl.refreshes.Load() }
+
+// WaitRefreshes blocks until all in-flight background refreshes finish
+// (primarily for tests and orderly shutdown).
+func (cl *Client) WaitRefreshes() {
+	if cl.refresher != nil {
+		cl.refresher.wg.Wait()
+	}
+}
+
+// serveStaleAndRefresh returns the stale value and schedules one background
+// refresh for the key. It reports false when SWR is not enabled.
+func (cl *Client) serveStaleAndRefresh(key string, stale *Entry) ([]byte, bool) {
+	if cl.refresher == nil || stale == nil {
+		return nil, false
+	}
+	r := cl.refresher
+	r.mu.Lock()
+	already := r.inflight[key]
+	if !already {
+		r.inflight[key] = true
+		r.wg.Add(1)
+	}
+	r.mu.Unlock()
+
+	if !already {
+		cl.refreshes.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				r.mu.Lock()
+				delete(r.inflight, key)
+				r.mu.Unlock()
+			}()
+			// Background refresh: detached from the caller's context.
+			ctx := context.Background()
+			if cl.reval && cl.chain == nil && stale.Version != kv.NoVersion {
+				if vs, ok := cl.store.(kv.Versioned); ok {
+					cl.revals.Add(1)
+					_, ver, modified, err := vs.GetIfModified(ctx, key, stale.Version)
+					if err == nil && !modified {
+						cl.fresh.Add(1)
+						if _, terr := cl.cache.Touch(ctx, key, cl.expiry(), ver); terr != nil {
+							cl.cacheErrs.Add(1)
+						}
+						return
+					}
+				}
+			}
+			if _, err := cl.fetchShared(ctx, key); err != nil {
+				// A vanished key must not be served stale forever.
+				if kv.IsNotFound(err) {
+					if _, derr := cl.cache.Delete(ctx, key); derr != nil {
+						cl.cacheErrs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	v, err := cl.cachedToPlain(stale.Value)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}

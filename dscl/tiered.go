@@ -1,0 +1,94 @@
+package dscl
+
+import (
+	"context"
+	"time"
+
+	"edsc/kv"
+)
+
+// TieredCache composes two caches in the classic L1/L2 arrangement §III's
+// discussion implies: a fast private in-process cache in front of a larger
+// remote-process cache shared by many clients. Reads probe L1 first and
+// promote L2 hits into L1; writes, touches, and invalidations go to both.
+//
+// L1 hits cost nanoseconds; L1 misses that hit L2 cost one cache-server
+// round trip instead of a full data store fetch — each tier absorbs what
+// the one above it misses.
+type TieredCache struct {
+	l1 Cache
+	l2 Cache
+	// promoteTTL bounds how long a promoted entry may live in L1 before
+	// re-consulting L2 (0 = keep the entry's own expiry).
+	promoteTTL time.Duration
+}
+
+var _ Cache = (*TieredCache)(nil)
+
+// NewTieredCache builds a tiered cache. promoteTTL, when positive, caps the
+// L1 lifetime of entries promoted from L2, so invalidations performed
+// directly against the shared L2 are observed within that window even
+// without an invalidation hub.
+func NewTieredCache(l1, l2 Cache, promoteTTL time.Duration) *TieredCache {
+	return &TieredCache{l1: l1, l2: l2, promoteTTL: promoteTTL}
+}
+
+// Get implements Cache.
+func (t *TieredCache) Get(ctx context.Context, key string) (Entry, State, error) {
+	if e, state, err := t.l1.Get(ctx, key); err == nil && state != Miss {
+		return e, state, nil
+	}
+	e, state, err := t.l2.Get(ctx, key)
+	if err != nil || state == Miss {
+		return e, state, err
+	}
+	// Promote the L2 hit (or revalidation candidate) into L1.
+	promoted := e
+	if t.promoteTTL > 0 {
+		bound := time.Now().Add(t.promoteTTL)
+		if promoted.ExpiresAt.IsZero() || promoted.ExpiresAt.After(bound) {
+			promoted.ExpiresAt = bound
+		}
+	}
+	_ = t.l1.Put(ctx, key, promoted)
+	return e, state, nil
+}
+
+// Put implements Cache: write-through to both tiers.
+func (t *TieredCache) Put(ctx context.Context, key string, e Entry) error {
+	if err := t.l1.Put(ctx, key, e); err != nil {
+		return err
+	}
+	return t.l2.Put(ctx, key, e)
+}
+
+// Delete implements Cache: both tiers.
+func (t *TieredCache) Delete(ctx context.Context, key string) (bool, error) {
+	d1, err1 := t.l1.Delete(ctx, key)
+	d2, err2 := t.l2.Delete(ctx, key)
+	if err1 != nil {
+		return d1 || d2, err1
+	}
+	return d1 || d2, err2
+}
+
+// Touch implements Cache: both tiers (missing in one tier is fine).
+func (t *TieredCache) Touch(ctx context.Context, key string, expiresAt time.Time, version kv.Version) (bool, error) {
+	t1, err1 := t.l1.Touch(ctx, key, expiresAt, version)
+	t2, err2 := t.l2.Touch(ctx, key, expiresAt, version)
+	if err1 != nil {
+		return t1 || t2, err1
+	}
+	return t1 || t2, err2
+}
+
+// Len implements Cache: the shared tier's count (L1 holds a subset).
+func (t *TieredCache) Len(ctx context.Context) (int, error) { return t.l2.Len(ctx) }
+
+// Clear implements Cache: both tiers.
+func (t *TieredCache) Clear(ctx context.Context) error {
+	if err := t.l1.Clear(ctx); err != nil {
+		return err
+	}
+	return t.l2.Clear(ctx)
+}

@@ -1,0 +1,167 @@
+package dscl
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"edsc/kv"
+)
+
+func newTiered(t *testing.T) (*TieredCache, *InProcessCache, *StoreCache, *kv.Mem) {
+	t.Helper()
+	l2Backing := kv.NewMem("l2")
+	l1 := NewInProcessCache(InProcessOptions{})
+	l2 := NewStoreCache(l2Backing)
+	return NewTieredCache(l1, l2, 0), l1, l2, l2Backing
+}
+
+func TestTieredPutPopulatesBothTiers(t *testing.T) {
+	ctx := context.Background()
+	tc, l1, l2, _ := newTiered(t)
+	if err := tc.Put(ctx, "k", Entry{Value: []byte("v"), Version: "e1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, state, _ := l1.Get(ctx, "k"); state != Hit {
+		t.Fatal("L1 missing after Put")
+	}
+	if _, state, _ := l2.Get(ctx, "k"); state != Hit {
+		t.Fatal("L2 missing after Put")
+	}
+	e, state, err := tc.Get(ctx, "k")
+	if err != nil || state != Hit || string(e.Value) != "v" {
+		t.Fatalf("tiered Get = %+v, %v, %v", e, state, err)
+	}
+}
+
+func TestTieredPromotionFromL2(t *testing.T) {
+	ctx := context.Background()
+	tc, l1, l2, _ := newTiered(t)
+	// Entry exists only in the shared L2 (put there by another client).
+	if err := l2.Put(ctx, "shared", Entry{Value: []byte("from-l2"), Version: "e9"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, state, _ := l1.Get(ctx, "shared"); state != Miss {
+		t.Fatal("L1 unexpectedly warm")
+	}
+	e, state, err := tc.Get(ctx, "shared")
+	if err != nil || state != Hit || string(e.Value) != "from-l2" {
+		t.Fatalf("tiered Get = %v, %v", state, err)
+	}
+	// Promoted: now in L1 with its version intact.
+	pe, state, _ := l1.Get(ctx, "shared")
+	if state != Hit || pe.Version != "e9" {
+		t.Fatalf("promotion failed: %v, %+v", state, pe)
+	}
+}
+
+func TestTieredPromoteTTLCapsL1Lifetime(t *testing.T) {
+	ctx := context.Background()
+	l1 := NewInProcessCache(InProcessOptions{})
+	l2 := NewStoreCache(kv.NewMem("l2"))
+	tc := NewTieredCache(l1, l2, 50*time.Millisecond)
+
+	_ = l2.Put(ctx, "k", Entry{Value: []byte("v")}) // no expiry in L2
+	if _, state, _ := tc.Get(ctx, "k"); state != Hit {
+		t.Fatal("miss")
+	}
+	// L1 copy carries the promote cap; the L2 copy does not.
+	e, _, _ := l1.Get(ctx, "k")
+	if e.ExpiresAt.IsZero() || time.Until(e.ExpiresAt) > 60*time.Millisecond {
+		t.Fatalf("promote TTL not applied: %v", e.ExpiresAt)
+	}
+	e2, _, _ := l2.Get(ctx, "k")
+	if !e2.ExpiresAt.IsZero() {
+		t.Fatal("promote TTL leaked into L2")
+	}
+}
+
+func TestTieredDeleteAndClear(t *testing.T) {
+	ctx := context.Background()
+	tc, l1, l2, _ := newTiered(t)
+	_ = tc.Put(ctx, "k", Entry{Value: []byte("v")})
+	ok, err := tc.Delete(ctx, "k")
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, state, _ := l1.Get(ctx, "k"); state != Miss {
+		t.Fatal("L1 retained deleted key")
+	}
+	if _, state, _ := l2.Get(ctx, "k"); state != Miss {
+		t.Fatal("L2 retained deleted key")
+	}
+	_ = tc.Put(ctx, "a", Entry{Value: []byte("1")})
+	_ = tc.Put(ctx, "b", Entry{Value: []byte("2")})
+	if err := tc.Clear(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tc.Len(ctx); n != 0 {
+		t.Fatalf("Len after Clear = %d", n)
+	}
+}
+
+func TestTieredTouchRenewsBothTiers(t *testing.T) {
+	ctx := context.Background()
+	tc, l1, l2, _ := newTiered(t)
+	past := time.Now().Add(-time.Second)
+	_ = tc.Put(ctx, "k", Entry{Value: []byte("v"), Version: "v1", ExpiresAt: past})
+	ok, err := tc.Touch(ctx, "k", time.Now().Add(time.Hour), "v2")
+	if err != nil || !ok {
+		t.Fatalf("Touch = %v, %v", ok, err)
+	}
+	if e, state, _ := l1.Get(ctx, "k"); state != Hit || e.Version != "v2" {
+		t.Fatalf("L1 after Touch: %v, %+v", state, e)
+	}
+	if e, state, _ := l2.Get(ctx, "k"); state != Hit || e.Version != "v2" {
+		t.Fatalf("L2 after Touch: %v, %+v", state, e)
+	}
+}
+
+func TestTieredL2FailureSurfacesButL1Works(t *testing.T) {
+	ctx := context.Background()
+	l2Backing := kv.NewMem("l2")
+	l1 := NewInProcessCache(InProcessOptions{})
+	tc := NewTieredCache(l1, NewStoreCache(l2Backing), 0)
+	_ = tc.Put(ctx, "k", Entry{Value: []byte("v")})
+	_ = l2Backing.Close()
+	// L1 still answers.
+	if _, state, err := tc.Get(ctx, "k"); state != Hit || err != nil {
+		t.Fatalf("L1 should still serve: %v, %v", state, err)
+	}
+	// For an L1-miss the L2 error propagates.
+	if _, _, err := tc.Get(ctx, "only-in-l2"); err == nil {
+		t.Fatal("dead L2 error swallowed")
+	}
+	// Writes fail loudly (L2 is down).
+	if err := tc.Put(ctx, "new", Entry{Value: []byte("x")}); err == nil {
+		t.Fatal("Put with dead L2 succeeded")
+	}
+}
+
+func TestTieredWithClientEndToEnd(t *testing.T) {
+	// Full deployment: client → L1 in-process → L2 shared store cache →
+	// backing store. A second client with its own L1 sees writes through
+	// the shared L2.
+	ctx := context.Background()
+	backing := kv.NewMem("store")
+	sharedL2 := kv.NewMem("l2backing")
+	newClient := func() *Client {
+		return New(backing, WithCache(NewTieredCache(
+			NewInProcessCache(InProcessOptions{}),
+			NewStoreCache(sharedL2), 0)))
+	}
+	a := newClient()
+	b := newClient()
+	if err := a.Put(ctx, "k", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	// b's L1 is cold, but the shared L2 answers without touching backing.
+	_ = backing.Close()
+	v, err := b.Get(ctx, "k")
+	if err != nil || string(v) != "shared" {
+		t.Fatalf("b Get = %q, %v", v, err)
+	}
+	if b.Stats().CacheHits != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}

@@ -1,0 +1,161 @@
+package dscl
+
+import (
+	"fmt"
+
+	"edsc/internal/pack"
+	"edsc/internal/secure"
+)
+
+// Transform is a reversible value transformation applied between the
+// application and the data store: compression, encryption, or any
+// user-supplied pair. Transforms compose into a pipeline; Encode runs
+// first-to-last on writes and Decode last-to-first on reads.
+type Transform interface {
+	// Name identifies the transform in error messages.
+	Name() string
+	Encode(value []byte) ([]byte, error)
+	Decode(data []byte) ([]byte, error)
+}
+
+// --- compression ---
+
+// CompressionOptions configure Compression.
+type CompressionOptions struct {
+	// Level is the gzip level (0 = default).
+	Level int
+	// SkipThreshold stores values raw when gzip fails to shrink them below
+	// this fraction of the original (0 = library default 0.98; negative
+	// disables the fallback).
+	SkipThreshold float64
+}
+
+type compression struct{ c *pack.Codec }
+
+// Compression returns a gzip Transform (§II: "compression can reduce the
+// memory consumed within a data store" and the bytes on the wire).
+func Compression(opts CompressionOptions) Transform {
+	var pos []pack.Option
+	if opts.Level != 0 {
+		pos = append(pos, pack.WithLevel(opts.Level))
+	}
+	switch {
+	case opts.SkipThreshold < 0:
+		pos = append(pos, pack.WithSkipThreshold(0))
+	case opts.SkipThreshold > 0:
+		pos = append(pos, pack.WithSkipThreshold(opts.SkipThreshold))
+	}
+	return compression{c: pack.New(pos...)}
+}
+
+func (compression) Name() string                          { return "gzip" }
+func (t compression) Encode(value []byte) ([]byte, error) { return t.c.Compress(value) }
+func (t compression) Decode(data []byte) ([]byte, error)  { return t.c.Decompress(data) }
+
+// --- encryption ---
+
+type encryption struct{ c *secure.Cipher }
+
+// Encryption returns an AES-128 Transform (encrypt-then-MAC envelope). The
+// key must be exactly 16 bytes.
+func Encryption(key []byte) (Transform, error) {
+	c, err := secure.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return encryption{c: c}, nil
+}
+
+// EncryptionFromPassphrase derives the key from a passphrase.
+func EncryptionFromPassphrase(passphrase string) Transform {
+	return encryption{c: secure.NewCipherFromPassphrase(passphrase)}
+}
+
+func (encryption) Name() string                          { return "aes128" }
+func (t encryption) Encode(value []byte) ([]byte, error) { return t.c.Seal(value) }
+func (t encryption) Decode(data []byte) ([]byte, error)  { return t.c.Open(data) }
+
+// KeySize is the AES key length Encryption expects.
+const KeySize = secure.KeySize
+
+// --- composition ---
+
+// pipeline chains transforms.
+type pipeline []Transform
+
+// Chain composes transforms into one. Encode order is left to right —
+// Chain(Compression(...), encryption) compresses first, then encrypts,
+// which is the only useful order (ciphertext does not compress).
+func Chain(ts ...Transform) Transform {
+	flat := make(pipeline, 0, len(ts))
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		if p, ok := t.(pipeline); ok {
+			flat = append(flat, p...)
+			continue
+		}
+		flat = append(flat, t)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return flat
+}
+
+func (p pipeline) Name() string {
+	name := ""
+	for i, t := range p {
+		if i > 0 {
+			name += "+"
+		}
+		name += t.Name()
+	}
+	return name
+}
+
+func (p pipeline) Encode(value []byte) ([]byte, error) {
+	cur := value
+	for _, t := range p {
+		next, err := t.Encode(cur)
+		if err != nil {
+			return nil, fmt.Errorf("dscl: %s encode: %w", t.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (p pipeline) Decode(data []byte) ([]byte, error) {
+	cur := data
+	for i := len(p) - 1; i >= 0; i-- {
+		next, err := p[i].Decode(cur)
+		if err != nil {
+			return nil, fmt.Errorf("dscl: %s decode: %w", p[i].Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// FuncTransform adapts a pair of functions into a Transform.
+type FuncTransform struct {
+	TransformName string
+	EncodeFunc    func([]byte) ([]byte, error)
+	DecodeFunc    func([]byte) ([]byte, error)
+}
+
+// Name implements Transform.
+func (f FuncTransform) Name() string {
+	if f.TransformName == "" {
+		return "func"
+	}
+	return f.TransformName
+}
+
+// Encode implements Transform.
+func (f FuncTransform) Encode(value []byte) ([]byte, error) { return f.EncodeFunc(value) }
+
+// Decode implements Transform.
+func (f FuncTransform) Decode(data []byte) ([]byte, error) { return f.DecodeFunc(data) }

@@ -1,0 +1,150 @@
+package dscl
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T) []byte {
+	t.Helper()
+	key := make([]byte, KeySize)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestCompressionTransform(t *testing.T) {
+	c := Compression(CompressionOptions{})
+	in := bytes.Repeat([]byte("squeeze me "), 500)
+	enc, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= len(in) {
+		t.Fatalf("no compression: %d -> %d", len(in), len(enc))
+	}
+	dec, err := c.Decode(enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatal("round trip failed")
+	}
+	if c.Name() != "gzip" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestEncryptionTransform(t *testing.T) {
+	e, err := Encryption(testKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("secret payload")
+	enc, err := e.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(enc, in) {
+		t.Fatal("plaintext visible in ciphertext")
+	}
+	dec, err := e.Decode(enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestEncryptionBadKey(t *testing.T) {
+	if _, err := Encryption([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestChainCompressThenEncrypt(t *testing.T) {
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("pw"))
+	if tr.Name() != "gzip+aes128" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+	in := bytes.Repeat([]byte("compress then encrypt "), 400)
+	enc, err := tr.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression ran first, so the ciphertext is much smaller than the
+	// plaintext; the reverse order could not shrink at all.
+	if len(enc) >= len(in)/2 {
+		t.Fatalf("chain did not compress before encrypting: %d -> %d", len(in), len(enc))
+	}
+	dec, err := tr.Decode(enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatal("chain round trip failed")
+	}
+}
+
+func TestChainFlattensAndSkipsNil(t *testing.T) {
+	inner := Chain(Compression(CompressionOptions{}), nil)
+	tr := Chain(nil, inner, EncryptionFromPassphrase("pw"))
+	if tr.Name() != "gzip+aes128" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+	single := Chain(Compression(CompressionOptions{}))
+	if single.Name() != "gzip" {
+		t.Fatalf("single chain = %q", single.Name())
+	}
+}
+
+func TestChainDecodeErrorNamesStage(t *testing.T) {
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("pw"))
+	if _, err := tr.Decode([]byte("garbage that is long enough to not be an envelope")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestFuncTransform(t *testing.T) {
+	rot := FuncTransform{
+		TransformName: "rot1",
+		EncodeFunc: func(b []byte) ([]byte, error) {
+			out := make([]byte, len(b))
+			for i, c := range b {
+				out[i] = c + 1
+			}
+			return out, nil
+		},
+		DecodeFunc: func(b []byte) ([]byte, error) {
+			out := make([]byte, len(b))
+			for i, c := range b {
+				out[i] = c - 1
+			}
+			return out, nil
+		},
+	}
+	enc, _ := rot.Encode([]byte("abc"))
+	if string(enc) != "bcd" {
+		t.Fatalf("encode = %q", enc)
+	}
+	dec, _ := rot.Decode(enc)
+	if string(dec) != "abc" {
+		t.Fatalf("decode = %q", dec)
+	}
+	if rot.Name() != "rot1" {
+		t.Fatalf("Name = %q", rot.Name())
+	}
+	if (FuncTransform{}).Name() != "func" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestPropertyChainRoundTrip(t *testing.T) {
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("prop"))
+	prop := func(in []byte) bool {
+		enc, err := tr.Encode(in)
+		if err != nil {
+			return false
+		}
+		dec, err := tr.Decode(enc)
+		return err == nil && bytes.Equal(dec, in)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module edsc
+
+go 1.22

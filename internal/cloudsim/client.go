@@ -1,0 +1,298 @@
+package cloudsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"edsc/kv"
+)
+
+// Client is the data store client for a cloudsim server: the analogue of a
+// Cloudant/OpenStack client library. It implements kv.Store and
+// kv.Versioned (ETag-based conditional fetches, the primitive the DSCL's
+// revalidation path builds on).
+type Client struct {
+	name   string
+	base   string // server URL
+	bucket string
+	hc     *http.Client
+	closed atomic.Bool
+}
+
+var (
+	_ kv.Store         = (*Client)(nil)
+	_ kv.Versioned     = (*Client)(nil)
+	_ kv.CompareAndPut = (*Client)(nil)
+)
+
+// NewClient builds a client for bucket on the server at baseURL.
+func NewClient(name, baseURL, bucket string) *Client {
+	return &Client{
+		name:   name,
+		base:   baseURL,
+		bucket: bucket,
+		hc: &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 16},
+			Timeout:   60 * time.Second,
+		},
+	}
+}
+
+func (c *Client) objectURL(key string) string {
+	return fmt.Sprintf("%s/v1/%s/%s", c.base, url.PathEscape(c.bucket), url.PathEscape(key))
+}
+
+func (c *Client) bucketURL() string {
+	return fmt.Sprintf("%s/v1/%s", c.base, url.PathEscape(c.bucket))
+}
+
+// Name implements kv.Store.
+func (c *Client) Name() string { return c.name }
+
+func (c *Client) check(key string) error {
+	if c.closed.Load() {
+		return kv.ErrClosed
+	}
+	return kv.CheckKey(key)
+}
+
+func (c *Client) do(ctx context.Context, method, u string, body []byte, hdr map[string]string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	return c.hc.Do(req)
+}
+
+// drainClose releases the connection for reuse.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}
+
+// Get implements kv.Store.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	v, _, err := c.GetVersioned(ctx, key)
+	return v, err
+}
+
+// GetVersioned implements kv.Versioned.
+func (c *Client) GetVersioned(ctx context.Context, key string) ([]byte, kv.Version, error) {
+	if err := c.check(key); err != nil {
+		return nil, kv.NoVersion, err
+	}
+	resp, err := c.do(ctx, http.MethodGet, c.objectURL(key), nil, nil)
+	if err != nil {
+		return nil, kv.NoVersion, kv.WrapErr(c.name, "get", key, err)
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, kv.NoVersion, kv.WrapErr(c.name, "get", key, err)
+		}
+		return data, kv.Version(resp.Header.Get("ETag")), nil
+	case http.StatusNotFound:
+		return nil, kv.NoVersion, kv.ErrNotFound
+	default:
+		return nil, kv.NoVersion, kv.WrapErr(c.name, "get", key, fmt.Errorf("unexpected status %s", resp.Status))
+	}
+}
+
+// GetIfModified implements kv.Versioned: an If-None-Match conditional GET.
+func (c *Client) GetIfModified(ctx context.Context, key string, since kv.Version) ([]byte, kv.Version, bool, error) {
+	if err := c.check(key); err != nil {
+		return nil, kv.NoVersion, false, err
+	}
+	hdr := map[string]string{}
+	if since != kv.NoVersion {
+		hdr["If-None-Match"] = string(since)
+	}
+	resp, err := c.do(ctx, http.MethodGet, c.objectURL(key), nil, hdr)
+	if err != nil {
+		return nil, kv.NoVersion, false, kv.WrapErr(c.name, "get", key, err)
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, since, false, nil
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, kv.NoVersion, false, kv.WrapErr(c.name, "get", key, err)
+		}
+		return data, kv.Version(resp.Header.Get("ETag")), true, nil
+	case http.StatusNotFound:
+		return nil, kv.NoVersion, false, kv.ErrNotFound
+	default:
+		return nil, kv.NoVersion, false, kv.WrapErr(c.name, "get", key, fmt.Errorf("unexpected status %s", resp.Status))
+	}
+}
+
+// Put implements kv.Store.
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	_, err := c.PutVersioned(ctx, key, value)
+	return err
+}
+
+// PutVersioned implements kv.Versioned.
+func (c *Client) PutVersioned(ctx context.Context, key string, value []byte) (kv.Version, error) {
+	if err := c.check(key); err != nil {
+		return kv.NoVersion, err
+	}
+	resp, err := c.do(ctx, http.MethodPut, c.objectURL(key), value, nil)
+	if err != nil {
+		return kv.NoVersion, kv.WrapErr(c.name, "put", key, err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return kv.NoVersion, kv.WrapErr(c.name, "put", key, fmt.Errorf("unexpected status %s", resp.Status))
+	}
+	return kv.Version(resp.Header.Get("ETag")), nil
+}
+
+// PutIfVersion implements kv.CompareAndPut: the write succeeds only when
+// the stored ETag still equals since (If-Match), or — with kv.NoVersion —
+// only when the object does not exist yet (If-None-Match: *).
+func (c *Client) PutIfVersion(ctx context.Context, key string, value []byte, since kv.Version) (kv.Version, error) {
+	if err := c.check(key); err != nil {
+		return kv.NoVersion, err
+	}
+	hdr := map[string]string{}
+	if since == kv.NoVersion {
+		hdr["If-None-Match"] = "*"
+	} else {
+		hdr["If-Match"] = string(since)
+	}
+	resp, err := c.do(ctx, http.MethodPut, c.objectURL(key), value, hdr)
+	if err != nil {
+		return kv.NoVersion, kv.WrapErr(c.name, "put", key, err)
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return kv.Version(resp.Header.Get("ETag")), nil
+	case http.StatusPreconditionFailed:
+		return kv.NoVersion, kv.ErrVersionMismatch
+	default:
+		return kv.NoVersion, kv.WrapErr(c.name, "put", key, fmt.Errorf("unexpected status %s", resp.Status))
+	}
+}
+
+// Delete implements kv.Store.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	if err := c.check(key); err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodDelete, c.objectURL(key), nil, nil)
+	if err != nil {
+		return kv.WrapErr(c.name, "delete", key, err)
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusNotFound:
+		return kv.ErrNotFound
+	default:
+		return kv.WrapErr(c.name, "delete", key, fmt.Errorf("unexpected status %s", resp.Status))
+	}
+}
+
+// Contains implements kv.Store.
+func (c *Client) Contains(ctx context.Context, key string) (bool, error) {
+	if err := c.check(key); err != nil {
+		return false, err
+	}
+	resp, err := c.do(ctx, http.MethodHead, c.objectURL(key), nil, nil)
+	if err != nil {
+		return false, kv.WrapErr(c.name, "contains", key, err)
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, kv.WrapErr(c.name, "contains", key, fmt.Errorf("unexpected status %s", resp.Status))
+	}
+}
+
+// Keys implements kv.Store.
+func (c *Client) Keys(ctx context.Context) ([]string, error) {
+	return c.KeysWithPrefix(ctx, "")
+}
+
+// KeysWithPrefix lists keys beginning with prefix, filtered server-side —
+// the native listing feature of object stores beyond the KV interface.
+func (c *Client) KeysWithPrefix(ctx context.Context, prefix string) ([]string, error) {
+	if c.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	u := c.bucketURL()
+	if prefix != "" {
+		u += "?prefix=" + url.QueryEscape(prefix)
+	}
+	resp, err := c.do(ctx, http.MethodGet, u, nil, nil)
+	if err != nil {
+		return nil, kv.WrapErr(c.name, "keys", "", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, kv.WrapErr(c.name, "keys", "", fmt.Errorf("unexpected status %s", resp.Status))
+	}
+	var keys []string
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, kv.WrapErr(c.name, "keys", "", err)
+	}
+	return keys, nil
+}
+
+// Len implements kv.Store.
+func (c *Client) Len(ctx context.Context) (int, error) {
+	keys, err := c.Keys(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// Clear implements kv.Store.
+func (c *Client) Clear(ctx context.Context) error {
+	if c.closed.Load() {
+		return kv.ErrClosed
+	}
+	resp, err := c.do(ctx, http.MethodDelete, c.bucketURL(), nil, nil)
+	if err != nil {
+		return kv.WrapErr(c.name, "clear", "", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return kv.WrapErr(c.name, "clear", "", fmt.Errorf("unexpected status %s", resp.Status))
+	}
+	return nil
+}
+
+// Close implements kv.Store.
+func (c *Client) Close() error {
+	if !c.closed.Swap(true) {
+		c.hc.CloseIdleConnections()
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"edsc/kv"
+	"edsc/kv/kvtest"
+)
+
+func startServer(t *testing.T, p Profile) *Server {
+	t.Helper()
+	s := NewServer(p)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	n := 0
+	kvtest.Run(t, func(t *testing.T) (kv.Store, func()) {
+		n++
+		return NewClient("cloud", s.Addr(), string(rune('a'+n%26))+"bucket"), nil
+	}, kvtest.Options{MaxValue: 256 << 10})
+}
+
+func TestETagChangesWithContent(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+
+	v1, err := c.PutVersioned(ctx, "k", []byte("one"))
+	if err != nil || v1 == kv.NoVersion {
+		t.Fatalf("PutVersioned: %q, %v", v1, err)
+	}
+	v2, err := c.PutVersioned(ctx, "k", []byte("two"))
+	if err != nil || v2 == v1 {
+		t.Fatalf("version did not change: %q -> %q, %v", v1, v2, err)
+	}
+	// Same content gives the same tag again (content-derived ETags).
+	v3, err := c.PutVersioned(ctx, "k", []byte("one"))
+	if err != nil || v3 != v1 {
+		t.Fatalf("content-derived ETag broken: %q vs %q", v3, v1)
+	}
+}
+
+func TestConditionalGet(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+
+	ver, err := c.PutVersioned(ctx, "doc", []byte("contents"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up to date: 304 path, no body.
+	data, v, modified, err := c.GetIfModified(ctx, "doc", ver)
+	if err != nil || modified || data != nil || v != ver {
+		t.Fatalf("unmodified: data=%q v=%q modified=%v err=%v", data, v, modified, err)
+	}
+	// Stale version: full fetch.
+	data, v, modified, err = c.GetIfModified(ctx, "doc", kv.Version(`"stale"`))
+	if err != nil || !modified || string(data) != "contents" || v != ver {
+		t.Fatalf("modified: data=%q v=%q modified=%v err=%v", data, v, modified, err)
+	}
+	// No version: unconditional.
+	data, _, modified, err = c.GetIfModified(ctx, "doc", kv.NoVersion)
+	if err != nil || !modified || string(data) != "contents" {
+		t.Fatalf("unconditional: %q, %v, %v", data, modified, err)
+	}
+	// Missing object.
+	if _, _, _, err := c.GetIfModified(ctx, "ghost", ver); !kv.IsNotFound(err) {
+		t.Fatalf("missing err = %v", err)
+	}
+}
+
+func TestBucketIsolation(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	a := NewClient("a", s.Addr(), "bucket-a")
+	b := NewClient("b", s.Addr(), "bucket-b")
+	defer a.Close()
+	defer b.Close()
+	ctx := context.Background()
+
+	_ = a.Put(ctx, "k", []byte("A"))
+	_ = b.Put(ctx, "k", []byte("B"))
+	va, _ := a.Get(ctx, "k")
+	vb, _ := b.Get(ctx, "k")
+	if string(va) != "A" || string(vb) != "B" {
+		t.Fatalf("bucket isolation broken: %q, %q", va, vb)
+	}
+	_ = a.Clear(ctx)
+	if _, err := b.Get(ctx, "k"); err != nil {
+		t.Fatal("clearing bucket-a wiped bucket-b")
+	}
+}
+
+func TestSlashKeysSurvive(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+	// "a/b" and "a%2Fb" must stay distinct objects.
+	_ = c.Put(ctx, "a/b", []byte("slash"))
+	_ = c.Put(ctx, "a%2Fb", []byte("escaped"))
+	v1, _ := c.Get(ctx, "a/b")
+	v2, _ := c.Get(ctx, "a%2Fb")
+	if string(v1) != "slash" || string(v2) != "escaped" {
+		t.Fatalf("path escaping broken: %q, %q", v1, v2)
+	}
+	if n, _ := c.Len(ctx); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestLatencyModelShape(t *testing.T) {
+	// With scale=1 the model must respect ordering: CS1 slower and more
+	// variable than CS2; payload adds transfer time.
+	m1 := newModel(CloudStore1(1))
+	m2 := newModel(CloudStore2(1))
+	const n = 400
+	var sum1, sum2 time.Duration
+	var max1 time.Duration
+	for i := 0; i < n; i++ {
+		d1 := m1.delay(0)
+		d2 := m2.delay(0)
+		sum1 += d1
+		sum2 += d2
+		if d1 > max1 {
+			max1 = d1
+		}
+	}
+	if sum1 <= sum2 {
+		t.Fatalf("CloudStore1 mean (%v) not slower than CloudStore2 (%v)", sum1/n, sum2/n)
+	}
+	if max1 < 3*(sum1/n)/2 {
+		t.Fatalf("CloudStore1 shows no heavy tail: max %v vs mean %v", max1, sum1/n)
+	}
+	small := m2.delay(0)
+	large := newModel(CloudStore2(1)).delay(10 << 20)
+	if large <= small {
+		t.Fatalf("payload size did not increase delay: %v vs %v", large, small)
+	}
+}
+
+func TestScaleShrinksDelay(t *testing.T) {
+	full := newModel(Profile{Name: "x", BaseRTT: 100 * time.Millisecond, Scale: 1, Seed: 9})
+	tiny := newModel(Profile{Name: "x", BaseRTT: 100 * time.Millisecond, Scale: 0.01, Seed: 9})
+	if f, s := full.delay(0), tiny.delay(0); s >= f {
+		t.Fatalf("scaled delay %v not below full %v", s, f)
+	}
+}
+
+func TestInjectedLatencyObservable(t *testing.T) {
+	// A profile with 20ms base must make a round trip take at least ~20ms.
+	s := startServer(t, Profile{Name: "slow", BaseRTT: 20 * time.Millisecond, Scale: 1, Seed: 3})
+	c := NewClient("slow", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+	start := time.Now()
+	_ = c.Put(ctx, "k", []byte("v"))
+	if elapsed := time.Since(start); elapsed < 18*time.Millisecond {
+		t.Fatalf("injected latency not observed: %v", elapsed)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	// Root and /v1 are invalid paths; the client never produces them, so
+	// poke the server directly.
+	resp, err := c.hc.Get(s.Addr() + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestKeysWithPrefix(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+	for _, k := range []string{"logs/1", "logs/2", "data/1", "logs%2F3"} {
+		if err := c.Put(ctx, k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.KeysWithPrefix(ctx, "logs/")
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("KeysWithPrefix = %v, %v", keys, err)
+	}
+	all, err := c.KeysWithPrefix(ctx, "")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("empty prefix = %v, %v", all, err)
+	}
+	none, err := c.KeysWithPrefix(ctx, "nope/")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("unmatched prefix = %v, %v", none, err)
+	}
+}
+
+func TestVersionedConformance(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	n := 0
+	kvtest.RunVersioned(t, func(t *testing.T) (kv.Store, func()) {
+		n++
+		return NewClient("cloud", s.Addr(), fmt.Sprintf("vbucket%d", n)), nil
+	})
+}
+
+func TestCompareAndPut(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "cas")
+	defer c.Close()
+	ctx := context.Background()
+
+	// Create-only (If-None-Match: *): first wins, second loses.
+	v1, err := c.PutIfVersion(ctx, "k", []byte("first"), kv.NoVersion)
+	if err != nil || v1 == kv.NoVersion {
+		t.Fatalf("create = %q, %v", v1, err)
+	}
+	if _, err := c.PutIfVersion(ctx, "k", []byte("second"), kv.NoVersion); !errors.Is(err, kv.ErrVersionMismatch) {
+		t.Fatalf("create over existing err = %v", err)
+	}
+	// Conditional update: correct version wins.
+	v2, err := c.PutIfVersion(ctx, "k", []byte("updated"), v1)
+	if err != nil || v2 == v1 {
+		t.Fatalf("update = %q, %v", v2, err)
+	}
+	// Stale version loses.
+	if _, err := c.PutIfVersion(ctx, "k", []byte("stale write"), v1); !errors.Is(err, kv.ErrVersionMismatch) {
+		t.Fatalf("stale update err = %v", err)
+	}
+	got, _ := c.Get(ctx, "k")
+	if string(got) != "updated" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestCompareAndPutRace(t *testing.T) {
+	// Two writers increment a counter with CAS retry loops; no update may
+	// be lost.
+	s := startServer(t, LocalProfile("cloud"))
+	ctx := context.Background()
+	const perWriter = 20
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(fmt.Sprintf("w%d", w), s.Addr(), "race")
+			defer c.Close()
+			for i := 0; i < perWriter; i++ {
+				for {
+					data, ver, err := c.GetVersioned(ctx, "counter")
+					cur := 0
+					switch {
+					case kv.IsNotFound(err):
+						ver = kv.NoVersion
+					case err != nil:
+						t.Error(err)
+						return
+					default:
+						fmt.Sscan(string(data), &cur)
+					}
+					_, err = c.PutIfVersion(ctx, "counter", []byte(fmt.Sprint(cur+1)), ver)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, kv.ErrVersionMismatch) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := NewClient("check", s.Addr(), "race")
+	defer c.Close()
+	data, _ := c.Get(ctx, "counter")
+	if string(data) != fmt.Sprint(2*perWriter) {
+		t.Fatalf("counter = %q, want %d (lost updates)", data, 2*perWriter)
+	}
+}

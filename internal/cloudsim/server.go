@@ -1,0 +1,223 @@
+package cloudsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server is a simulated cloud object store: a REST API over buckets of
+// objects, with ETag-based conditional GETs (the revalidation mechanism of
+// Fig. 7) and an injected WAN latency model.
+//
+// API (object keys are path-escaped into a single path segment):
+//
+//	PUT    /v1/{bucket}/{key}        store body; returns ETag header
+//	GET    /v1/{bucket}/{key}        fetch; honours If-None-Match -> 304
+//	HEAD   /v1/{bucket}/{key}        existence + ETag
+//	DELETE /v1/{bucket}/{key}        remove; 404 when absent
+//	GET    /v1/{bucket}              JSON array of keys
+//	DELETE /v1/{bucket}              empty the bucket
+type Server struct {
+	model *model
+
+	mu      sync.RWMutex
+	buckets map[string]map[string]object
+
+	http *http.Server
+	ln   net.Listener
+}
+
+type object struct {
+	data []byte
+	etag string
+}
+
+// NewServer builds a server with the given latency profile.
+func NewServer(p Profile) *Server {
+	return &Server{model: newModel(p), buckets: make(map[string]map[string]object)}
+}
+
+// Start listens on 127.0.0.1 (ephemeral port) and serves in the background.
+func (s *Server) Start() error { return s.StartAddr("127.0.0.1:0") }
+
+// StartAddr is Start on a specific listen address.
+func (s *Server) StartAddr(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cloudsim: listen: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the server's base URL ("http://127.0.0.1:port").
+func (s *Server) Addr() string { return "http://" + s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+// etagOf computes a content hash used as the entity tag.
+func etagOf(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// parsePath splits /v1/{bucket}[/{key}] using the escaped path so keys
+// containing '/' survive as single escaped segments.
+func parsePath(escaped string) (bucket, key string, ok bool) {
+	parts := strings.Split(strings.TrimPrefix(escaped, "/"), "/")
+	if len(parts) < 2 || parts[0] != "v1" || parts[1] == "" {
+		return "", "", false
+	}
+	b, err := url.PathUnescape(parts[1])
+	if err != nil {
+		return "", "", false
+	}
+	switch len(parts) {
+	case 2:
+		return b, "", true
+	case 3:
+		k, err := url.PathUnescape(parts[2])
+		if err != nil {
+			return "", "", false
+		}
+		return b, k, true
+	default:
+		return "", "", false
+	}
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	bucket, key, ok := parsePath(r.URL.EscapedPath())
+	if !ok {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	if key == "" {
+		s.handleBucket(w, r, bucket)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		time.Sleep(s.model.delay(len(body)))
+		etag := etagOf(body)
+		ifMatch := r.Header.Get("If-Match")
+		createOnly := r.Header.Get("If-None-Match") == "*"
+		s.mu.Lock()
+		b := s.buckets[bucket]
+		if b == nil {
+			b = make(map[string]object)
+			s.buckets[bucket] = b
+		}
+		cur, exists := b[key]
+		switch {
+		case createOnly && exists:
+			s.mu.Unlock()
+			http.Error(w, "object exists", http.StatusPreconditionFailed)
+			return
+		case ifMatch != "" && (!exists || cur.etag != ifMatch):
+			s.mu.Unlock()
+			http.Error(w, "precondition failed", http.StatusPreconditionFailed)
+			return
+		}
+		b[key] = object{data: body, etag: etag}
+		s.mu.Unlock()
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusCreated)
+
+	case http.MethodGet, http.MethodHead:
+		s.mu.RLock()
+		obj, found := s.buckets[bucket][key]
+		s.mu.RUnlock()
+		if !found {
+			time.Sleep(s.model.delay(0))
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		if inm := r.Header.Get("If-None-Match"); inm != "" && inm == obj.etag {
+			// Revalidation hit: no body transferred (Fig. 7's "data is
+			// current" reply) — the delay reflects an empty payload.
+			time.Sleep(s.model.delay(0))
+			w.Header().Set("ETag", obj.etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		time.Sleep(s.model.delay(len(obj.data)))
+		w.Header().Set("ETag", obj.etag)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if r.Method == http.MethodHead {
+			w.Header().Set("Content-Length", fmt.Sprint(len(obj.data)))
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		_, _ = w.Write(obj.data)
+
+	case http.MethodDelete:
+		time.Sleep(s.model.delay(0))
+		s.mu.Lock()
+		_, found := s.buckets[bucket][key]
+		if found {
+			delete(s.buckets[bucket], key)
+		}
+		s.mu.Unlock()
+		if !found {
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleBucket(w http.ResponseWriter, r *http.Request, bucket string) {
+	switch r.Method {
+	case http.MethodGet: // list keys, optionally filtered by ?prefix=
+		time.Sleep(s.model.delay(0))
+		prefix := r.URL.Query().Get("prefix")
+		s.mu.RLock()
+		keys := make([]string, 0, len(s.buckets[bucket]))
+		for k := range s.buckets[bucket] {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		s.mu.RUnlock()
+		sort.Strings(keys)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(keys)
+
+	case http.MethodDelete: // clear bucket
+		time.Sleep(s.model.delay(0))
+		s.mu.Lock()
+		delete(s.buckets, bucket)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}

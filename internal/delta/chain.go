@@ -1,0 +1,224 @@
+package delta
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"edsc/kv"
+)
+
+// Chain manages delta-encoded objects on a server with no delta support,
+// exactly as §IV prescribes: the client stores each update as a delta under
+// a derived name; after maxDeltas updates (or whenever a delta would not be
+// smaller than the full object) it consolidates by writing a complete object
+// and deleting the accumulated deltas. Reading fetches the base object plus
+// all deltas and decodes locally.
+//
+// Chain keeps a shadow copy of the last known full value per key so that
+// encoding an update does not require a read round trip. A fresh client (no
+// shadow) reconstructs once from the store.
+type Chain struct {
+	store     kv.Store
+	enc       *Encoder
+	maxDeltas int
+
+	mu     sync.Mutex
+	shadow map[string][]byte
+
+	// cumulative accounting for instrumentation
+	bytesSent int64
+	bytesFull int64
+}
+
+// NewChain wraps store with client-managed delta encoding. maxDeltas bounds
+// the chain length before consolidation (values < 1 become 4).
+func NewChain(store kv.Store, enc *Encoder, maxDeltas int) *Chain {
+	if enc == nil {
+		enc = NewEncoder(DefaultWindowSize)
+	}
+	if maxDeltas < 1 {
+		maxDeltas = 4
+	}
+	return &Chain{store: store, enc: enc, maxDeltas: maxDeltas, shadow: make(map[string][]byte)}
+}
+
+// Derived key layout. The suffixes cannot collide with user keys that pass
+// through Chain, since Chain owns the namespace under each logical key.
+func baseKey(key string) string         { return key + "\x00base" }
+func metaKey(key string) string         { return key + "\x00meta" }
+func deltaKey(key string, i int) string { return fmt.Sprintf("%s\x00d%d", key, i) }
+
+func encodeMeta(count int) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(count))
+	return b[:n]
+}
+
+func decodeMeta(b []byte) (int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("delta: corrupt chain metadata")
+	}
+	return int(v), nil
+}
+
+// Put stores value under key, sending a delta when one is smaller than the
+// full object. It returns the number of payload bytes actually sent to the
+// store for this update.
+func (c *Chain) Put(ctx context.Context, key string, value []byte) (sent int, err error) {
+	if err := kv.CheckKey(key); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	prev, ok := c.shadow[key]
+	if !ok {
+		// Fresh client: try to reconstruct the current value.
+		prev, err = c.getLocked(ctx, key)
+		if err != nil && !kv.IsNotFound(err) {
+			return 0, err
+		}
+		ok = err == nil
+	}
+
+	count := 0
+	if ok {
+		if meta, err := c.store.Get(ctx, metaKey(key)); err == nil {
+			if count, err = decodeMeta(meta); err != nil {
+				return 0, err
+			}
+		}
+		d := c.enc.Encode(prev, value)
+		if len(d) < len(value) && count < c.maxDeltas {
+			// Send the delta.
+			if err := c.store.Put(ctx, deltaKey(key, count+1), d); err != nil {
+				return 0, err
+			}
+			if err := c.store.Put(ctx, metaKey(key), encodeMeta(count+1)); err != nil {
+				return 0, err
+			}
+			c.shadow[key] = append([]byte(nil), value...)
+			c.bytesSent += int64(len(d))
+			c.bytesFull += int64(len(value))
+			return len(d), nil
+		}
+	}
+
+	// Consolidate: write the complete object, then delete old deltas (§IV:
+	// "the client will send a complete object to the server after which the
+	// previous deltas can be deleted").
+	if err := c.store.Put(ctx, baseKey(key), value); err != nil {
+		return 0, err
+	}
+	if err := c.store.Put(ctx, metaKey(key), encodeMeta(0)); err != nil {
+		return 0, err
+	}
+	for i := 1; i <= count; i++ {
+		if err := c.store.Delete(ctx, deltaKey(key, i)); err != nil && !kv.IsNotFound(err) {
+			return 0, err
+		}
+	}
+	c.shadow[key] = append([]byte(nil), value...)
+	c.bytesSent += int64(len(value))
+	c.bytesFull += int64(len(value))
+	return len(value), nil
+}
+
+// Get reconstructs the current value of key from its base object and deltas.
+func (c *Chain) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := kv.CheckKey(key); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.getLocked(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	c.shadow[key] = append([]byte(nil), v...)
+	return append([]byte(nil), v...), nil
+}
+
+func (c *Chain) getLocked(ctx context.Context, key string) ([]byte, error) {
+	base, err := c.store.Get(ctx, baseKey(key))
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	if meta, err := c.store.Get(ctx, metaKey(key)); err == nil {
+		if count, err = decodeMeta(meta); err != nil {
+			return nil, err
+		}
+	} else if !kv.IsNotFound(err) {
+		return nil, err
+	}
+	cur := base
+	for i := 1; i <= count; i++ {
+		d, err := c.store.Get(ctx, deltaKey(key, i))
+		if err != nil {
+			return nil, fmt.Errorf("delta: chain for %q broken at delta %d: %w", key, i, err)
+		}
+		cur, err = Apply(cur, d)
+		if err != nil {
+			return nil, fmt.Errorf("delta: applying delta %d for %q: %w", i, key, err)
+		}
+	}
+	return cur, nil
+}
+
+// Delete removes key, its metadata, and any deltas.
+func (c *Chain) Delete(ctx context.Context, key string) error {
+	if err := kv.CheckKey(key); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.shadow, key)
+
+	count := 0
+	if meta, err := c.store.Get(ctx, metaKey(key)); err == nil {
+		count, _ = decodeMeta(meta)
+	}
+	if err := c.store.Delete(ctx, baseKey(key)); err != nil {
+		return err
+	}
+	_ = c.store.Delete(ctx, metaKey(key))
+	for i := 1; i <= count; i++ {
+		_ = c.store.Delete(ctx, deltaKey(key, i))
+	}
+	return nil
+}
+
+// Contains reports whether key has a base object in the store.
+func (c *Chain) Contains(ctx context.Context, key string) (bool, error) {
+	if err := kv.CheckKey(key); err != nil {
+		return false, err
+	}
+	return c.store.Contains(ctx, baseKey(key))
+}
+
+// ChainStats reports cumulative transfer accounting.
+type ChainStats struct {
+	// BytesSent is the payload actually written to the store.
+	BytesSent int64
+	// BytesFull is what would have been written without delta encoding.
+	BytesFull int64
+}
+
+// SavingsRatio is 1 - sent/full (0 when nothing was written).
+func (s ChainStats) SavingsRatio() float64 {
+	if s.BytesFull == 0 {
+		return 0
+	}
+	return 1 - float64(s.BytesSent)/float64(s.BytesFull)
+}
+
+// Stats returns cumulative transfer accounting for this Chain.
+func (c *Chain) Stats() ChainStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChainStats{BytesSent: c.bytesSent, BytesFull: c.bytesFull}
+}

@@ -1,0 +1,229 @@
+package delta
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"edsc/kv"
+)
+
+func TestChainPutGet(t *testing.T) {
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	c := NewChain(store, nil, 4)
+
+	v1 := bytes.Repeat([]byte("version one of the document. "), 100)
+	sent, err := c.Put(ctx, "doc", v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != len(v1) {
+		t.Fatalf("first Put sent %d bytes, want full %d", sent, len(v1))
+	}
+	got, err := c.Get(ctx, "doc")
+	if err != nil || !bytes.Equal(got, v1) {
+		t.Fatalf("Get after first Put: %v", err)
+	}
+}
+
+func TestChainDeltaUpdatesSendLess(t *testing.T) {
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	c := NewChain(store, NewEncoder(8), 8)
+
+	v := bytes.Repeat([]byte("stable stable stable stable "), 200)
+	if _, err := c.Put(ctx, "doc", v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		v = append([]byte(nil), v...)
+		v[100*(i+1)] ^= 0xFF // small change
+		sent, err := c.Put(ctx, "doc", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent >= len(v)/4 {
+			t.Fatalf("update %d sent %d bytes, expected a small delta (< %d)", i, sent, len(v)/4)
+		}
+		got, err := c.Get(ctx, "doc")
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("Get after update %d mismatch: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.SavingsRatio() < 0.5 {
+		t.Fatalf("savings ratio = %v, want > 0.5 (%+v)", st.SavingsRatio(), st)
+	}
+}
+
+func TestChainConsolidatesAfterMaxDeltas(t *testing.T) {
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	c := NewChain(store, NewEncoder(8), 2)
+
+	v := bytes.Repeat([]byte("abcdefgh"), 500)
+	if _, err := c.Put(ctx, "k", v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v = append([]byte(nil), v...)
+		v[i*10] ^= 1
+		if _, err := c.Put(ctx, "k", v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Get(ctx, "k")
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("Get after update %d: %v", i, err)
+		}
+	}
+	// With maxDeltas=2 the chain must never hold more than 2 deltas.
+	keys, _ := store.Keys(ctx)
+	deltas := 0
+	for _, k := range keys {
+		if strings.Contains(k, "\x00d") {
+			deltas++
+		}
+	}
+	if deltas > 2 {
+		t.Fatalf("%d delta keys present, want <= 2 (consolidation failed)", deltas)
+	}
+}
+
+func TestChainIncompressibleUpdateSendsFull(t *testing.T) {
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	c := NewChain(store, NewEncoder(8), 8)
+
+	v1 := bytes.Repeat([]byte{1}, 1000)
+	if _, err := c.Put(ctx, "k", v1); err != nil {
+		t.Fatal(err)
+	}
+	// A completely different value: the delta would be ~ full size, so the
+	// chain should consolidate instead.
+	v2 := bytes.Repeat([]byte{2}, 1000)
+	for i := range v2 {
+		v2[i] = byte(i * 7)
+	}
+	sent, err := c.Put(ctx, "k", v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != len(v2) {
+		t.Fatalf("sent %d, want full %d for unrelated value", sent, len(v2))
+	}
+	got, err := c.Get(ctx, "k")
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatal("Get mismatch after consolidation")
+	}
+}
+
+func TestChainFreshClientReconstructs(t *testing.T) {
+	// A second Chain (no shadow state) over the same store must read the
+	// base + deltas correctly and keep writing deltas.
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	a := NewChain(store, NewEncoder(8), 8)
+
+	v := bytes.Repeat([]byte("shared document state "), 100)
+	if _, err := a.Put(ctx, "doc", v); err != nil {
+		t.Fatal(err)
+	}
+	v2 := append([]byte(nil), v...)
+	v2[50] ^= 0xFF
+	if _, err := a.Put(ctx, "doc", v2); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewChain(store, NewEncoder(8), 8)
+	got, err := b.Get(ctx, "doc")
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("fresh client Get: %v", err)
+	}
+	v3 := append([]byte(nil), v2...)
+	v3[60] ^= 0xFF
+	sent, err := b.Put(ctx, "doc", v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent >= len(v3)/4 {
+		t.Fatalf("fresh client sent %d bytes, expected small delta", sent)
+	}
+	// And the first client still reads the latest state.
+	got, err = a.Get(ctx, "doc")
+	if err != nil || !bytes.Equal(got, v3) {
+		t.Fatal("original client lost updates")
+	}
+}
+
+func TestChainDelete(t *testing.T) {
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	c := NewChain(store, NewEncoder(8), 8)
+	v := bytes.Repeat([]byte("x"), 500)
+	if _, err := c.Put(ctx, "k", v); err != nil {
+		t.Fatal(err)
+	}
+	v2 := append([]byte(nil), v...)
+	v2 = append(v2, 'y')
+	if _, err := c.Put(ctx, "k", v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "k"); !kv.IsNotFound(err) {
+		t.Fatalf("Get after Delete err = %v", err)
+	}
+	if n, _ := store.Len(ctx); n != 0 {
+		keys, _ := store.Keys(ctx)
+		t.Fatalf("store not empty after Delete: %q", keys)
+	}
+	ok, err := c.Contains(ctx, "k")
+	if err != nil || ok {
+		t.Fatalf("Contains after Delete = %v, %v", ok, err)
+	}
+}
+
+func TestChainGetMissing(t *testing.T) {
+	c := NewChain(kv.NewMem("m"), nil, 4)
+	if _, err := c.Get(context.Background(), "ghost"); !kv.IsNotFound(err) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestChainEmptyKey(t *testing.T) {
+	c := NewChain(kv.NewMem("m"), nil, 4)
+	ctx := context.Background()
+	if _, err := c.Put(ctx, "", []byte("v")); err == nil {
+		t.Fatal("Put empty key succeeded")
+	}
+	if _, err := c.Get(ctx, ""); err == nil {
+		t.Fatal("Get empty key succeeded")
+	}
+}
+
+func TestChainManySmallUpdates(t *testing.T) {
+	ctx := context.Background()
+	store := kv.NewMem("m")
+	c := NewChain(store, NewEncoder(8), 4)
+	v := bytes.Repeat([]byte("document body with plenty of stable content. "), 50)
+	if _, err := c.Put(ctx, "doc", v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v = append([]byte(nil), v...)
+		v[i*37%len(v)] = byte(i)
+		if _, err := c.Put(ctx, "doc", v); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	got, err := c.Get(ctx, "doc")
+	if err != nil || !bytes.Equal(got, v) {
+		t.Fatal("final Get mismatch after 20 updates")
+	}
+	if st := c.Stats(); st.SavingsRatio() <= 0 {
+		t.Fatalf("no savings across 20 small updates: %+v", st)
+	}
+}

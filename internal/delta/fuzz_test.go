@@ -1,0 +1,39 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzApply feeds arbitrary bytes as deltas: Apply must never panic and
+// never succeed on data that was not produced by Encode for this base.
+func FuzzApply(f *testing.F) {
+	base := []byte("the quick brown fox jumps over the lazy dog")
+	enc := NewEncoder(5)
+	f.Add(enc.Encode(base, []byte("the quick brown cat jumps over the lazy dog")))
+	f.Add(enc.Encode(base, base))
+	f.Add([]byte("Dv1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, delta []byte) {
+		_, _ = Apply(base, delta) // must not panic or read out of bounds
+	})
+}
+
+// FuzzEncodeApply: for arbitrary old/new pairs, Encode then Apply
+// reconstructs new exactly.
+func FuzzEncodeApply(f *testing.F) {
+	f.Add([]byte("aaaa"), []byte("aaba"))
+	f.Add([]byte{}, []byte("fresh"))
+	f.Add([]byte("repeat repeat repeat"), []byte("repeat repeat repeat repeat"))
+	enc := NewEncoder(4)
+	f.Fuzz(func(t *testing.T, old, new []byte) {
+		d := enc.Encode(old, new)
+		got, err := Apply(old, d)
+		if err != nil {
+			t.Fatalf("Apply of fresh delta failed: %v", err)
+		}
+		if !bytes.Equal(got, new) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(new))
+		}
+	})
+}

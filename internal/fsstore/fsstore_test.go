@@ -1,0 +1,137 @@
+package fsstore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"edsc/kv"
+	"edsc/kv/kvtest"
+)
+
+func TestConformance(t *testing.T) {
+	kvtest.Run(t, func(t *testing.T) (kv.Store, func()) {
+		s, err := Open("fs", t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, nil
+	}, kvtest.Options{})
+}
+
+func TestKeyEncodingRoundTrip(t *testing.T) {
+	prop := func(key string) bool {
+		if key == "" {
+			return true
+		}
+		enc := encodeKey(key)
+		// Encoded names must be path-safe.
+		if filepath.Base(enc) != enc {
+			return false
+		}
+		dec, err := decodeKey(enc)
+		return err == nil && dec == key
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyEncodingInjective(t *testing.T) {
+	// Pairs that naive escaping schemes collide on.
+	pairs := [][2]string{
+		{"a/b", "a%2fb"},
+		{"a.b", "a%2eb"},
+		{"x", "X"}, // case must be preserved, not folded
+		{"a b", "a+b"},
+	}
+	for _, p := range pairs {
+		if encodeKey(p[0]) == encodeKey(p[1]) {
+			t.Errorf("encodeKey collision: %q and %q", p[0], p[1])
+		}
+	}
+}
+
+func TestDecodeKeyRejectsBadEscapes(t *testing.T) {
+	for _, bad := range []string{"%", "%2", "%zz"} {
+		if _, err := decodeKey(bad); err == nil {
+			t.Errorf("decodeKey(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1, err := Open("fs", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(ctx, "durable", []byte("bytes on disk")); err != nil {
+		t.Fatal(err)
+	}
+	_ = s1.Close()
+
+	s2, err := Open("fs", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, err := s2.Get(ctx, "durable")
+	if err != nil || string(v) != "bytes on disk" {
+		t.Fatalf("reopen lost data: %q, %v", v, err)
+	}
+}
+
+func TestTempFilesNotListedAsKeys(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, err := Open("fs", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(ctx, "real", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed write leaving a temp file behind.
+	shard := filepath.Dir(s.path("real"))
+	if err := os.WriteFile(filepath.Join(shard, ".put-123456"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys(ctx)
+	if err != nil || len(keys) != 1 || keys[0] != "real" {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+}
+
+func TestShardSpread(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, err := Open("fs", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		if err := s.Put(ctx, string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shards, _ := os.ReadDir(dir)
+	if len(shards) < 10 {
+		t.Fatalf("only %d shard dirs for 200 keys — hash not spreading", len(shards))
+	}
+}
+
+func TestOpenOnFile(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open("fs", f); err == nil {
+		t.Fatal("Open on a regular file succeeded")
+	}
+}

@@ -1,0 +1,449 @@
+package miniredis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"edsc/internal/resp"
+)
+
+// Client is a pooled miniredis client (the Jedis analogue). Connections are
+// created on demand up to no fixed bound and recycled through an idle pool;
+// each request is a pipelined-capable RESP exchange on a dedicated
+// connection, so the client is safe for concurrent use.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	idle    []*clientConn
+	maxIdle int
+	closed  bool
+}
+
+type clientConn struct {
+	c net.Conn
+	r *resp.Reader
+	w *resp.Writer
+}
+
+// ErrClientClosed reports use of a Client after Close.
+var ErrClientClosed = errors.New("miniredis: client is closed")
+
+// ServerError is an error reply from the server ("-ERR ...").
+type ServerError string
+
+func (e ServerError) Error() string { return "miniredis: " + string(e) }
+
+// NewClient returns a client for the server at addr ("host:port").
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 5 * time.Second, maxIdle: 8}
+}
+
+// getConn returns a connection and whether it came from the idle pool
+// (pooled connections may have been closed by the server, so callers retry
+// once on a fresh dial when a pooled connection turns out dead).
+func (c *Client) getConn() (*clientConn, bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, true, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("miniredis: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{c: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, false, nil
+}
+
+func (c *Client) putConn(cc *clientConn, broken bool) {
+	if broken {
+		_ = cc.c.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.maxIdle {
+		c.mu.Unlock()
+		_ = cc.c.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+}
+
+// Close releases all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, cc := range c.idle {
+		_ = cc.c.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// Do executes one command and returns the raw reply. Server error replies
+// are returned as ServerError.
+func (c *Client) Do(ctx context.Context, args ...[]byte) (resp.Value, error) {
+	replies, err := c.DoPipeline(ctx, [][][]byte{args})
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return replies[0], nil
+}
+
+// DoPipeline sends several commands on one connection before reading any
+// reply, saving round trips (the optimization BenchmarkAblationPipeline
+// measures). Server error replies appear in the result slice, not as err.
+func (c *Client) DoPipeline(ctx context.Context, cmds [][][]byte) ([]resp.Value, error) {
+	if len(cmds) == 0 {
+		return nil, nil
+	}
+	out, retry, err := c.doPipelineOnce(ctx, cmds)
+	if err != nil && retry {
+		// The pooled connection had been closed by the server; since no
+		// reply was received, the exchange is safe to retry on a fresh
+		// connection.
+		out, _, err = c.doPipelineOnce(ctx, cmds)
+	}
+	return out, err
+}
+
+// doPipelineOnce runs one exchange. retry reports that the failure happened
+// on a pooled connection before any reply arrived.
+func (c *Client) doPipelineOnce(ctx context.Context, cmds [][][]byte) (_ []resp.Value, retry bool, _ error) {
+	cc, pooled, err := c.getConn()
+	if err != nil {
+		return nil, false, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = cc.c.SetDeadline(dl)
+	} else {
+		_ = cc.c.SetDeadline(time.Time{})
+	}
+	for _, cmd := range cmds {
+		vs := make([]resp.Value, len(cmd))
+		for i, a := range cmd {
+			vs[i] = resp.Bulk(a)
+		}
+		if err := cc.w.Write(resp.ArrayOf(vs...)); err != nil {
+			c.putConn(cc, true)
+			return nil, pooled, fmt.Errorf("miniredis: write: %w", err)
+		}
+	}
+	if err := cc.w.Flush(); err != nil {
+		c.putConn(cc, true)
+		return nil, pooled, fmt.Errorf("miniredis: flush: %w", err)
+	}
+	out := make([]resp.Value, len(cmds))
+	for i := range cmds {
+		v, err := cc.r.Read()
+		if err != nil {
+			c.putConn(cc, true)
+			return nil, pooled && i == 0, fmt.Errorf("miniredis: read reply: %w", err)
+		}
+		out[i] = v
+	}
+	c.putConn(cc, false)
+	return out, false, nil
+}
+
+// doStr is Do with string arguments.
+func (c *Client) doStr(ctx context.Context, args ...string) (resp.Value, error) {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Do(ctx, bs...)
+}
+
+// asErr converts an error reply into a Go error.
+func asErr(v resp.Value) error {
+	if v.IsError() {
+		return ServerError(v.Str)
+	}
+	return nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping(ctx context.Context) error {
+	v, err := c.doStr(ctx, "PING")
+	if err != nil {
+		return err
+	}
+	if err := asErr(v); err != nil {
+		return err
+	}
+	if v.Str != "PONG" {
+		return fmt.Errorf("miniredis: unexpected PING reply %q", v.Text())
+	}
+	return nil
+}
+
+// Get fetches key; found reports presence.
+func (c *Client) Get(ctx context.Context, key string) (val []byte, found bool, err error) {
+	v, err := c.Do(ctx, []byte("GET"), []byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := asErr(v); err != nil {
+		return nil, false, err
+	}
+	if v.Null {
+		return nil, false, nil
+	}
+	return v.Bulk, true, nil
+}
+
+// Set stores value with an optional ttl (0 = none).
+func (c *Client) Set(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	args := [][]byte{[]byte("SET"), []byte(key), value}
+	if ttl > 0 {
+		ms := ttl.Milliseconds()
+		if ms <= 0 {
+			ms = 1
+		}
+		args = append(args, []byte("PX"), []byte(fmt.Sprint(ms)))
+	}
+	v, err := c.Do(ctx, args...)
+	if err != nil {
+		return err
+	}
+	return asErr(v)
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(ctx context.Context, keys ...string) (int, error) {
+	args := make([]string, 0, len(keys)+1)
+	args = append(args, "DEL")
+	args = append(args, keys...)
+	v, err := c.doStr(ctx, args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := asErr(v); err != nil {
+		return 0, err
+	}
+	return int(v.Int), nil
+}
+
+// Exists reports whether key is present.
+func (c *Client) Exists(ctx context.Context, key string) (bool, error) {
+	v, err := c.doStr(ctx, "EXISTS", key)
+	if err != nil {
+		return false, err
+	}
+	if err := asErr(v); err != nil {
+		return false, err
+	}
+	return v.Int > 0, nil
+}
+
+// Keys lists keys matching pattern ("*" for all).
+func (c *Client) Keys(ctx context.Context, pattern string) ([]string, error) {
+	v, err := c.doStr(ctx, "KEYS", pattern)
+	if err != nil {
+		return nil, err
+	}
+	if err := asErr(v); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(v.Array))
+	for i, e := range v.Array {
+		out[i] = string(e.Bulk)
+	}
+	return out, nil
+}
+
+// DBSize returns the number of live keys.
+func (c *Client) DBSize(ctx context.Context) (int, error) {
+	v, err := c.doStr(ctx, "DBSIZE")
+	if err != nil {
+		return 0, err
+	}
+	if err := asErr(v); err != nil {
+		return 0, err
+	}
+	return int(v.Int), nil
+}
+
+// FlushAll removes every key.
+func (c *Client) FlushAll(ctx context.Context) error {
+	v, err := c.doStr(ctx, "FLUSHALL")
+	if err != nil {
+		return err
+	}
+	return asErr(v)
+}
+
+// TTL returns the remaining time-to-live: >0 remaining, -1 no expiry,
+// -2 missing key.
+func (c *Client) TTL(ctx context.Context, key string) (time.Duration, error) {
+	v, err := c.doStr(ctx, "PTTL", key)
+	if err != nil {
+		return 0, err
+	}
+	if err := asErr(v); err != nil {
+		return 0, err
+	}
+	if v.Int < 0 {
+		return time.Duration(v.Int), nil
+	}
+	return time.Duration(v.Int) * time.Millisecond, nil
+}
+
+// Expire sets a ttl on key, reporting whether the key exists.
+func (c *Client) Expire(ctx context.Context, key string, ttl time.Duration) (bool, error) {
+	v, err := c.doStr(ctx, "PEXPIRE", key, fmt.Sprint(ttl.Milliseconds()))
+	if err != nil {
+		return false, err
+	}
+	if err := asErr(v); err != nil {
+		return false, err
+	}
+	return v.Int == 1, nil
+}
+
+// Incr atomically increments key by delta and returns the new value.
+func (c *Client) Incr(ctx context.Context, key string, delta int64) (int64, error) {
+	v, err := c.doStr(ctx, "INCRBY", key, fmt.Sprint(delta))
+	if err != nil {
+		return 0, err
+	}
+	if err := asErr(v); err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// Save asks the server to write its snapshot file.
+func (c *Client) Save(ctx context.Context) error {
+	v, err := c.doStr(ctx, "SAVE")
+	if err != nil {
+		return err
+	}
+	return asErr(v)
+}
+
+// HSet stores field=value in the hash at key, reporting whether the field
+// was new.
+func (c *Client) HSet(ctx context.Context, key, field string, value []byte) (bool, error) {
+	v, err := c.Do(ctx, []byte("HSET"), []byte(key), []byte(field), value)
+	if err != nil {
+		return false, err
+	}
+	if err := asErr(v); err != nil {
+		return false, err
+	}
+	return v.Int == 1, nil
+}
+
+// HGet fetches one hash field.
+func (c *Client) HGet(ctx context.Context, key, field string) ([]byte, bool, error) {
+	v, err := c.doStr(ctx, "HGET", key, field)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := asErr(v); err != nil {
+		return nil, false, err
+	}
+	if v.Null {
+		return nil, false, nil
+	}
+	return v.Bulk, true, nil
+}
+
+// HDel removes hash fields, returning how many existed.
+func (c *Client) HDel(ctx context.Context, key string, fields ...string) (int, error) {
+	args := append([]string{"HDEL", key}, fields...)
+	v, err := c.doStr(ctx, args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := asErr(v); err != nil {
+		return 0, err
+	}
+	return int(v.Int), nil
+}
+
+// HGetAll returns every field of the hash at key.
+func (c *Client) HGetAll(ctx context.Context, key string) (map[string][]byte, error) {
+	v, err := c.doStr(ctx, "HGETALL", key)
+	if err != nil {
+		return nil, err
+	}
+	if err := asErr(v); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(v.Array)/2)
+	for i := 0; i+1 < len(v.Array); i += 2 {
+		out[string(v.Array[i].Bulk)] = v.Array[i+1].Bulk
+	}
+	return out, nil
+}
+
+// HLen counts the fields of the hash at key.
+func (c *Client) HLen(ctx context.Context, key string) (int, error) {
+	v, err := c.doStr(ctx, "HLEN", key)
+	if err != nil {
+		return 0, err
+	}
+	if err := asErr(v); err != nil {
+		return 0, err
+	}
+	return int(v.Int), nil
+}
+
+// GetDel atomically fetches and removes key.
+func (c *Client) GetDel(ctx context.Context, key string) ([]byte, bool, error) {
+	v, err := c.doStr(ctx, "GETDEL", key)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := asErr(v); err != nil {
+		return nil, false, err
+	}
+	if v.Null {
+		return nil, false, nil
+	}
+	return v.Bulk, true, nil
+}
+
+// Scan iterates the key space one page at a time: pass cursor 0 to start,
+// then the returned cursor until it is 0 again.
+func (c *Client) Scan(ctx context.Context, cursor int, pattern string, count int) (keys []string, next int, err error) {
+	v, err := c.doStr(ctx, "SCAN", fmt.Sprint(cursor), "MATCH", pattern, "COUNT", fmt.Sprint(count))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := asErr(v); err != nil {
+		return nil, 0, err
+	}
+	if len(v.Array) != 2 {
+		return nil, 0, fmt.Errorf("miniredis: malformed SCAN reply")
+	}
+	next, err = strconv.Atoi(string(v.Array[0].Bulk))
+	if err != nil {
+		return nil, 0, fmt.Errorf("miniredis: malformed SCAN cursor: %w", err)
+	}
+	for _, k := range v.Array[1].Array {
+		keys = append(keys, string(k.Bulk))
+	}
+	return keys, next, nil
+}

@@ -1,0 +1,180 @@
+package miniredis
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// raw issues a command and returns (text, isError).
+func raw(t *testing.T, c *Client, args ...string) (string, bool) {
+	t.Helper()
+	v, err := c.doStr(context.Background(), args...)
+	if err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return v.Text(), v.IsError()
+}
+
+func TestEchoQuitSelect(t *testing.T) {
+	_, c := startPair(t)
+	if got, _ := raw(t, c, "ECHO", "hello"); got != "hello" {
+		t.Fatalf("ECHO = %q", got)
+	}
+	if got, _ := raw(t, c, "PING", "custom"); got != "custom" {
+		t.Fatalf("PING msg = %q", got)
+	}
+	if got, _ := raw(t, c, "SELECT", "0"); got != "OK" {
+		t.Fatalf("SELECT = %q", got)
+	}
+	// QUIT closes the connection after replying OK.
+	if got, _ := raw(t, c, "QUIT"); got != "OK" {
+		t.Fatalf("QUIT = %q", got)
+	}
+	// The client transparently dials a new connection afterwards.
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetExPSetEx(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	if got, _ := raw(t, c, "PSETEX", "k", "30", "v"); got != "OK" {
+		t.Fatalf("PSETEX = %q", got)
+	}
+	if _, found, _ := c.Get(ctx, "k"); !found {
+		t.Fatal("PSETEX value missing")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, found, _ := c.Get(ctx, "k"); found {
+		t.Fatal("PSETEX value survived expiry")
+	}
+	if got, _ := raw(t, c, "SETEX", "k2", "100", "v"); got != "OK" {
+		t.Fatalf("SETEX = %q", got)
+	}
+	if d, _ := c.TTL(ctx, "k2"); d <= 0 {
+		t.Fatalf("SETEX TTL = %v", d)
+	}
+	if _, isErr := raw(t, c, "SETEX", "k3", "0", "v"); !isErr {
+		t.Fatal("SETEX with zero expiry accepted")
+	}
+	if _, isErr := raw(t, c, "SETEX", "k3", "abc", "v"); !isErr {
+		t.Fatal("SETEX with bad expiry accepted")
+	}
+}
+
+func TestSetNXCommand(t *testing.T) {
+	_, c := startPair(t)
+	if got, _ := raw(t, c, "SETNX", "n", "first"); got != "1" {
+		t.Fatalf("SETNX = %q", got)
+	}
+	if got, _ := raw(t, c, "SETNX", "n", "second"); got != "0" {
+		t.Fatalf("second SETNX = %q", got)
+	}
+}
+
+func TestGetSet(t *testing.T) {
+	_, c := startPair(t)
+	v, err := c.doStr(context.Background(), "GETSET", "g", "new")
+	if err != nil || !v.Null {
+		t.Fatalf("GETSET on fresh key = %+v, %v (want nil)", v, err)
+	}
+	if got, _ := raw(t, c, "GETSET", "g", "newer"); got != "new" {
+		t.Fatalf("GETSET = %q", got)
+	}
+}
+
+func TestPersistCommand(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	_ = c.Set(ctx, "p", []byte("v"), time.Hour)
+	if got, _ := raw(t, c, "PERSIST", "p"); got != "1" {
+		t.Fatalf("PERSIST = %q", got)
+	}
+	if d, _ := c.TTL(ctx, "p"); d != -1 {
+		t.Fatalf("TTL after PERSIST = %v", d)
+	}
+	if got, _ := raw(t, c, "PERSIST", "p"); got != "0" {
+		t.Fatalf("PERSIST without ttl = %q", got)
+	}
+	if got, _ := raw(t, c, "PERSIST", "ghost"); got != "0" {
+		t.Fatalf("PERSIST missing = %q", got)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	_, c := startPair(t)
+	_ = c.Set(context.Background(), "k", []byte("v"), 0)
+	got, _ := raw(t, c, "INFO")
+	if !strings.Contains(got, "role:master") || !strings.Contains(got, "keys=1") {
+		t.Fatalf("INFO = %q", got)
+	}
+}
+
+func TestSetWithExpiryFlags(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	if got, _ := raw(t, c, "SET", "e", "v", "EX", "100"); got != "OK" {
+		t.Fatalf("SET EX = %q", got)
+	}
+	if d, _ := c.TTL(ctx, "e"); d <= 0 {
+		t.Fatalf("TTL = %v", d)
+	}
+	for _, bad := range [][]string{
+		{"SET", "x", "v", "EX"},
+		{"SET", "x", "v", "EX", "-1"},
+		{"SET", "x", "v", "WIBBLE"},
+		{"SET", "x", "v", "NX", "XX"},
+	} {
+		if _, isErr := raw(t, c, bad...); !isErr {
+			t.Fatalf("%v accepted", bad)
+		}
+	}
+}
+
+func TestBGSave(t *testing.T) {
+	s := startServer(t, ServerConfig{SnapshotPath: t.TempDir() + "/d.mrdb"})
+	c := NewClient(s.Addr())
+	defer c.Close()
+	if got, _ := raw(t, c, "BGSAVE"); !strings.Contains(got, "Background saving") {
+		t.Fatalf("BGSAVE = %q", got)
+	}
+}
+
+func TestDecrFamily(t *testing.T) {
+	_, c := startPair(t)
+	if got, _ := raw(t, c, "DECR", "d"); got != "-1" {
+		t.Fatalf("DECR = %q", got)
+	}
+	if got, _ := raw(t, c, "DECRBY", "d", "9"); got != "-10" {
+		t.Fatalf("DECRBY = %q", got)
+	}
+	if got, _ := raw(t, c, "INCR", "d"); got != "-9" {
+		t.Fatalf("INCR = %q", got)
+	}
+	if _, isErr := raw(t, c, "INCRBY", "d", "xyz"); !isErr {
+		t.Fatal("INCRBY with bad delta accepted")
+	}
+}
+
+func TestScanSyntaxErrors(t *testing.T) {
+	_, c := startPair(t)
+	for _, bad := range [][]string{
+		{"SCAN"},
+		{"SCAN", "abc"},
+		{"SCAN", "0", "MATCH"},
+		{"SCAN", "0", "COUNT", "0"},
+		{"SCAN", "0", "NOPE", "1"},
+	} {
+		if _, isErr := raw(t, c, bad...); !isErr {
+			t.Fatalf("%v accepted", bad)
+		}
+	}
+	// Cursor past the end terminates cleanly.
+	keys, next, err := c.Scan(context.Background(), 999, "*", 10)
+	if err != nil || next != 0 || len(keys) != 0 {
+		t.Fatalf("Scan past end = %v, %d, %v", keys, next, err)
+	}
+}

@@ -1,0 +1,171 @@
+package miniredis
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestHashSetGet(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	isNew, err := c.HSet(ctx, "user:1", "name", []byte("ada"))
+	if err != nil || !isNew {
+		t.Fatalf("HSet = %v, %v", isNew, err)
+	}
+	isNew, err = c.HSet(ctx, "user:1", "name", []byte("ada lovelace"))
+	if err != nil || isNew {
+		t.Fatalf("overwriting HSet = %v, %v; want isNew=false", isNew, err)
+	}
+	v, ok, err := c.HGet(ctx, "user:1", "name")
+	if err != nil || !ok || string(v) != "ada lovelace" {
+		t.Fatalf("HGet = %q, %v, %v", v, ok, err)
+	}
+	_, ok, err = c.HGet(ctx, "user:1", "missing")
+	if err != nil || ok {
+		t.Fatalf("HGet missing field = %v, %v", ok, err)
+	}
+	_, ok, err = c.HGet(ctx, "nohash", "f")
+	if err != nil || ok {
+		t.Fatalf("HGet missing key = %v, %v", ok, err)
+	}
+}
+
+func TestHashMultiFieldAndLen(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	// Multi-field HSET via raw command.
+	v, err := c.Do(ctx, []byte("HSET"), []byte("h"), []byte("a"), []byte("1"), []byte("b"), []byte("2"))
+	if err != nil || v.Int != 2 {
+		t.Fatalf("multi HSET = %+v, %v", v, err)
+	}
+	n, err := c.HLen(ctx, "h")
+	if err != nil || n != 2 {
+		t.Fatalf("HLen = %d, %v", n, err)
+	}
+	all, err := c.HGetAll(ctx, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"a": []byte("1"), "b": []byte("2")}
+	if !reflect.DeepEqual(all, want) {
+		t.Fatalf("HGetAll = %v", all)
+	}
+}
+
+func TestHashDelete(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	_, _ = c.HSet(ctx, "h", "a", []byte("1"))
+	_, _ = c.HSet(ctx, "h", "b", []byte("2"))
+	n, err := c.HDel(ctx, "h", "a", "ghost")
+	if err != nil || n != 1 {
+		t.Fatalf("HDel = %d, %v", n, err)
+	}
+	// Deleting the last field removes the key entirely.
+	if _, err := c.HDel(ctx, "h", "b"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Exists(ctx, "h")
+	if err != nil || ok {
+		t.Fatalf("empty hash key still exists: %v, %v", ok, err)
+	}
+}
+
+func TestHashWrongType(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	_ = c.Set(ctx, "str", []byte("v"), 0)
+	if _, err := c.HSet(ctx, "str", "f", []byte("x")); err == nil {
+		t.Fatal("HSET on string key succeeded")
+	}
+	_, _ = c.HSet(ctx, "h", "f", []byte("x"))
+	if _, _, err := c.Get(ctx, "h"); err == nil {
+		t.Fatal("GET on hash key succeeded")
+	}
+	v, err := c.doStr(ctx, "TYPE", "h")
+	if err != nil || v.Str != "hash" {
+		t.Fatalf("TYPE = %+v, %v", v, err)
+	}
+}
+
+func TestGetDel(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	_ = c.Set(ctx, "k", []byte("once"), 0)
+	v, ok, err := c.GetDel(ctx, "k")
+	if err != nil || !ok || string(v) != "once" {
+		t.Fatalf("GetDel = %q, %v, %v", v, ok, err)
+	}
+	_, ok, err = c.GetDel(ctx, "k")
+	if err != nil || ok {
+		t.Fatalf("second GetDel = %v, %v", ok, err)
+	}
+}
+
+func TestScanPagination(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	var want []string
+	for i := 0; i < 25; i++ {
+		k := fmt.Sprintf("user:%02d", i)
+		want = append(want, k)
+		_ = c.Set(ctx, k, []byte("x"), 0)
+	}
+	_ = c.Set(ctx, "other", []byte("x"), 0)
+
+	var got []string
+	cursor := 0
+	pages := 0
+	for {
+		keys, next, err := c.Scan(ctx, cursor, "user:*", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, keys...)
+		pages++
+		if next == 0 {
+			break
+		}
+		cursor = next
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Scan got %d keys, want %d", len(got), len(want))
+	}
+	if pages < 4 {
+		t.Fatalf("pages = %d; pagination not exercised", pages)
+	}
+}
+
+func TestHashSnapshotPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.mrdb")
+	ctx := context.Background()
+	s1 := NewServer(ServerConfig{SnapshotPath: path})
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewClient(s1.Addr())
+	_, _ = c1.HSet(ctx, "profile", "name", []byte("ada"))
+	_, _ = c1.HSet(ctx, "profile", "lang", []byte("go"))
+	_ = c1.Set(ctx, "plain", []byte("string value"), 0)
+	_ = c1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := startServer(t, ServerConfig{SnapshotPath: path})
+	c2 := NewClient(s2.Addr())
+	defer c2.Close()
+	all, err := c2.HGetAll(ctx, "profile")
+	if err != nil || string(all["name"]) != "ada" || string(all["lang"]) != "go" {
+		t.Fatalf("hash lost across restart: %v, %v", all, err)
+	}
+	v, found, _ := c2.Get(ctx, "plain")
+	if !found || string(v) != "string value" {
+		t.Fatalf("string lost across restart: %q", v)
+	}
+}

@@ -1,0 +1,403 @@
+package miniredis
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	s := NewServer(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func startPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := startServer(t, ServerConfig{})
+	c := NewClient(s.Addr())
+	t.Cleanup(func() { _ = c.Close() })
+	return s, c
+}
+
+func TestPing(t *testing.T) {
+	_, c := startPair(t)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetDel(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	if err := c.Set(ctx, "k", []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get(ctx, "k")
+	if err != nil || !found || string(v) != "hello" {
+		t.Fatalf("Get = %q, %v, %v", v, found, err)
+	}
+	n, err := c.Del(ctx, "k")
+	if err != nil || n != 1 {
+		t.Fatalf("Del = %d, %v", n, err)
+	}
+	_, found, err = c.Get(ctx, "k")
+	if err != nil || found {
+		t.Fatalf("Get after Del found=%v err=%v", found, err)
+	}
+	n, err = c.Del(ctx, "k")
+	if err != nil || n != 0 {
+		t.Fatalf("Del absent = %d, %v", n, err)
+	}
+}
+
+func TestBinaryValues(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	val := make([]byte, 1024)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	if err := c.Set(ctx, "bin", val, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := c.Get(ctx, "bin")
+	if err != nil || !found || !bytes.Equal(got, val) {
+		t.Fatal("binary value corrupted over the wire")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	if err := c.Set(ctx, "k", []byte("v"), 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := c.Get(ctx, "k"); !found {
+		t.Fatal("key missing before expiry")
+	}
+	d, err := c.TTL(ctx, "k")
+	if err != nil || d <= 0 || d > 30*time.Millisecond {
+		t.Fatalf("TTL = %v, %v", d, err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, found, _ := c.Get(ctx, "k"); found {
+		t.Fatal("key alive after expiry")
+	}
+	if d, _ := c.TTL(ctx, "k"); d != -2 {
+		t.Fatalf("TTL of expired key = %v, want -2", d)
+	}
+}
+
+func TestTTLSentinels(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	_ = c.Set(ctx, "noexp", []byte("v"), 0)
+	if d, _ := c.TTL(ctx, "noexp"); d != -1 {
+		t.Fatalf("TTL(no expiry) = %v, want -1", d)
+	}
+	if d, _ := c.TTL(ctx, "missing"); d != -2 {
+		t.Fatalf("TTL(missing) = %v, want -2", d)
+	}
+}
+
+func TestExpireCommand(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	_ = c.Set(ctx, "k", []byte("v"), 0)
+	ok, err := c.Expire(ctx, "k", 25*time.Millisecond)
+	if err != nil || !ok {
+		t.Fatalf("Expire = %v, %v", ok, err)
+	}
+	ok, err = c.Expire(ctx, "missing", time.Second)
+	if err != nil || ok {
+		t.Fatalf("Expire(missing) = %v, %v", ok, err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if _, found, _ := c.Get(ctx, "k"); found {
+		t.Fatal("key alive after EXPIRE elapsed")
+	}
+}
+
+func TestKeysAndDBSize(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		_ = c.Set(ctx, fmt.Sprintf("user:%d", i), []byte("x"), 0)
+	}
+	_ = c.Set(ctx, "other", []byte("x"), 0)
+	ks, err := c.Keys(ctx, "user:*")
+	if err != nil || len(ks) != 5 {
+		t.Fatalf("Keys(user:*) = %v, %v", ks, err)
+	}
+	n, err := c.DBSize(ctx)
+	if err != nil || n != 6 {
+		t.Fatalf("DBSize = %d, %v", n, err)
+	}
+	if err := c.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.DBSize(ctx); n != 0 {
+		t.Fatalf("DBSize after FLUSHALL = %d", n)
+	}
+}
+
+func TestIncr(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	for want := int64(1); want <= 3; want++ {
+		got, err := c.Incr(ctx, "ctr", 1)
+		if err != nil || got != want {
+			t.Fatalf("Incr = %d, %v; want %d", got, err, want)
+		}
+	}
+	got, err := c.Incr(ctx, "ctr", -3)
+	if err != nil || got != 0 {
+		t.Fatalf("Incr(-3) = %d, %v", got, err)
+	}
+	_ = c.Set(ctx, "str", []byte("not a number"), 0)
+	if _, err := c.Incr(ctx, "str", 1); err == nil {
+		t.Fatal("Incr on non-integer succeeded")
+	}
+}
+
+func TestIncrConcurrentAtomic(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Incr(ctx, "ctr", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := c.Incr(ctx, "ctr", 0)
+	if err != nil || got != 400 {
+		t.Fatalf("counter = %d, %v; want 400", got, err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, c := startPair(t)
+	v, err := c.doStr(context.Background(), "NOSUCHCMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsError() {
+		t.Fatalf("reply = %+v, want error", v)
+	}
+}
+
+func TestWrongArity(t *testing.T) {
+	_, c := startPair(t)
+	v, err := c.doStr(context.Background(), "GET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsError() {
+		t.Fatal("GET with no key did not error")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	var cmds [][][]byte
+	for i := 0; i < 10; i++ {
+		cmds = append(cmds, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("p%d", i)), []byte("v")})
+	}
+	replies, err := c.DoPipeline(ctx, cmds)
+	if err != nil || len(replies) != 10 {
+		t.Fatalf("pipeline: %v", err)
+	}
+	for _, r := range replies {
+		if r.IsError() {
+			t.Fatalf("pipeline reply error: %v", r.Str)
+		}
+	}
+	if n, _ := c.DBSize(ctx); n != 10 {
+		t.Fatalf("DBSize = %d after pipeline", n)
+	}
+}
+
+func TestSnapshotWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.mrdb")
+	ctx := context.Background()
+
+	s1 := NewServer(ServerConfig{SnapshotPath: path})
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewClient(s1.Addr())
+	_ = c1.Set(ctx, "persist-me", []byte("survives restart"), 0)
+	_ = c1.Set(ctx, "short-lived", []byte("x"), 10*time.Millisecond)
+	_ = c1.Close()
+	time.Sleep(20 * time.Millisecond) // let the TTL lapse before shutdown
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := startServer(t, ServerConfig{SnapshotPath: path})
+	c2 := NewClient(s2.Addr())
+	defer c2.Close()
+	v, found, err := c2.Get(ctx, "persist-me")
+	if err != nil || !found || string(v) != "survives restart" {
+		t.Fatalf("warm restart lost data: %q, %v, %v", v, found, err)
+	}
+	if _, found, _ := c2.Get(ctx, "short-lived"); found {
+		t.Fatal("expired key resurrected by snapshot")
+	}
+}
+
+func TestExplicitSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.mrdb")
+	s := startServer(t, ServerConfig{SnapshotPath: path})
+	c := NewClient(s.Addr())
+	defer c.Close()
+	ctx := context.Background()
+	_ = c.Set(ctx, "k", []byte("v"), 0)
+	if err := c.Save(ctx); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readSnapshot(path)
+	if err != nil || len(recs) != 1 || recs[0].Key != "k" {
+		t.Fatalf("snapshot contents: %v, %v", recs, err)
+	}
+}
+
+func TestSaveWithoutSnapshotPath(t *testing.T) {
+	_, c := startPair(t)
+	if err := c.Save(context.Background()); err == nil {
+		t.Fatal("SAVE succeeded without a snapshot path")
+	}
+}
+
+func TestBackgroundSweep(t *testing.T) {
+	s := startServer(t, ServerConfig{SweepInterval: 10 * time.Millisecond})
+	c := NewClient(s.Addr())
+	defer c.Close()
+	ctx := context.Background()
+	_ = c.Set(ctx, "k", []byte("v"), 15*time.Millisecond)
+	time.Sleep(60 * time.Millisecond)
+	// After the sweep the key is physically gone, so DBSIZE drops even
+	// without an access to trigger lazy expiry.
+	s.db.mu.RLock()
+	_, present := s.db.items["k"]
+	s.db.mu.RUnlock()
+	if present {
+		t.Fatal("sweep did not remove the expired entry")
+	}
+}
+
+func TestClientAfterClose(t *testing.T) {
+	_, c := startPair(t)
+	_ = c.Close()
+	if err := c.Ping(context.Background()); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	_, c := startPair(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := c.Set(ctx, "k", []byte("v"), 0); err == nil {
+		t.Fatal("expired deadline did not fail the request")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "anything", true},
+		{"*", "", true},
+		{"user:*", "user:1", true},
+		{"user:*", "users:1", false},
+		{"u?er:1", "user:1", true},
+		{"u?er:1", "uer:1", false},
+		{"*:1", "user:1", true},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXbYY", false},
+		{"exact", "exact", true},
+		{"exact", "exactly", false},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pat, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSetNXAndXX(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	v, err := c.Do(ctx, []byte("SET"), []byte("k"), []byte("v1"), []byte("NX"))
+	if err != nil || v.IsError() || v.Null {
+		t.Fatalf("SET NX on fresh key: %+v, %v", v, err)
+	}
+	v, err = c.Do(ctx, []byte("SET"), []byte("k"), []byte("v2"), []byte("NX"))
+	if err != nil || !v.Null {
+		t.Fatalf("SET NX on existing key: %+v, %v (want nil reply)", v, err)
+	}
+	got, _, _ := c.Get(ctx, "k")
+	if string(got) != "v1" {
+		t.Fatalf("value = %q, want v1", got)
+	}
+	v, err = c.Do(ctx, []byte("SET"), []byte("absent"), []byte("v"), []byte("XX"))
+	if err != nil || !v.Null {
+		t.Fatalf("SET XX on missing key: %+v, %v", v, err)
+	}
+}
+
+func TestMGetMSet(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	v, err := c.Do(ctx, []byte("MSET"), []byte("a"), []byte("1"), []byte("b"), []byte("2"))
+	if err != nil || v.IsError() {
+		t.Fatalf("MSET: %+v, %v", v, err)
+	}
+	v, err = c.Do(ctx, []byte("MGET"), []byte("a"), []byte("missing"), []byte("b"))
+	if err != nil || len(v.Array) != 3 {
+		t.Fatalf("MGET: %+v, %v", v, err)
+	}
+	if string(v.Array[0].Bulk) != "1" || !v.Array[1].Null || string(v.Array[2].Bulk) != "2" {
+		t.Fatalf("MGET values: %+v", v.Array)
+	}
+}
+
+func TestAppendStrlen(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+	v, _ := c.Do(ctx, []byte("APPEND"), []byte("k"), []byte("abc"))
+	if v.Int != 3 {
+		t.Fatalf("APPEND = %d", v.Int)
+	}
+	v, _ = c.Do(ctx, []byte("APPEND"), []byte("k"), []byte("def"))
+	if v.Int != 6 {
+		t.Fatalf("second APPEND = %d", v.Int)
+	}
+	v, _ = c.Do(ctx, []byte("STRLEN"), []byte("k"))
+	if v.Int != 6 {
+		t.Fatalf("STRLEN = %d", v.Int)
+	}
+}

@@ -1,0 +1,194 @@
+package miniredis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot persistence, the analogue of Redis RDB files: the key space is
+// written to disk so a restarted cache starts warm (§III: "when the cache is
+// restarted, it can quickly be brought to a warm state").
+//
+// File layout:
+//
+//	magic "MRDB2" | uvarint(count) | records
+//	record: uvarint(len(key)) key | kind(1) | body | varint(expireAt)
+//	kind 0 (string): body = uvarint(len(val)) val
+//	kind 1 (hash):   body = uvarint(fields) { uvarint(len(f)) f uvarint(len(v)) v }
+
+// ErrNoSnapshot reports that no snapshot file exists yet.
+var ErrNoSnapshot = errors.New("miniredis: no snapshot file")
+
+var snapMagic = []byte("MRDB2")
+
+// record is one persisted entry: a string value or a hash.
+type record struct {
+	Key      string
+	Val      []byte
+	Hash     map[string][]byte
+	ExpireAt int64
+}
+
+// writeSnapshot persists recs atomically (write temp file, rename).
+func writeSnapshot(path string, recs []record) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".miniredis-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+
+	bw := bufio.NewWriter(tmp)
+	if _, err := bw.Write(snapMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(recs))); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := writeUvarint(uint64(len(r.Key))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Key); err != nil {
+			return err
+		}
+		if r.Hash != nil {
+			if err := bw.WriteByte(1); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(len(r.Hash))); err != nil {
+				return err
+			}
+			for f, v := range r.Hash {
+				if err := writeUvarint(uint64(len(f))); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(f); err != nil {
+					return err
+				}
+				if err := writeUvarint(uint64(len(v))); err != nil {
+					return err
+				}
+				if _, err := bw.Write(v); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := bw.WriteByte(0); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(len(r.Val))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(r.Val); err != nil {
+				return err
+			}
+		}
+		if err := writeVarint(r.ExpireAt); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readSnapshot loads a snapshot file written by writeSnapshot.
+func readSnapshot(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoSnapshot
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != string(snapMagic) {
+		return nil, fmt.Errorf("miniredis: %s is not a snapshot file", path)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("miniredis: corrupt snapshot: %w", err)
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	recs := make([]record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		corrupt := func(err error) ([]record, error) {
+			return nil, fmt.Errorf("miniredis: corrupt snapshot record %d: %w", i, err)
+		}
+		key, err := readBytes()
+		if err != nil {
+			return corrupt(err)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return corrupt(err)
+		}
+		r := record{Key: string(key)}
+		switch kind {
+		case 0:
+			if r.Val, err = readBytes(); err != nil {
+				return corrupt(err)
+			}
+		case 1:
+			fields, err := binary.ReadUvarint(br)
+			if err != nil {
+				return corrupt(err)
+			}
+			r.Hash = make(map[string][]byte, fields)
+			for j := uint64(0); j < fields; j++ {
+				f, err := readBytes()
+				if err != nil {
+					return corrupt(err)
+				}
+				v, err := readBytes()
+				if err != nil {
+					return corrupt(err)
+				}
+				r.Hash[string(f)] = v
+			}
+		default:
+			return corrupt(fmt.Errorf("unknown record kind %d", kind))
+		}
+		if r.ExpireAt, err = binary.ReadVarint(br); err != nil {
+			return corrupt(err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}

@@ -1,0 +1,157 @@
+package miniredis
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"edsc/internal/resp"
+)
+
+// doPipelineRaw sends raw commands on one connection in order (MULTI needs
+// connection affinity, which DoPipeline provides).
+func txnExchange(t *testing.T, c *Client, cmds ...[]string) []resp.Value {
+	t.Helper()
+	batch := make([][][]byte, len(cmds))
+	for i, cmd := range cmds {
+		args := make([][]byte, len(cmd))
+		for j, a := range cmd {
+			args[j] = []byte(a)
+		}
+		batch[i] = args
+	}
+	out, err := c.DoPipeline(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMultiExecAppliesAtomically(t *testing.T) {
+	_, c := startPair(t)
+	replies := txnExchange(t, c,
+		[]string{"MULTI"},
+		[]string{"SET", "a", "1"},
+		[]string{"INCRBY", "ctr", "5"},
+		[]string{"EXEC"},
+	)
+	if replies[0].Str != "OK" {
+		t.Fatalf("MULTI = %+v", replies[0])
+	}
+	for _, r := range replies[1:3] {
+		if r.Str != "QUEUED" {
+			t.Fatalf("queued reply = %+v", r)
+		}
+	}
+	exec := replies[3]
+	if exec.Kind != resp.Array || len(exec.Array) != 2 {
+		t.Fatalf("EXEC = %+v", exec)
+	}
+	if exec.Array[0].Str != "OK" || exec.Array[1].Int != 5 {
+		t.Fatalf("EXEC results = %+v", exec.Array)
+	}
+	v, _, _ := c.Get(context.Background(), "a")
+	if string(v) != "1" {
+		t.Fatalf("a = %q", v)
+	}
+}
+
+func TestDiscardDropsQueue(t *testing.T) {
+	_, c := startPair(t)
+	replies := txnExchange(t, c,
+		[]string{"MULTI"},
+		[]string{"SET", "ghost", "v"},
+		[]string{"DISCARD"},
+	)
+	if replies[2].Str != "OK" {
+		t.Fatalf("DISCARD = %+v", replies[2])
+	}
+	if _, found, _ := c.Get(context.Background(), "ghost"); found {
+		t.Fatal("discarded command was applied")
+	}
+}
+
+func TestTxnProtocolErrors(t *testing.T) {
+	_, c := startPair(t)
+	replies := txnExchange(t, c, []string{"EXEC"})
+	if !replies[0].IsError() {
+		t.Fatalf("EXEC without MULTI = %+v", replies[0])
+	}
+	replies = txnExchange(t, c, []string{"DISCARD"})
+	if !replies[0].IsError() {
+		t.Fatalf("DISCARD without MULTI = %+v", replies[0])
+	}
+	replies = txnExchange(t, c,
+		[]string{"MULTI"},
+		[]string{"MULTI"},
+		[]string{"DISCARD"},
+	)
+	if !replies[1].IsError() {
+		t.Fatalf("nested MULTI = %+v", replies[1])
+	}
+}
+
+func TestTxnAtomicAgainstConcurrentWriters(t *testing.T) {
+	_, c := startPair(t)
+	ctx := context.Background()
+
+	// One client runs INCR batches in transactions; others run single
+	// INCRs. The final counter must equal the total number of INCRs —
+	// and each EXEC's two INCRs must be adjacent (their results differ
+	// by exactly 1), proving no interleaving inside a batch.
+	const txns = 30
+	const loners = 60
+	var wg sync.WaitGroup
+	bad := make(chan string, txns)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tc := NewClient(cAddr(c))
+		defer tc.Close()
+		for i := 0; i < txns; i++ {
+			out, err := tc.DoPipeline(ctx, [][][]byte{
+				{[]byte("MULTI")},
+				{[]byte("INCR"), []byte("ctr")},
+				{[]byte("INCR"), []byte("ctr")},
+				{[]byte("EXEC")},
+			})
+			if err != nil {
+				bad <- err.Error()
+				return
+			}
+			res := out[3].Array
+			if len(res) != 2 || res[1].Int != res[0].Int+1 {
+				bad <- fmt.Sprintf("batch interleaved: %v then %v", res[0].Int, res[1].Int)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lc := NewClient(cAddr(c))
+			defer lc.Close()
+			for i := 0; i < loners/3; i++ {
+				if _, err := lc.Incr(ctx, "ctr", 1); err != nil {
+					bad <- err.Error()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Fatal(msg)
+	}
+	total, err := c.Incr(ctx, "ctr", 0)
+	if err != nil || total != txns*2+loners {
+		t.Fatalf("counter = %d, %v; want %d", total, err, txns*2+loners)
+	}
+}
+
+// cAddr recovers the server address from an existing client.
+func cAddr(c *Client) string { return c.addr }

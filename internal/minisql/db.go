@@ -1,0 +1,441 @@
+package minisql
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Options configure Open.
+type Options struct {
+	// CheckpointBytes triggers a checkpoint (snapshot + WAL truncate) when
+	// the WAL grows past this size (default 8 MiB; <0 disables automatic
+	// checkpoints).
+	CheckpointBytes int64
+}
+
+// Database is an embedded SQL database. All methods are safe for concurrent
+// use; statements execute under a single writer lock (reads included — the
+// engine favours simplicity and durability over parallel scans, which is
+// faithful to how the paper's workload drives MySQL: one KV call at a time
+// per request).
+type Database struct {
+	mu     sync.Mutex
+	tables map[string]*table
+	closed bool
+
+	dir        string // "" = in-memory
+	log        *wal
+	checkpoint int64
+
+	// open transaction state (one at a time; Begin blocks others)
+	txMu   sync.Mutex
+	inTx   bool
+	txSQL  []string
+	txUndo []undoRec
+}
+
+// undoRec reverses one applied change on ROLLBACK.
+type undoRec struct {
+	kind    undoKind
+	table   string
+	rowid   int64
+	oldRow  []Value
+	oldTbl  *table // for DROP TABLE
+	idxName string // for index create/drop
+	idxDef  namedIndex
+}
+
+type undoKind int
+
+const (
+	undoInsert    undoKind = iota // delete rowid
+	undoUpdate                    // restore oldRow at rowid
+	undoDelete                    // re-insert oldRow at rowid
+	undoCreate                    // drop table
+	undoDrop                      // restore oldTbl
+	undoCreateIdx                 // drop the created index
+	undoDropIdx                   // rebuild the dropped index
+)
+
+// OpenMemory opens a volatile in-memory database.
+func OpenMemory() *Database {
+	return &Database{tables: make(map[string]*table), checkpoint: 8 << 20}
+}
+
+// Open opens (creating if needed) a durable database in dir. Recovery loads
+// the last checkpoint snapshot and replays the WAL.
+func Open(dir string, opts Options) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("minisql: creating database dir: %w", err)
+	}
+	db := &Database{tables: make(map[string]*table), dir: dir, checkpoint: opts.CheckpointBytes}
+	if db.checkpoint == 0 {
+		db.checkpoint = 8 << 20
+	}
+
+	// Load checkpoint snapshot (a SQL script), then WAL.
+	if snap, err := os.ReadFile(db.snapshotPath()); err == nil {
+		if err := db.applyScript(string(snap)); err != nil {
+			return nil, fmt.Errorf("minisql: loading snapshot: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := replayWAL(db.walPath(), db.applyScript); err != nil {
+		return nil, err
+	}
+	log, err := openWAL(db.walPath())
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	return db, nil
+}
+
+func (db *Database) snapshotPath() string { return filepath.Join(db.dir, "snapshot.sql") }
+func (db *Database) walPath() string      { return filepath.Join(db.dir, "wal.log") }
+
+// applyScript executes statements without logging (recovery path).
+func (db *Database) applyScript(sql string) error {
+	stmts, err := ParseAll(sql)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, _, err := db.apply(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close checkpoints (for durable databases) and releases resources.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.log == nil {
+		return nil
+	}
+	err := db.checkpointLocked()
+	if cerr := db.log.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// checkpointLocked writes a full snapshot and truncates the WAL.
+func (db *Database) checkpointLocked() error {
+	script := db.dumpLocked()
+	tmp, err := os.CreateTemp(db.dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(script); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), db.snapshotPath()); err != nil {
+		return err
+	}
+	return db.log.truncate()
+}
+
+// dumpLocked renders the whole database as a SQL script.
+func (db *Database) dumpLocked() string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		t := db.tables[name]
+		sb.WriteString("CREATE TABLE ")
+		sb.WriteString(quoteIdent(name))
+		sb.WriteString(" (")
+		for i, c := range t.schema.Cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(c.Name))
+			sb.WriteByte(' ')
+			sb.WriteString(c.Type.String())
+			if c.PrimaryKey {
+				sb.WriteString(" PRIMARY KEY")
+			} else {
+				if c.NotNull {
+					sb.WriteString(" NOT NULL")
+				}
+				if c.Unique {
+					sb.WriteString(" UNIQUE")
+				}
+			}
+		}
+		sb.WriteString(");\n")
+		idxNames := make([]string, 0, len(t.idxNames))
+		for in := range t.idxNames {
+			idxNames = append(idxNames, in)
+		}
+		sort.Strings(idxNames)
+		for _, in := range idxNames {
+			def := t.idxNames[in]
+			sb.WriteString("CREATE ")
+			if def.unique {
+				sb.WriteString("UNIQUE ")
+			}
+			sb.WriteString("INDEX ")
+			sb.WriteString(quoteIdent(in))
+			sb.WriteString(" ON ")
+			sb.WriteString(quoteIdent(name))
+			sb.WriteString(" (")
+			sb.WriteString(quoteIdent(t.schema.Cols[def.col].Name))
+			sb.WriteString(");\n")
+		}
+		for _, id := range t.scanIDs() {
+			row := t.rows[id]
+			sb.WriteString("INSERT INTO ")
+			sb.WriteString(quoteIdent(name))
+			sb.WriteString(" VALUES (")
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(sqlLiteral(v))
+			}
+			sb.WriteString(");\n")
+		}
+	}
+	return sb.String()
+}
+
+// quoteIdent double-quotes an identifier for dump output.
+func quoteIdent(s string) string { return `"` + strings.ReplaceAll(s, `"`, ``) + `"` }
+
+// sqlLiteral renders v as a SQL literal that parses back to the same value.
+func sqlLiteral(v Value) string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		s := fmt.Sprintf("%g", v.Float)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case KindText:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case KindBlob:
+		return fmt.Sprintf("x'%x'", v.Bytes)
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// Exec parses and executes a statement that returns no rows. It reports the
+// number of affected rows. Outside an explicit transaction the statement
+// auto-commits (WAL append + fsync before returning).
+func (db *Database) Exec(sql string) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch stmt.(type) {
+	case *BeginStmt:
+		return 0, db.Begin()
+	case *CommitStmt:
+		return 0, db.Commit()
+	case *RollbackStmt:
+		return 0, db.Rollback()
+	case *SelectStmt:
+		return 0, fmt.Errorf("minisql: use Query for SELECT")
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, fmt.Errorf("minisql: database is closed")
+	}
+	n, undo, err := db.apply(stmt)
+	if err != nil {
+		return 0, err
+	}
+	if db.inTx {
+		db.txSQL = append(db.txSQL, sql)
+		db.txUndo = append(db.txUndo, undo...)
+		return n, nil
+	}
+	if err := db.commitLocked(sql); err != nil {
+		// Durability failed: revert the in-memory change too.
+		db.rollbackUndo(undo)
+		return 0, err
+	}
+	return n, nil
+}
+
+// Query parses and executes a SELECT.
+func (db *Database) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("minisql: Query requires a SELECT statement")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("minisql: database is closed")
+	}
+	return db.execSelect(sel)
+}
+
+// Begin opens an explicit transaction. Only one transaction may be open at
+// a time; a second Begin blocks until the first commits or rolls back.
+func (db *Database) Begin() error {
+	db.txMu.Lock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		db.txMu.Unlock()
+		return fmt.Errorf("minisql: database is closed")
+	}
+	db.inTx = true
+	db.txSQL = nil
+	db.txUndo = nil
+	return nil
+}
+
+// Commit makes the open transaction durable.
+func (db *Database) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inTx {
+		return fmt.Errorf("minisql: no open transaction")
+	}
+	sqlText := strings.Join(db.txSQL, ";\n")
+	err := db.commitLocked(sqlText)
+	if err != nil {
+		db.rollbackUndo(db.txUndo)
+	}
+	db.inTx = false
+	db.txSQL, db.txUndo = nil, nil
+	db.txMu.Unlock()
+	return err
+}
+
+// Rollback discards the open transaction.
+func (db *Database) Rollback() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inTx {
+		return fmt.Errorf("minisql: no open transaction")
+	}
+	db.rollbackUndo(db.txUndo)
+	db.inTx = false
+	db.txSQL, db.txUndo = nil, nil
+	db.txMu.Unlock()
+	return nil
+}
+
+// commitLocked appends to the WAL (fsync) and auto-checkpoints when the log
+// has grown large.
+func (db *Database) commitLocked(sqlText string) error {
+	if db.log == nil || sqlText == "" {
+		return nil
+	}
+	if err := db.log.append(sqlText); err != nil {
+		return fmt.Errorf("minisql: commit: %w", err)
+	}
+	if db.checkpoint > 0 && db.log.size > db.checkpoint {
+		if err := db.checkpointLocked(); err != nil {
+			return fmt.Errorf("minisql: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// rollbackUndo reverses applied changes, newest first.
+func (db *Database) rollbackUndo(undo []undoRec) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		switch u.kind {
+		case undoInsert:
+			if t, ok := db.tables[u.table]; ok {
+				t.delete(u.rowid)
+			}
+		case undoUpdate:
+			if t, ok := db.tables[u.table]; ok {
+				// Restoring a previously valid row cannot violate
+				// uniqueness once later changes are already undone.
+				_ = t.update(u.rowid, u.oldRow)
+			}
+		case undoDelete:
+			if t, ok := db.tables[u.table]; ok {
+				t.rows[u.rowid] = u.oldRow
+				for col, idx := range t.indexes {
+					if v := u.oldRow[col]; !v.IsNull() {
+						idx[v.indexKey()] = u.rowid
+					}
+				}
+				for col := range t.secIdx {
+					t.secAdd(col, u.oldRow[col], u.rowid)
+				}
+			}
+		case undoCreate:
+			delete(db.tables, u.table)
+		case undoDrop:
+			db.tables[u.table] = u.oldTbl
+		case undoCreateIdx:
+			if t, ok := db.tables[u.table]; ok {
+				t.dropIndex(u.idxName)
+			}
+		case undoDropIdx:
+			if t, ok := db.tables[u.table]; ok {
+				// Restoring an index that previously existed cannot fail.
+				_ = t.buildIndex(u.idxName, u.idxDef)
+			}
+		}
+	}
+}
+
+// Tables lists table names (for shells and tests).
+func (db *Database) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,251 @@
+package minisql
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE notes (id INTEGER PRIMARY KEY, body TEXT)`)
+	mustExec(t, db, `INSERT INTO notes VALUES (1, 'first'), (2, 'second')`)
+	mustExec(t, db, `UPDATE notes SET body = 'first!' WHERE id = 1`)
+	mustExec(t, db, `DELETE FROM notes WHERE id = 2`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustQuery(t, db2, `SELECT id, body FROM notes ORDER BY id`)
+	if got := flat(res); got != "1,first!" {
+		t.Fatalf("after reopen: %q", got)
+	}
+}
+
+func TestCrashRecoveryFromWALOnly(t *testing.T) {
+	// Simulate a crash: never call Close, so there is no final checkpoint
+	// and recovery must come purely from the WAL.
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i))
+	}
+	// Abandon db without Close (the WAL was fsynced per commit).
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustQuery(t, db2, `SELECT COUNT(*) FROM t`)
+	if got := flat(res); got != "20" {
+		t.Fatalf("recovered %s rows, want 20", got)
+	}
+}
+
+func TestTornWALTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+	// Simulate a torn write: append garbage to the WAL as a crashed process
+	// would leave it.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x50, 0x51, 0x52}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	defer db2.Close()
+	res := mustQuery(t, db2, `SELECT COUNT(*) FROM t`)
+	if got := flat(res); got != "1" {
+		t.Fatalf("recovered %q rows", got)
+	}
+}
+
+func TestAutoCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{CheckpointBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, pad TEXT)`)
+	pad := strings.Repeat("x", 512)
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d, '%s')`, i, pad))
+	}
+	st, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 4096 {
+		t.Fatalf("WAL = %d bytes; auto-checkpoint did not truncate", st.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.sql")); err != nil {
+		t.Fatalf("no snapshot after auto-checkpoint: %v", err)
+	}
+	_ = db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := flat(mustQuery(t, db2, `SELECT COUNT(*) FROM t`)); got != "20" {
+		t.Fatalf("rows after checkpointed reopen = %q", got)
+	}
+}
+
+func TestSnapshotRoundTripsAllTypes(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE v (id INTEGER PRIMARY KEY, f REAL, s TEXT, b BLOB, ok BOOLEAN)`)
+	mustExec(t, db, `INSERT INTO v VALUES (1, 3.25, 'it''s text', x'00ff', TRUE)`)
+	mustExec(t, db, `INSERT INTO v VALUES (2, -0.5, '', x'', FALSE)`)
+	mustExec(t, db, `INSERT INTO v VALUES (3, NULL, NULL, NULL, NULL)`)
+	mustExec(t, db, `INSERT INTO v VALUES (4, 1e300, 'unicode 世界', x'deadbeef', TRUE)`)
+	if err := db.Close(); err != nil { // forces a checkpoint through dump/parse
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustQuery(t, db2, `SELECT * FROM v ORDER BY id`)
+	want := "1,3.25,it's text,\x00\xff,TRUE|2,-0.5,,,FALSE|3,,,,|4,1e+300,unicode 世界,\xde\xad\xbe\xef,TRUE"
+	if got := flat(res); got != want {
+		t.Fatalf("snapshot round trip:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTransactionsCommit(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+	mustExec(t, db, `INSERT INTO acct VALUES (1, 100), (2, 0)`)
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `UPDATE acct SET bal = bal - 40 WHERE id = 1`)
+	mustExec(t, db, `UPDATE acct SET bal = bal + 40 WHERE id = 2`)
+	mustExec(t, db, `COMMIT`)
+	res := mustQuery(t, db, `SELECT bal FROM acct ORDER BY id`)
+	if got := flat(res); got != "60|40" {
+		t.Fatalf("balances = %q", got)
+	}
+}
+
+func TestTransactionsRollback(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+	mustExec(t, db, `INSERT INTO acct VALUES (1, 100)`)
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `UPDATE acct SET bal = 0 WHERE id = 1`)
+	mustExec(t, db, `INSERT INTO acct VALUES (2, 5)`)
+	mustExec(t, db, `DELETE FROM acct WHERE id = 1`)
+	mustExec(t, db, `ROLLBACK`)
+	res := mustQuery(t, db, `SELECT id, bal FROM acct ORDER BY id`)
+	if got := flat(res); got != "1,100" {
+		t.Fatalf("after rollback = %q", got)
+	}
+}
+
+func TestRollbackRestoresDroppedTable(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE keepme (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO keepme VALUES (7)`)
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `DROP TABLE keepme`)
+	mustExec(t, db, `CREATE TABLE newone (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `ROLLBACK`)
+	res := mustQuery(t, db, `SELECT id FROM keepme`)
+	if got := flat(res); got != "7" {
+		t.Fatalf("dropped table not restored: %q", got)
+	}
+	if _, err := db.Query(`SELECT * FROM newone`); err == nil {
+		t.Fatal("created table survived rollback")
+	}
+}
+
+func TestUncommittedTxNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+	// Crash (no COMMIT, no Close): the WAL has only the CREATE.
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := flat(mustQuery(t, db2, `SELECT COUNT(*) FROM t`)); got != "0" {
+		t.Fatalf("uncommitted insert survived crash: %q rows", got)
+	}
+}
+
+func TestCommitWithoutBegin(t *testing.T) {
+	db := OpenMemory()
+	if _, err := db.Exec(`COMMIT`); err == nil {
+		t.Fatal("COMMIT without BEGIN succeeded")
+	}
+	if _, err := db.Exec(`ROLLBACK`); err == nil {
+		t.Fatal("ROLLBACK without BEGIN succeeded")
+	}
+}
+
+func TestRollbackReleasesTxLock(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `ROLLBACK`)
+	// A second transaction must be able to start (Begin would deadlock if
+	// rollback leaked the tx lock).
+	mustExec(t, db, `BEGIN`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+	mustExec(t, db, `COMMIT`)
+	if got := flat(mustQuery(t, db, `SELECT COUNT(*) FROM t`)); got != "1" {
+		t.Fatalf("count = %q", got)
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE b (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `CREATE TABLE a (id INTEGER PRIMARY KEY)`)
+	got := db.Tables()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Tables = %v", got)
+	}
+}

@@ -1,0 +1,758 @@
+package minisql
+
+import (
+	"fmt"
+	"sort"
+)
+
+// apply executes a data/definition statement against the in-memory state,
+// returning the affected-row count and the undo records that reverse it.
+// Caller holds db.mu.
+func (db *Database) apply(stmt Stmt) (int, []undoRec, error) {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return db.execCreate(s)
+	case *DropTableStmt:
+		return db.execDrop(s)
+	case *CreateIndexStmt:
+		return db.execCreateIndex(s)
+	case *DropIndexStmt:
+		return db.execDropIndex(s)
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *SelectStmt:
+		return 0, nil, fmt.Errorf("minisql: SELECT has no side effects to apply")
+	default:
+		return 0, nil, fmt.Errorf("minisql: cannot execute %T", stmt)
+	}
+}
+
+func (db *Database) table(name string) (*table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("minisql: no such table %q", name)
+	}
+	return t, nil
+}
+
+func (db *Database) execCreate(s *CreateTableStmt) (int, []undoRec, error) {
+	if _, exists := db.tables[s.Name]; exists {
+		if s.IfNotExists {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("minisql: table %q already exists", s.Name)
+	}
+	t, err := newTable(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	db.tables[s.Name] = t
+	return 0, []undoRec{{kind: undoCreate, table: s.Name}}, nil
+}
+
+func (db *Database) execDrop(s *DropTableStmt) (int, []undoRec, error) {
+	t, exists := db.tables[s.Name]
+	if !exists {
+		if s.IfExists {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("minisql: no such table %q", s.Name)
+	}
+	delete(db.tables, s.Name)
+	return 0, []undoRec{{kind: undoDrop, table: s.Name, oldTbl: t}}, nil
+}
+
+// findIndex locates a named index across tables.
+func (db *Database) findIndex(name string) (*table, namedIndex, bool) {
+	for _, t := range db.tables {
+		if def, ok := t.idxNames[name]; ok {
+			return t, def, true
+		}
+	}
+	return nil, namedIndex{}, false
+}
+
+func (db *Database) execCreateIndex(s *CreateIndexStmt) (int, []undoRec, error) {
+	if _, _, exists := db.findIndex(s.Name); exists {
+		if s.IfNotExists {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("minisql: index %q already exists", s.Name)
+	}
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	col, ok := t.colIdx[s.Col]
+	if !ok {
+		return 0, nil, fmt.Errorf("minisql: no column %q in table %q", s.Col, s.Table)
+	}
+	if _, already := t.indexes[col]; already && s.Unique {
+		return 0, nil, fmt.Errorf("minisql: column %q is already uniquely indexed", s.Col)
+	}
+	if err := t.buildIndex(s.Name, namedIndex{col: col, unique: s.Unique}); err != nil {
+		return 0, nil, err
+	}
+	return 0, []undoRec{{kind: undoCreateIdx, table: s.Table, idxName: s.Name}}, nil
+}
+
+func (db *Database) execDropIndex(s *DropIndexStmt) (int, []undoRec, error) {
+	t, def, ok := db.findIndex(s.Name)
+	if !ok {
+		if s.IfExists {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("minisql: no such index %q", s.Name)
+	}
+	t.dropIndex(s.Name)
+	return 0, []undoRec{{kind: undoDropIdx, table: t.schema.Name, idxName: s.Name, idxDef: def}}, nil
+}
+
+func (db *Database) execInsert(s *InsertStmt) (int, []undoRec, error) {
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Map the statement's column list to declared positions.
+	positions := make([]int, 0, len(s.Cols))
+	if s.Cols == nil {
+		for i := range t.schema.Cols {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range s.Cols {
+			i, ok := t.colIdx[name]
+			if !ok {
+				return 0, nil, fmt.Errorf("minisql: no column %q in table %q", name, s.Table)
+			}
+			positions = append(positions, i)
+		}
+	}
+	var undo []undoRec
+	count := 0
+	for _, rowExprs := range s.Rows {
+		if len(rowExprs) != len(positions) {
+			return count, undo, fmt.Errorf("minisql: INSERT has %d values for %d columns", len(rowExprs), len(positions))
+		}
+		vals := make([]Value, len(t.schema.Cols))
+		for i, e := range rowExprs {
+			v, err := evalExpr(e, nil)
+			if err != nil {
+				return count, undo, err
+			}
+			vals[positions[i]] = v
+		}
+		vals, err := t.validate(vals)
+		if err != nil {
+			return count, undo, err
+		}
+		if s.OrReplace && t.pkCol >= 0 {
+			if id, exists := t.lookupUnique(t.pkCol, vals[t.pkCol]); exists {
+				old := t.rows[id]
+				if err := t.update(id, vals); err != nil {
+					return count, undo, err
+				}
+				undo = append(undo, undoRec{kind: undoUpdate, table: s.Table, rowid: id, oldRow: old})
+				count++
+				continue
+			}
+		}
+		id, err := t.insert(vals)
+		if err != nil {
+			return count, undo, err
+		}
+		undo = append(undo, undoRec{kind: undoInsert, table: s.Table, rowid: id})
+		count++
+	}
+	return count, undo, nil
+}
+
+// matchIDs returns rowids satisfying where, using the unique index when the
+// predicate is an equality on an indexed column (the fast path KV-over-SQL
+// reads take). label is the name the table is referenced by in expressions.
+func (db *Database) matchIDs(t *table, label string, where Expr) ([]int64, error) {
+	if where == nil {
+		return t.scanIDs(), nil
+	}
+	sc := tableScope(label, t)
+	// Index fast path: col = literal (or literal = col) on a unique column.
+	if be, ok := where.(*BinaryExpr); ok && be.Op == "=" {
+		col, lit := be.L, be.R
+		if _, isCol := col.(*ColumnExpr); !isCol {
+			col, lit = be.R, be.L
+		}
+		if ce, isCol := col.(*ColumnExpr); isCol && (ce.Table == "" || ce.Table == label) {
+			if le, isLit := lit.(*LiteralExpr); isLit {
+				if ci, ok := t.colIdx[ce.Name]; ok {
+					if _, indexed := t.indexes[ci]; indexed {
+						v, err := coerce(le.Val, t.schema.Cols[ci].Type)
+						if err != nil {
+							return nil, nil // type mismatch matches nothing
+						}
+						if id, found := t.lookupUnique(ci, v); found {
+							return []int64{id}, nil
+						}
+						return nil, nil
+					}
+					if idx, indexed := t.secIdx[ci]; indexed {
+						v, err := coerce(le.Val, t.schema.Cols[ci].Type)
+						if err != nil || v.IsNull() {
+							return nil, nil
+						}
+						ids := append([]int64(nil), idx[v.indexKey()]...)
+						sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+						return ids, nil
+					}
+				}
+			}
+		}
+	}
+	var out []int64
+	for _, id := range t.scanIDs() {
+		v, err := evalExpr(where, &rowEnv{sc: sc, row: t.rows[id]})
+		if err != nil {
+			return nil, err
+		}
+		if truthy(v) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+func (db *Database) execUpdate(s *UpdateStmt) (int, []undoRec, error) {
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	ids, err := db.matchIDs(t, s.Table, s.Where)
+	if err != nil {
+		return 0, nil, err
+	}
+	var undo []undoRec
+	count := 0
+	for _, id := range ids {
+		old := t.rows[id]
+		next := append([]Value(nil), old...)
+		for _, set := range s.Sets {
+			ci, ok := t.colIdx[set.Col]
+			if !ok {
+				return count, undo, fmt.Errorf("minisql: no column %q in table %q", set.Col, s.Table)
+			}
+			v, err := evalExpr(set.Expr, &rowEnv{sc: t.defaultScope(), row: old})
+			if err != nil {
+				return count, undo, err
+			}
+			next[ci] = v
+		}
+		next, err := t.validate(next)
+		if err != nil {
+			return count, undo, err
+		}
+		if err := t.update(id, next); err != nil {
+			return count, undo, err
+		}
+		undo = append(undo, undoRec{kind: undoUpdate, table: s.Table, rowid: id, oldRow: old})
+		count++
+	}
+	return count, undo, nil
+}
+
+func (db *Database) execDelete(s *DeleteStmt) (int, []undoRec, error) {
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, nil, err
+	}
+	ids, err := db.matchIDs(t, s.Table, s.Where)
+	if err != nil {
+		return 0, nil, err
+	}
+	var undo []undoRec
+	for _, id := range ids {
+		old := t.rows[id]
+		t.delete(id)
+		undo = append(undo, undoRec{kind: undoDelete, table: s.Table, rowid: id, oldRow: old})
+	}
+	return len(ids), undo, nil
+}
+
+// sortableRow is one projected output row plus its ORDER BY keys.
+type sortableRow struct {
+	out  []Value
+	keys []Value
+}
+
+// execSelect evaluates a SELECT. Caller holds db.mu.
+func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
+	sc, rows, err := db.gatherRows(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Route to the grouped path when GROUP BY is present or any select
+	// item contains an aggregate.
+	hasAgg := false
+	for _, item := range s.Items {
+		if len(collectAggs(item.Expr)) > 0 {
+			hasAgg = true
+			break
+		}
+	}
+	if len(s.GroupBy) > 0 || hasAgg {
+		return db.execGrouped(s, sc, rows)
+	}
+	if s.Having != nil {
+		return nil, fmt.Errorf("minisql: HAVING requires GROUP BY or aggregates")
+	}
+
+	cols := selectColumns(s, sc)
+
+	// Project, keeping the row around for ORDER BY keys.
+	out := make([]sortableRow, 0, len(rows))
+	for _, row := range rows {
+		env := &rowEnv{sc: sc, row: row}
+		var proj []Value
+		for _, item := range s.Items {
+			if item.Star {
+				start, length, err := starRange(sc, item)
+				if err != nil {
+					return nil, err
+				}
+				proj = append(proj, row[start:start+length]...)
+				continue
+			}
+			v, err := evalExpr(item.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			proj = append(proj, v)
+		}
+		var keys []Value
+		for _, k := range s.OrderBy {
+			v, err := orderKeyValue(k, proj, env, nil)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		out = append(out, sortableRow{out: proj, keys: keys})
+	}
+	return finishSelect(s, cols, out)
+}
+
+// gatherRows materializes the FROM/JOIN clause and applies WHERE, returning
+// the combined scope and the surviving rows.
+func (db *Database) gatherRows(s *SelectStmt) (*scope, [][]Value, error) {
+	t, err := db.table(s.From.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if len(s.Joins) == 0 {
+		// Single-table path keeps the unique-index fast path.
+		ids, err := db.matchIDs(t, s.From.Label(), s.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc := tableScope(s.From.Label(), t)
+		rows := make([][]Value, 0, len(ids))
+		for _, id := range ids {
+			rows = append(rows, t.rows[id])
+		}
+		return sc, rows, nil
+	}
+
+	// Nested-loop joins, left to right.
+	sc := tableScope(s.From.Label(), t)
+	rows := make([][]Value, 0, len(t.rows))
+	for _, id := range t.scanIDs() {
+		rows = append(rows, t.rows[id])
+	}
+	for _, jc := range s.Joins {
+		rt, err := db.table(jc.Table.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		rsc := tableScope(jc.Table.Label(), rt)
+		joined, err := sc.join(rsc)
+		if err != nil {
+			return nil, nil, err
+		}
+		rightWidth := len(rsc.names)
+		rightIDs := rt.scanIDs()
+		next := make([][]Value, 0, len(rows))
+		for _, lrow := range rows {
+			matched := false
+			for _, rid := range rightIDs {
+				cand := make([]Value, 0, len(lrow)+rightWidth)
+				cand = append(cand, lrow...)
+				cand = append(cand, rt.rows[rid]...)
+				v, err := evalExpr(jc.On, &rowEnv{sc: joined, row: cand})
+				if err != nil {
+					return nil, nil, err
+				}
+				if truthy(v) {
+					next = append(next, cand)
+					matched = true
+				}
+			}
+			if jc.Left && !matched {
+				cand := make([]Value, len(lrow)+rightWidth)
+				copy(cand, lrow) // right side stays NULL
+				next = append(next, cand)
+			}
+		}
+		sc = joined
+		rows = next
+	}
+
+	if s.Where != nil {
+		filtered := rows[:0]
+		for _, row := range rows {
+			v, err := evalExpr(s.Where, &rowEnv{sc: sc, row: row})
+			if err != nil {
+				return nil, nil, err
+			}
+			if truthy(v) {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+	return sc, rows, nil
+}
+
+// starRange resolves the row slice covered by a (possibly qualified) star.
+func starRange(sc *scope, item SelectItem) (start, length int, err error) {
+	if item.StarTable == "" {
+		return 0, len(sc.names), nil
+	}
+	r, ok := sc.ranges[item.StarTable]
+	if !ok {
+		return 0, 0, fmt.Errorf("minisql: no table %q in FROM clause", item.StarTable)
+	}
+	return r[0], r[1], nil
+}
+
+// selectColumns derives the result header.
+func selectColumns(s *SelectStmt, sc *scope) []string {
+	var cols []string
+	for _, item := range s.Items {
+		switch {
+		case item.Star && item.StarTable != "":
+			if r, ok := sc.ranges[item.StarTable]; ok {
+				cols = append(cols, sc.names[r[0]:r[0]+r[1]]...)
+			}
+		case item.Star:
+			cols = append(cols, sc.names...)
+		case item.Alias != "":
+			cols = append(cols, item.Alias)
+		default:
+			switch e := item.Expr.(type) {
+			case *ColumnExpr:
+				cols = append(cols, e.Name)
+			case *AggExpr:
+				if e.Star {
+					cols = append(cols, "COUNT(*)")
+				} else {
+					cols = append(cols, e.Func)
+				}
+			default:
+				cols = append(cols, fmt.Sprintf("expr%d", len(cols)+1))
+			}
+		}
+	}
+	return cols
+}
+
+// finishSelect applies DISTINCT, ORDER BY, OFFSET, and LIMIT to projected
+// rows.
+func finishSelect(s *SelectStmt, cols []string, rows []sortableRow) (*Result, error) {
+	if s.Distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			key := ""
+			for _, v := range r.out {
+				key += v.indexKey() + "\x00"
+			}
+			if !seen[key] {
+				seen[key] = true
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if len(s.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, key := range s.OrderBy {
+				a, b := rows[i].keys[k], rows[j].keys[k]
+				c := compareForSort(a, b, &sortErr)
+				if key.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	offset := 0
+	var err error
+	if s.Offset != nil {
+		if offset, err = requireInt(s.Offset, "OFFSET"); err != nil {
+			return nil, err
+		}
+	}
+	limit := len(rows)
+	if s.Limit != nil {
+		if limit, err = requireInt(s.Limit, "LIMIT"); err != nil {
+			return nil, err
+		}
+	}
+	if offset > len(rows) {
+		offset = len(rows)
+	}
+	end := offset + limit
+	if end > len(rows) || end < offset {
+		end = len(rows)
+	}
+
+	res := &Result{Columns: cols}
+	for _, r := range rows[offset:end] {
+		res.Rows = append(res.Rows, r.out)
+	}
+	return res, nil
+}
+
+// orderKeyValue evaluates one ORDER BY key for a projected row. A bare
+// integer literal is an ordinal referencing the select list (ORDER BY 2).
+// aggVals is non-nil on the grouped path.
+func orderKeyValue(k OrderKey, projected []Value, env *rowEnv, aggVals map[*AggExpr]Value) (Value, error) {
+	if lit, ok := k.Expr.(*LiteralExpr); ok && lit.Val.Kind == KindInt {
+		n := lit.Val.Int
+		if n < 1 || int(n) > len(projected) {
+			return Value{}, fmt.Errorf("minisql: ORDER BY position %d is out of range (select list has %d items)", n, len(projected))
+		}
+		return projected[n-1], nil
+	}
+	e := k.Expr
+	if aggVals != nil {
+		e = rewriteAggs(e, aggVals)
+	}
+	return evalExpr(e, env)
+}
+
+// compareForSort orders values with NULLs first, recording type errors.
+func compareForSort(a, b Value, errOut *error) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	c, err := Compare(a, b)
+	if err != nil && *errOut == nil {
+		*errOut = err
+	}
+	return c
+}
+
+// collectAggs returns every aggregate node inside e.
+func collectAggs(e Expr) []*AggExpr {
+	var out []*AggExpr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *AggExpr:
+			out = append(out, n)
+		case *UnaryExpr:
+			walk(n.X)
+		case *BinaryExpr:
+			walk(n.L)
+			walk(n.R)
+		case *IsNullExpr:
+			walk(n.X)
+		case *InExpr:
+			walk(n.X)
+			for _, item := range n.List {
+				walk(item)
+			}
+		case *FuncExpr:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// rewriteAggs returns a copy of e with every aggregate node replaced by its
+// computed value, so the ordinary evaluator can finish the expression.
+func rewriteAggs(e Expr, vals map[*AggExpr]Value) Expr {
+	switch n := e.(type) {
+	case *AggExpr:
+		return &LiteralExpr{Val: vals[n]}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: n.Op, X: rewriteAggs(n.X, vals)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: n.Op, L: rewriteAggs(n.L, vals), R: rewriteAggs(n.R, vals)}
+	case *IsNullExpr:
+		return &IsNullExpr{X: rewriteAggs(n.X, vals), Not: n.Not}
+	case *InExpr:
+		list := make([]Expr, len(n.List))
+		for i, item := range n.List {
+			list[i] = rewriteAggs(item, vals)
+		}
+		return &InExpr{X: rewriteAggs(n.X, vals), List: list, Not: n.Not}
+	case *FuncExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = rewriteAggs(a, vals)
+		}
+		return &FuncExpr{Name: n.Name, Args: args}
+	default:
+		return e
+	}
+}
+
+// group accumulates one GROUP BY bucket.
+type group struct {
+	repr   []Value // first row of the bucket, for group-key expressions
+	states map[*AggExpr]*aggState
+}
+
+// execGrouped evaluates SELECTs with GROUP BY and/or aggregates.
+// Without GROUP BY, all matched rows form a single group (so aggregates
+// over an empty match still yield one row, per SQL).
+func (db *Database) execGrouped(s *SelectStmt, sc *scope, matched [][]Value) (*Result, error) {
+	// Aggregates may appear in select items, HAVING, and ORDER BY.
+	var aggNodes []*AggExpr
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, fmt.Errorf("minisql: SELECT * cannot be combined with GROUP BY or aggregates")
+		}
+		aggNodes = append(aggNodes, collectAggs(item.Expr)...)
+	}
+	aggNodes = append(aggNodes, collectAggs(s.Having)...)
+	for _, k := range s.OrderBy {
+		aggNodes = append(aggNodes, collectAggs(k.Expr)...)
+	}
+	if len(s.GroupBy) == 0 {
+		// Pure aggregate query: every item must contain an aggregate.
+		for _, item := range s.Items {
+			if len(collectAggs(item.Expr)) == 0 {
+				return nil, fmt.Errorf("minisql: cannot mix aggregate and row expressions without GROUP BY")
+			}
+		}
+	}
+
+	newGroup := func(repr []Value) *group {
+		g := &group{repr: repr, states: make(map[*AggExpr]*aggState, len(aggNodes))}
+		for _, a := range aggNodes {
+			g.states[a] = newAggState()
+		}
+		return g
+	}
+
+	var ordered []*group
+	index := map[string]*group{}
+	if len(s.GroupBy) == 0 {
+		g := newGroup(nil)
+		ordered = append(ordered, g)
+		index[""] = g
+	}
+
+	for _, row := range matched {
+		env := &rowEnv{sc: sc, row: row}
+		key := ""
+		if len(s.GroupBy) > 0 {
+			for _, ge := range s.GroupBy {
+				v, err := evalExpr(ge, env)
+				if err != nil {
+					return nil, err
+				}
+				key += v.indexKey() + "\x00"
+			}
+		}
+		g, ok := index[key]
+		if !ok {
+			g = newGroup(row)
+			index[key] = g
+			ordered = append(ordered, g)
+		}
+		for _, a := range aggNodes {
+			st := g.states[a]
+			if a.Star {
+				st.count++
+				continue
+			}
+			v, err := evalExpr(a.Arg, env)
+			if err != nil {
+				return nil, err
+			}
+			if err := st.add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cols := selectColumns(s, sc)
+	rows := make([]sortableRow, 0, len(ordered))
+	for _, g := range ordered {
+		vals := make(map[*AggExpr]Value, len(aggNodes))
+		for _, a := range aggNodes {
+			v, err := g.states[a].result(a.Func)
+			if err != nil {
+				return nil, err
+			}
+			vals[a] = v
+		}
+		env := &rowEnv{sc: sc, row: g.repr}
+		if g.repr == nil {
+			env = nil
+		}
+		if s.Having != nil {
+			hv, err := evalExpr(rewriteAggs(s.Having, vals), env)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(hv) {
+				continue
+			}
+		}
+		var out []Value
+		for _, item := range s.Items {
+			v, err := evalExpr(rewriteAggs(item.Expr, vals), env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		var keys []Value
+		for _, k := range s.OrderBy {
+			v, err := orderKeyValue(k, out, env, vals)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		rows = append(rows, sortableRow{out: out, keys: keys})
+	}
+	return finishSelect(s, cols, rows)
+}

@@ -1,0 +1,144 @@
+package minisql
+
+import "testing"
+
+func TestScalarFunctions(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE s (id INTEGER PRIMARY KEY, txt TEXT, num REAL)`)
+	mustExec(t, db, `INSERT INTO s VALUES (1, 'Hello World', -3.456), (2, NULL, 2.5)`)
+
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`LENGTH(txt)`, "11"},
+		{`UPPER(txt)`, "HELLO WORLD"},
+		{`LOWER(txt)`, "hello world"},
+		{`ABS(num)`, "3.456"},
+		{`ABS(-7)`, "7"},
+		{`ROUND(num)`, "-3"},
+		{`ROUND(num, 2)`, "-3.46"},
+		{`SUBSTR(txt, 7)`, "World"},
+		{`SUBSTR(txt, 1, 5)`, "Hello"},
+		{`SUBSTR(txt, 7, 100)`, "World"},
+		{`COALESCE(NULL, NULL, txt)`, "Hello World"},
+		{`IFNULL(txt, 'fallback')`, "Hello World"},
+		{`UPPER(LOWER(txt))`, "HELLO WORLD"},
+		{`LENGTH(txt) + 1`, "12"},
+	}
+	for _, c := range cases {
+		res := mustQuery(t, db, `SELECT `+c.expr+` FROM s WHERE id = 1`)
+		if got := flat(res); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestScalarFunctionsNullPropagation(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE s (id INTEGER PRIMARY KEY, txt TEXT)`)
+	mustExec(t, db, `INSERT INTO s VALUES (1, NULL)`)
+	for _, expr := range []string{`LENGTH(txt)`, `UPPER(txt)`, `SUBSTR(txt, 1)`, `ABS(txt)`} {
+		res := mustQuery(t, db, `SELECT `+expr+` FROM s`)
+		if got := flat(res); got != "" {
+			t.Errorf("%s with NULL arg = %q, want NULL", expr, got)
+		}
+	}
+	res := mustQuery(t, db, `SELECT IFNULL(txt, 'x') FROM s`)
+	if got := flat(res); got != "x" {
+		t.Errorf("IFNULL = %q", got)
+	}
+}
+
+func TestScalarFunctionsInWhereAndAggregates(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE words (id INTEGER PRIMARY KEY, w TEXT)`)
+	mustExec(t, db, `INSERT INTO words VALUES (1, 'go'), (2, 'gopher'), (3, 'golang')`)
+	res := mustQuery(t, db, `SELECT w FROM words WHERE LENGTH(w) > 2 ORDER BY w`)
+	if got := flat(res); got != "golang|gopher" {
+		t.Fatalf("result = %q", got)
+	}
+	// Functions compose with aggregates (inside and around).
+	res = mustQuery(t, db, `SELECT MAX(LENGTH(w)), ABS(MIN(id) - 10) FROM words`)
+	if got := flat(res); got != "6|9" && got != "6,9" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE s (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO s VALUES (1)`)
+	for _, q := range []string{
+		`SELECT NOSUCHFUNC(id) FROM s`,
+		`SELECT LENGTH() FROM s`,
+		`SELECT LENGTH(id) FROM s`,
+		`SELECT UPPER(id) FROM s`,
+		`SELECT SUBSTR('a') FROM s`,
+		`SELECT COALESCE() FROM s`,
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("%q succeeded", q)
+		}
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE d (id INTEGER PRIMARY KEY, city TEXT, tier INTEGER)`)
+	mustExec(t, db, `INSERT INTO d VALUES
+		(1, 'rome', 1), (2, 'rome', 1), (3, 'oslo', 1), (4, 'rome', 2)`)
+	res := mustQuery(t, db, `SELECT DISTINCT city FROM d ORDER BY city`)
+	if got := flat(res); got != "oslo|rome" {
+		t.Fatalf("DISTINCT city = %q", got)
+	}
+	res = mustQuery(t, db, `SELECT DISTINCT city, tier FROM d ORDER BY city, tier`)
+	if got := flat(res); got != "oslo,1|rome,1|rome,2" {
+		t.Fatalf("DISTINCT pair = %q", got)
+	}
+	// DISTINCT composes with LIMIT after dedup.
+	res = mustQuery(t, db, `SELECT DISTINCT city FROM d ORDER BY city LIMIT 1`)
+	if got := flat(res); got != "oslo" {
+		t.Fatalf("DISTINCT LIMIT = %q", got)
+	}
+}
+
+func TestDistinctOnJoin(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT DISTINCT c.name
+		FROM customers c JOIN orders o ON c.id = o.customer_id
+		ORDER BY c.name`)
+	if got := flat(res); got != "ada|bob" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestBetweenAndNotLike(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE b (id INTEGER PRIMARY KEY, name TEXT)`)
+	mustExec(t, db, `INSERT INTO b VALUES (1, 'alpha'), (5, 'beta'), (10, 'gamma'), (15, 'delta')`)
+	res := mustQuery(t, db, `SELECT id FROM b WHERE id BETWEEN 5 AND 10 ORDER BY id`)
+	if got := flat(res); got != "5|10" {
+		t.Fatalf("BETWEEN = %q", got)
+	}
+	res = mustQuery(t, db, `SELECT id FROM b WHERE id NOT BETWEEN 5 AND 10 ORDER BY id`)
+	if got := flat(res); got != "1|15" {
+		t.Fatalf("NOT BETWEEN = %q", got)
+	}
+	res = mustQuery(t, db, `SELECT name FROM b WHERE name NOT LIKE '%a' ORDER BY name`)
+	if got := flat(res); got != "" {
+		t.Fatalf("NOT LIKE '%%a' = %q (all names end in a)", got)
+	}
+	res = mustQuery(t, db, `SELECT name FROM b WHERE name NOT LIKE 'a%' ORDER BY name`)
+	if got := flat(res); got != "beta|delta|gamma" {
+		t.Fatalf("NOT LIKE 'a%%' = %q", got)
+	}
+	// BETWEEN with NULL bound excludes the row (three-valued logic).
+	mustExec(t, db, `INSERT INTO b VALUES (20, NULL)`)
+	res = mustQuery(t, db, `SELECT COUNT(*) FROM b WHERE id BETWEEN 1 AND NULL`)
+	if got := flat(res); got != "0" {
+		t.Fatalf("BETWEEN NULL = %q", got)
+	}
+}

@@ -1,0 +1,159 @@
+package minisql
+
+import "testing"
+
+func seedSales(t *testing.T, db *Database) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, rep TEXT, amount REAL)`)
+	mustExec(t, db, `INSERT INTO sales VALUES
+		(1, 'east', 'ada', 100.0),
+		(2, 'east', 'bob', 50.0),
+		(3, 'west', 'cyd', 75.0),
+		(4, 'west', 'cyd', 25.0),
+		(5, 'west', 'dee', 10.0),
+		(6, 'north', 'eve', NULL)`)
+}
+
+func TestGroupByBasic(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region ORDER BY region`)
+	if got := flat(res); got != "east,2,150|north,1,|west,3,110" {
+		t.Fatalf("result = %q", got)
+	}
+	if res.Columns[0] != "region" || res.Columns[1] != "COUNT(*)" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT region, rep, SUM(amount) FROM sales GROUP BY region, rep ORDER BY region, rep`)
+	if got := flat(res); got != "east,ada,100|east,bob,50|north,eve,|west,cyd,100|west,dee,10" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT region, SUM(amount) AS total FROM sales GROUP BY region HAVING SUM(amount) > 100 ORDER BY region`)
+	if got := flat(res); got != "east,150|west,110" {
+		t.Fatalf("result = %q", got)
+	}
+	res = mustQuery(t, db, `SELECT region FROM sales GROUP BY region HAVING COUNT(*) >= 3`)
+	if got := flat(res); got != "west" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByHavingOnNonAggregate(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	// HAVING may also reference group-key expressions.
+	res := mustQuery(t, db, `SELECT region, COUNT(*) FROM sales GROUP BY region HAVING region LIKE '%st' ORDER BY region`)
+	if got := flat(res); got != "east,2|west,3" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT region FROM sales GROUP BY region ORDER BY COUNT(*) DESC, region`)
+	if got := flat(res); got != "west|east|north" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByAggregateExpression(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	// Arithmetic over aggregates (AVG via SUM/COUNT).
+	res := mustQuery(t, db, `SELECT region, SUM(amount) / COUNT(amount) FROM sales GROUP BY region HAVING COUNT(amount) > 0 ORDER BY region`)
+	if got := flat(res); got != "east,75|west,36.666666666666664" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByExpressionKey(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE n (id INTEGER PRIMARY KEY, v INTEGER)`)
+	mustExec(t, db, `INSERT INTO n VALUES (1, 10), (2, 11), (3, 20), (4, 21), (5, 30)`)
+	res := mustQuery(t, db, `SELECT v / 10, COUNT(*) FROM n GROUP BY v / 10 ORDER BY v / 10`)
+	if got := flat(res); got != "1,2|2,2|3,1" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByNullKeyFormsGroup(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE g (id INTEGER PRIMARY KEY, k TEXT)`)
+	mustExec(t, db, `INSERT INTO g VALUES (1, 'a'), (2, NULL), (3, NULL)`)
+	res := mustQuery(t, db, `SELECT COUNT(*) FROM g GROUP BY k ORDER BY COUNT(*)`)
+	if got := flat(res); got != "1|2" {
+		t.Fatalf("result = %q (NULLs must form one group)", got)
+	}
+}
+
+func TestGroupByLimit(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT region FROM sales GROUP BY region ORDER BY region LIMIT 2 OFFSET 1`)
+	if got := flat(res); got != "north|west" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestAggregateWithoutGroupByStillOneRow(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT COUNT(*) + 1, MAX(amount) FROM sales WHERE amount > 1000`)
+	if got := flat(res); got != "1," {
+		t.Fatalf("result = %q (empty match must still aggregate)", got)
+	}
+}
+
+func TestHavingWithoutAggregatesOrGroupByRejected(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	if _, err := db.Query(`SELECT rep FROM sales HAVING amount > 10`); err == nil {
+		t.Fatal("HAVING without GROUP BY/aggregates accepted")
+	}
+}
+
+func TestStarWithGroupByRejected(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	if _, err := db.Query(`SELECT * FROM sales GROUP BY region`); err == nil {
+		t.Fatal("SELECT * with GROUP BY accepted")
+	}
+}
+
+func TestMixedAggregateStillRejectedWithoutGroupBy(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	if _, err := db.Query(`SELECT rep, COUNT(*) FROM sales`); err == nil {
+		t.Fatal("mixed select without GROUP BY accepted")
+	}
+}
+
+func TestGroupByWhereInteraction(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	// WHERE filters rows before grouping; HAVING filters groups after.
+	res := mustQuery(t, db, `SELECT region, COUNT(*) FROM sales WHERE amount >= 50 GROUP BY region ORDER BY region`)
+	if got := flat(res); got != "east,2|west,1" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestGroupByMinMaxText(t *testing.T) {
+	db := OpenMemory()
+	seedSales(t, db)
+	res := mustQuery(t, db, `SELECT region, MIN(rep), MAX(rep) FROM sales GROUP BY region ORDER BY region`)
+	if got := flat(res); got != "east,ada,bob|north,eve,eve|west,cyd,dee" {
+		t.Fatalf("result = %q", got)
+	}
+}

@@ -1,0 +1,228 @@
+package minisql
+
+import "testing"
+
+func seedShop(t *testing.T, db *Database) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE customers (id INTEGER PRIMARY KEY, name TEXT)`)
+	mustExec(t, db, `CREATE TABLE orders (id INTEGER PRIMARY KEY, customer_id INTEGER, total REAL)`)
+	mustExec(t, db, `INSERT INTO customers VALUES (1, 'ada'), (2, 'bob'), (3, 'cyd')`)
+	mustExec(t, db, `INSERT INTO orders VALUES
+		(10, 1, 99.5),
+		(11, 1, 10.0),
+		(12, 2, 45.0),
+		(13, NULL, 7.0)`)
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT customers.name, orders.total
+		FROM customers JOIN orders ON customers.id = orders.customer_id
+		ORDER BY orders.id`)
+	if got := flat(res); got != "ada,99.5|ada,10|bob,45" {
+		t.Fatalf("result = %q", got)
+	}
+	if res.Columns[0] != "name" || res.Columns[1] != "total" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestJoinWithAliases(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT c.name, o.total
+		FROM customers AS c JOIN orders o ON c.id = o.customer_id
+		WHERE o.total > 20
+		ORDER BY o.total DESC`)
+	if got := flat(res); got != "ada,99.5|bob,45" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestLeftJoinKeepsUnmatched(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT c.name, o.id
+		FROM customers c LEFT JOIN orders o ON c.id = o.customer_id
+		ORDER BY c.id, o.id`)
+	// cyd has no orders: appears once with NULL order id (NULLs sort first).
+	if got := flat(res); got != "ada,10|ada,11|bob,12|cyd," {
+		t.Fatalf("result = %q", got)
+	}
+	res = mustQuery(t, db, `
+		SELECT c.name
+		FROM customers c LEFT JOIN orders o ON c.id = o.customer_id
+		WHERE o.id IS NULL`)
+	if got := flat(res); got != "cyd" {
+		t.Fatalf("customers without orders = %q", got)
+	}
+}
+
+func TestLeftOuterJoinKeyword(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT COUNT(*) FROM customers c LEFT OUTER JOIN orders o ON c.id = o.customer_id`)
+	if got := flat(res); got != "4" {
+		t.Fatalf("count = %q", got)
+	}
+}
+
+func TestJoinGroupByAggregate(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT c.name, COUNT(o.id), SUM(o.total)
+		FROM customers c LEFT JOIN orders o ON c.id = o.customer_id
+		GROUP BY c.name
+		ORDER BY c.name`)
+	if got := flat(res); got != "ada,2,109.5|bob,1,45|cyd,0," {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	mustExec(t, db, `CREATE TABLE items (id INTEGER PRIMARY KEY, order_id INTEGER, sku TEXT)`)
+	mustExec(t, db, `INSERT INTO items VALUES (100, 10, 'widget'), (101, 10, 'gadget'), (102, 12, 'doohickey')`)
+	res := mustQuery(t, db, `
+		SELECT c.name, i.sku
+		FROM customers c
+		JOIN orders o ON c.id = o.customer_id
+		JOIN items i ON i.order_id = o.id
+		ORDER BY i.id`)
+	if got := flat(res); got != "ada,widget|ada,gadget|bob,doohickey" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT, boss INTEGER)`)
+	mustExec(t, db, `INSERT INTO emp VALUES (1, 'root', NULL), (2, 'mid', 1), (3, 'leaf', 2)`)
+	res := mustQuery(t, db, `
+		SELECT e.name, b.name
+		FROM emp e JOIN emp b ON e.boss = b.id
+		ORDER BY e.id`)
+	if got := flat(res); got != "mid,root|leaf,mid" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestSelfJoinWithoutAliasRejected(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+	if _, err := db.Query(`SELECT * FROM t JOIN t ON t.id = t.id`); err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	if _, err := db.Query(`SELECT id FROM customers c JOIN orders o ON c.id = o.customer_id`); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+	// Qualified is fine; unambiguous unqualified is fine too.
+	mustQuery(t, db, `SELECT c.id, name, total FROM customers c JOIN orders o ON c.id = o.customer_id`)
+}
+
+func TestJoinStarProjectsBothTables(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT * FROM customers c JOIN orders o ON c.id = o.customer_id WHERE o.id = 12`)
+	if len(res.Columns) != 5 { // id, name, id, customer_id, total
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if got := flat(res); got != "2,bob,12,2,45" {
+		t.Fatalf("row = %q", got)
+	}
+}
+
+func TestJoinOnNonEquality(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE lo (n INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `CREATE TABLE hi (m INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO lo VALUES (1), (2)`)
+	mustExec(t, db, `INSERT INTO hi VALUES (2), (3)`)
+	res := mustQuery(t, db, `SELECT n, m FROM lo JOIN hi ON n < m ORDER BY n, m`)
+	if got := flat(res); got != "1,2|1,3|2,3" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	// Order 13 has NULL customer_id: NULL = anything is unknown, so it must
+	// not join to any customer.
+	res := mustQuery(t, db, `
+		SELECT COUNT(*) FROM orders o JOIN customers c ON o.customer_id = c.id`)
+	if got := flat(res); got != "3" {
+		t.Fatalf("count = %q", got)
+	}
+}
+
+func TestJoinParseErrors(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	for _, q := range []string{
+		`SELECT * FROM customers JOIN orders`,                                  // missing ON
+		`SELECT * FROM customers LEFT orders ON 1 = 1`,                         // missing JOIN
+		`SELECT * FROM customers JOIN ON customers.id = 1`,                     // missing table
+		`SELECT x.name FROM customers c JOIN orders o ON c.id = o.customer_id`, // unknown alias
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("%q parsed/executed without error", q)
+		}
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `
+		SELECT c.*, o.total FROM customers c JOIN orders o ON c.id = o.customer_id
+		WHERE o.id = 10`)
+	if len(res.Columns) != 3 || res.Columns[0] != "id" || res.Columns[1] != "name" || res.Columns[2] != "total" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if got := flat(res); got != "1,ada,99.5" {
+		t.Fatalf("row = %q", got)
+	}
+	res = mustQuery(t, db, `SELECT o.* FROM customers c JOIN orders o ON c.id = o.customer_id WHERE o.id = 12`)
+	if got := flat(res); got != "12,2,45" {
+		t.Fatalf("o.* = %q", got)
+	}
+	if _, err := db.Query(`SELECT x.* FROM customers c JOIN orders o ON c.id = o.customer_id`); err == nil {
+		t.Fatal("unknown alias star accepted")
+	}
+}
+
+func TestOrderByOrdinal(t *testing.T) {
+	db := OpenMemory()
+	seedShop(t, db)
+	res := mustQuery(t, db, `SELECT name, id FROM customers ORDER BY 2 DESC`)
+	if got := flat(res); got != "cyd,3|bob,2|ada,1" {
+		t.Fatalf("ORDER BY 2 DESC = %q", got)
+	}
+	// Ordinals work on grouped results too.
+	res = mustQuery(t, db, `
+		SELECT customer_id, COUNT(*) FROM orders WHERE customer_id IS NOT NULL
+		GROUP BY customer_id ORDER BY 2 DESC, 1`)
+	if got := flat(res); got != "1,2|2,1" {
+		t.Fatalf("grouped ordinal = %q", got)
+	}
+	if _, err := db.Query(`SELECT name FROM customers ORDER BY 5`); err == nil {
+		t.Fatal("out-of-range ordinal accepted")
+	}
+	if _, err := db.Query(`SELECT name FROM customers ORDER BY 0`); err == nil {
+		t.Fatal("zero ordinal accepted")
+	}
+}

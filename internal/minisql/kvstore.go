@@ -1,0 +1,197 @@
+package minisql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"edsc/kv"
+)
+
+// KVStore implements the UDSM key-value interface over a minisql table,
+// exactly as the paper implements its key-value interface for SQL databases
+// via JDBC (§II-A). It also implements kv.SQL so applications can issue
+// native queries against the same database.
+type KVStore struct {
+	name  string
+	db    *Database
+	table string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var (
+	_ kv.Store = (*KVStore)(nil)
+	_ kv.SQL   = (*KVStore)(nil)
+)
+
+// NewKVStore binds a key-value view to tableName inside db, creating the
+// backing table if necessary.
+func NewKVStore(name string, db *Database, tableName string) (*KVStore, error) {
+	if !validIdent(tableName) {
+		return nil, fmt.Errorf("minisql: invalid table name %q", tableName)
+	}
+	ddl := fmt.Sprintf("CREATE TABLE IF NOT EXISTS %s (k TEXT PRIMARY KEY, v BLOB NOT NULL)", tableName)
+	if _, err := db.Exec(ddl); err != nil {
+		return nil, err
+	}
+	return &KVStore{name: name, db: db, table: tableName}, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DB exposes the underlying database for native SQL beyond the adapter.
+func (s *KVStore) DB() *Database { return s.db }
+
+// Name implements kv.Store.
+func (s *KVStore) Name() string { return s.name }
+
+func (s *KVStore) check(key string) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return kv.ErrClosed
+	}
+	return kv.CheckKey(key)
+}
+
+// Get implements kv.Store.
+func (s *KVStore) Get(_ context.Context, key string) ([]byte, error) {
+	if err := s.check(key); err != nil {
+		return nil, err
+	}
+	res, err := s.db.QueryParams(fmt.Sprintf("SELECT v FROM %s WHERE k = ?", s.table), Text(key))
+	if err != nil {
+		return nil, kv.WrapErr(s.name, "get", key, err)
+	}
+	if len(res.Rows) == 0 {
+		return nil, kv.ErrNotFound
+	}
+	v := res.Rows[0][0]
+	return append([]byte(nil), v.Bytes...), nil
+}
+
+// Put implements kv.Store. Each Put is one committed transaction, paying
+// the WAL fsync — the commit cost §V observes for MySQL writes.
+func (s *KVStore) Put(_ context.Context, key string, value []byte) error {
+	if err := s.check(key); err != nil {
+		return err
+	}
+	stmt := fmt.Sprintf("INSERT OR REPLACE INTO %s VALUES (?, ?)", s.table)
+	_, err := s.db.ExecParams(stmt, Text(key), Blob(value))
+	return kv.WrapErr(s.name, "put", key, err)
+}
+
+// Delete implements kv.Store.
+func (s *KVStore) Delete(_ context.Context, key string) error {
+	if err := s.check(key); err != nil {
+		return err
+	}
+	n, err := s.db.ExecParams(fmt.Sprintf("DELETE FROM %s WHERE k = ?", s.table), Text(key))
+	if err != nil {
+		return kv.WrapErr(s.name, "delete", key, err)
+	}
+	if n == 0 {
+		return kv.ErrNotFound
+	}
+	return nil
+}
+
+// Contains implements kv.Store.
+func (s *KVStore) Contains(_ context.Context, key string) (bool, error) {
+	if err := s.check(key); err != nil {
+		return false, err
+	}
+	res, err := s.db.QueryParams(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE k = ?", s.table), Text(key))
+	if err != nil {
+		return false, kv.WrapErr(s.name, "contains", key, err)
+	}
+	return res.Rows[0][0].Int > 0, nil
+}
+
+// Keys implements kv.Store.
+func (s *KVStore) Keys(_ context.Context) ([]string, error) {
+	if err := s.check("x"); err != nil {
+		return nil, err
+	}
+	res, err := s.db.Query(fmt.Sprintf("SELECT k FROM %s", s.table))
+	if err != nil {
+		return nil, kv.WrapErr(s.name, "keys", "", err)
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, row[0].Str)
+	}
+	return out, nil
+}
+
+// Len implements kv.Store.
+func (s *KVStore) Len(_ context.Context) (int, error) {
+	if err := s.check("x"); err != nil {
+		return 0, err
+	}
+	res, err := s.db.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s", s.table))
+	if err != nil {
+		return 0, kv.WrapErr(s.name, "len", "", err)
+	}
+	return int(res.Rows[0][0].Int), nil
+}
+
+// Clear implements kv.Store.
+func (s *KVStore) Clear(_ context.Context) error {
+	if err := s.check("x"); err != nil {
+		return err
+	}
+	_, err := s.db.Exec(fmt.Sprintf("DELETE FROM %s", s.table))
+	return kv.WrapErr(s.name, "clear", "", err)
+}
+
+// Close implements kv.Store. The shared Database stays open; close it
+// separately when done.
+func (s *KVStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Exec implements kv.SQL.
+func (s *KVStore) Exec(_ context.Context, query string) (int, error) {
+	if err := s.check("x"); err != nil {
+		return 0, err
+	}
+	n, err := s.db.Exec(query)
+	return n, kv.WrapErr(s.name, "exec", "", err)
+}
+
+// Query implements kv.SQL.
+func (s *KVStore) Query(_ context.Context, query string) (*kv.Rows, error) {
+	if err := s.check("x"); err != nil {
+		return nil, err
+	}
+	res, err := s.db.Query(query)
+	if err != nil {
+		return nil, kv.WrapErr(s.name, "query", "", err)
+	}
+	rows := &kv.Rows{Columns: res.Columns}
+	for _, r := range res.Rows {
+		out := make([]string, len(r))
+		for i, v := range r {
+			out[i] = v.String()
+		}
+		rows.Values = append(rows.Values, out)
+	}
+	return rows, nil
+}

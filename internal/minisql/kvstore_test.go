@@ -1,0 +1,123 @@
+package minisql
+
+import (
+	"context"
+	"testing"
+
+	"edsc/kv"
+	"edsc/kv/kvtest"
+)
+
+func TestKVStoreConformance(t *testing.T) {
+	kvtest.Run(t, func(t *testing.T) (kv.Store, func()) {
+		db := OpenMemory()
+		st, err := NewKVStore("sql", db, "kv_data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, nil
+	}, kvtest.Options{MaxValue: 128 << 10})
+}
+
+func TestKVStoreDurable(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewKVStore("sql", db, "kv_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("binary\x00value\xff with oddities ' -- ;")
+	if err := st.Put(ctx, "weird ' key", val); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st2, err := NewKVStore("sql", db2, "kv_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.Get(ctx, "weird ' key")
+	if err != nil || string(got) != string(val) {
+		t.Fatalf("durable round trip: %q, %v", got, err)
+	}
+}
+
+func TestKVStoreNativeSQL(t *testing.T) {
+	db := OpenMemory()
+	st, err := NewKVStore("sql", db, "kv_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The paper's point: KV interface and native SQL coexist on one store.
+	if _, err := st.Exec(ctx, `CREATE TABLE orders (id INTEGER PRIMARY KEY, total REAL)`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.Exec(ctx, `INSERT INTO orders VALUES (1, 9.5), (2, 20.25)`); err != nil || n != 2 {
+		t.Fatalf("Exec = %d, %v", n, err)
+	}
+	rows, err := st.Query(ctx, `SELECT id, total FROM orders WHERE total > 10 ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Values) != 1 || rows.Values[0][0] != "2" || rows.Values[0][1] != "20.25" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows.Columns[0] != "id" || rows.Columns[1] != "total" {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+	// And the KV table is reachable via SQL too.
+	if err := st.Put(ctx, "cfg", []byte("on")); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = st.Query(ctx, `SELECT COUNT(*) FROM kv_data`)
+	if err != nil || rows.Values[0][0] != "1" {
+		t.Fatalf("kv table via SQL: %+v, %v", rows, err)
+	}
+}
+
+func TestKVStoreRejectsBadTableName(t *testing.T) {
+	db := OpenMemory()
+	if _, err := NewKVStore("sql", db, "bad name; DROP"); err == nil {
+		t.Fatal("injection-prone table name accepted")
+	}
+	if _, err := NewKVStore("sql", db, ""); err == nil {
+		t.Fatal("empty table name accepted")
+	}
+}
+
+func TestTwoKVStoresShareDatabase(t *testing.T) {
+	db := OpenMemory()
+	a, err := NewKVStore("a", db, "store_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKVStore("b", db, "store_b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_ = a.Put(ctx, "k", []byte("A"))
+	_ = b.Put(ctx, "k", []byte("B"))
+	va, _ := a.Get(ctx, "k")
+	vb, _ := b.Get(ctx, "k")
+	if string(va) != "A" || string(vb) != "B" {
+		t.Fatalf("table isolation broken: %q, %q", va, vb)
+	}
+	_ = a.Clear(ctx)
+	if _, err := b.Get(ctx, "k"); err != nil {
+		t.Fatal("Clear on store_a wiped store_b")
+	}
+}

@@ -1,0 +1,61 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parameter binding: '?' placeholders rendered as SQL literals with correct
+// quoting, so callers (like the KV adapter) never build literals by string
+// concatenation. Binding happens at the text level — the bound statement is
+// what gets parsed, executed, and WAL-logged, keeping recovery replay
+// byte-identical to execution.
+
+// BindParams replaces each '?' placeholder in sql with the corresponding
+// value rendered as a SQL literal. The number of placeholders must match
+// the number of params exactly.
+func BindParams(sql string, params ...Value) (string, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return "", err
+	}
+	var holes []int
+	for _, t := range toks {
+		if t.kind == tokParam {
+			holes = append(holes, t.pos)
+		}
+	}
+	if len(holes) != len(params) {
+		return "", fmt.Errorf("minisql: statement has %d placeholders, got %d parameters", len(holes), len(params))
+	}
+	if len(holes) == 0 {
+		return sql, nil
+	}
+	var sb strings.Builder
+	prev := 0
+	for i, pos := range holes {
+		sb.WriteString(sql[prev:pos])
+		sb.WriteString(sqlLiteral(params[i]))
+		prev = pos + 1 // skip the '?'
+	}
+	sb.WriteString(sql[prev:])
+	return sb.String(), nil
+}
+
+// ExecParams is Exec with '?' parameter binding.
+func (db *Database) ExecParams(sql string, params ...Value) (int, error) {
+	bound, err := BindParams(sql, params...)
+	if err != nil {
+		return 0, err
+	}
+	return db.Exec(bound)
+}
+
+// QueryParams is Query with '?' parameter binding.
+func (db *Database) QueryParams(sql string, params ...Value) (*Result, error) {
+	bound, err := BindParams(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	return db.Query(bound)
+}

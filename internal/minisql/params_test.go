@@ -1,0 +1,115 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBindParamsLiterals(t *testing.T) {
+	bound, err := BindParams(`SELECT * FROM t WHERE a = ? AND b = ? AND c = ?`,
+		Int(42), Text("it's"), Bool(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT * FROM t WHERE a = 42 AND b = 'it''s' AND c = TRUE`
+	if bound != want {
+		t.Fatalf("bound = %q, want %q", bound, want)
+	}
+}
+
+func TestBindParamsIgnoresQuestionMarksInStrings(t *testing.T) {
+	bound, err := BindParams(`SELECT * FROM t WHERE a = 'what?' AND b = ?`, Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != `SELECT * FROM t WHERE a = 'what?' AND b = 1` {
+		t.Fatalf("bound = %q", bound)
+	}
+}
+
+func TestBindParamsArityMismatch(t *testing.T) {
+	if _, err := BindParams(`SELECT ? FROM t`, Int(1), Int(2)); err == nil {
+		t.Fatal("extra params accepted")
+	}
+	if _, err := BindParams(`SELECT ?, ? FROM t`, Int(1)); err == nil {
+		t.Fatal("missing params accepted")
+	}
+	// No placeholders, no params: pass-through.
+	bound, err := BindParams(`SELECT 1 FROM t`)
+	if err != nil || bound != `SELECT 1 FROM t` {
+		t.Fatalf("pass-through = %q, %v", bound, err)
+	}
+}
+
+func TestExecQueryParamsEndToEnd(t *testing.T) {
+	db := OpenMemory()
+	mustExec(t, db, `CREATE TABLE p (id INTEGER PRIMARY KEY, name TEXT, data BLOB)`)
+	hostile := `Robert'); DROP TABLE p; --`
+	if _, err := db.ExecParams(`INSERT INTO p VALUES (?, ?, ?)`,
+		Int(1), Text(hostile), Blob([]byte{0x00, 0xFF})); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryParams(`SELECT name FROM p WHERE id = ?`, Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat(res); got != hostile {
+		t.Fatalf("round trip = %q", got)
+	}
+	// The injection text is data, not SQL: the table still exists.
+	if _, err := db.Query(`SELECT COUNT(*) FROM p`); err != nil {
+		t.Fatalf("table damaged: %v", err)
+	}
+	res, err = db.QueryParams(`SELECT data FROM p WHERE name = ?`, Text(hostile))
+	if err != nil || len(res.Rows) != 1 || len(res.Rows[0][0].Bytes) != 2 {
+		t.Fatalf("blob param lookup: %+v, %v", res, err)
+	}
+}
+
+func TestParamsSurviveWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE p (id INTEGER PRIMARY KEY, v TEXT)`)
+	tricky := "quote ' dquote \" newline \n unicode 世界"
+	if _, err := db.ExecParams(`INSERT INTO p VALUES (?, ?)`, Int(1), Text(tricky)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (no Close): the WAL holds the bound statement text.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustQuery(t, db2, `SELECT v FROM p WHERE id = 1`)
+	if got := flat(res); got != tricky {
+		t.Fatalf("replayed value = %q, want %q", got, tricky)
+	}
+}
+
+func TestParamsRejectBadSQL(t *testing.T) {
+	if _, err := BindParams(`SELECT 'unterminated`, Int(1)); err == nil {
+		t.Fatal("lexer error swallowed")
+	}
+}
+
+func TestKVAdapterHostileKeys(t *testing.T) {
+	db := OpenMemory()
+	st, err := NewKVStore("sql", db, "kvp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := `k'; DROP TABLE kvp; --`
+	if err := st.Put(nil, hostile, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.Get(nil, hostile)
+	if err != nil || string(v) != "v" {
+		t.Fatalf("hostile key round trip: %q, %v", v, err)
+	}
+	if strings.Contains(flat(mustQuery(t, db, `SELECT COUNT(*) FROM kvp`)), "0") {
+		t.Fatal("table emptied")
+	}
+}

@@ -1,0 +1,288 @@
+package minisql
+
+import (
+	"fmt"
+	"sort"
+)
+
+// table is one in-memory table: a heap of rows addressed by a monotonically
+// increasing rowid, plus a unique index per PRIMARY KEY / UNIQUE column.
+type table struct {
+	schema   *CreateTableStmt
+	colIdx   map[string]int
+	pkCol    int // -1 when no primary key
+	nextRow  int64
+	defScope *scope
+	rows     map[int64][]Value
+	// indexes maps column position -> (index key -> rowid) for PK/UNIQUE
+	// columns.
+	indexes map[int]map[string]int64
+	// secIdx maps column position -> (index key -> rowids) for non-unique
+	// secondary indexes (CREATE INDEX).
+	secIdx map[int]map[string][]int64
+	// idxNames maps index name -> column position (both unique and
+	// secondary named indexes).
+	idxNames map[string]namedIndex
+}
+
+// namedIndex records one CREATE INDEX definition.
+type namedIndex struct {
+	col    int
+	unique bool
+}
+
+func newTable(schema *CreateTableStmt) (*table, error) {
+	t := &table{
+		schema:   schema,
+		colIdx:   make(map[string]int, len(schema.Cols)),
+		pkCol:    -1,
+		rows:     make(map[int64][]Value),
+		indexes:  make(map[int]map[string]int64),
+		secIdx:   make(map[int]map[string][]int64),
+		idxNames: make(map[string]namedIndex),
+	}
+	for i, c := range schema.Cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("minisql: duplicate column %q", c.Name)
+		}
+		t.colIdx[c.Name] = i
+		if c.PrimaryKey {
+			if t.pkCol >= 0 {
+				return nil, fmt.Errorf("minisql: multiple primary keys in table %q", schema.Name)
+			}
+			t.pkCol = i
+		}
+		if c.PrimaryKey || c.Unique {
+			t.indexes[i] = make(map[string]int64)
+		}
+	}
+	return t, nil
+}
+
+// buildIndex creates (or rebuilds) a named index on the column in def,
+// populating it from current rows. Unique indexes fail when existing values
+// collide.
+func (t *table) buildIndex(name string, def namedIndex) error {
+	if def.unique {
+		idx := make(map[string]int64, len(t.rows))
+		for id, row := range t.rows {
+			v := row[def.col]
+			if v.IsNull() {
+				continue
+			}
+			if _, dup := idx[v.indexKey()]; dup {
+				return fmt.Errorf("minisql: cannot create unique index %q: duplicate value %v", name, v)
+			}
+			idx[v.indexKey()] = id
+		}
+		t.indexes[def.col] = idx
+	} else {
+		t.secIdx[def.col] = make(map[string][]int64)
+		for id, row := range t.rows {
+			t.secAdd(def.col, row[def.col], id)
+		}
+	}
+	t.idxNames[name] = def
+	return nil
+}
+
+// dropIndex removes a named index (primary keys and column-level UNIQUE
+// constraints have no name and cannot be dropped).
+func (t *table) dropIndex(name string) {
+	def, ok := t.idxNames[name]
+	if !ok {
+		return
+	}
+	if def.unique {
+		delete(t.indexes, def.col)
+	} else {
+		delete(t.secIdx, def.col)
+	}
+	delete(t.idxNames, name)
+}
+
+// defaultScope returns (and caches) the table's scope under its own name.
+func (t *table) defaultScope() *scope {
+	if t.defScope == nil {
+		t.defScope = tableScope(t.schema.Name, t)
+	}
+	return t.defScope
+}
+
+// columnNames lists columns in declared order.
+func (t *table) columnNames() []string {
+	out := make([]string, len(t.schema.Cols))
+	for i, c := range t.schema.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// validate checks constraints and coerces vals (in declared order) to the
+// column types.
+func (t *table) validate(vals []Value) ([]Value, error) {
+	if len(vals) != len(t.schema.Cols) {
+		return nil, fmt.Errorf("minisql: table %q has %d columns, got %d values", t.schema.Name, len(t.schema.Cols), len(vals))
+	}
+	out := make([]Value, len(vals))
+	for i, c := range t.schema.Cols {
+		v, err := coerce(vals[i], c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%w (column %q)", err, c.Name)
+		}
+		if v.IsNull() && c.NotNull {
+			return nil, fmt.Errorf("minisql: column %q is NOT NULL", c.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// lookupUnique returns the rowid holding value v in indexed column col.
+func (t *table) lookupUnique(col int, v Value) (int64, bool) {
+	idx, ok := t.indexes[col]
+	if !ok || v.IsNull() {
+		return 0, false
+	}
+	id, ok := idx[v.indexKey()]
+	return id, ok
+}
+
+// insert adds a validated row, enforcing unique indexes. It returns the new
+// rowid.
+func (t *table) insert(vals []Value) (int64, error) {
+	for col, idx := range t.indexes {
+		v := vals[col]
+		if v.IsNull() {
+			continue
+		}
+		if _, exists := idx[v.indexKey()]; exists {
+			return 0, fmt.Errorf("minisql: duplicate value %v for unique column %q of table %q",
+				v, t.schema.Cols[col].Name, t.schema.Name)
+		}
+	}
+	id := t.nextRow
+	t.nextRow++
+	t.rows[id] = vals
+	for col, idx := range t.indexes {
+		if v := vals[col]; !v.IsNull() {
+			idx[v.indexKey()] = id
+		}
+	}
+	for col := range t.secIdx {
+		t.secAdd(col, vals[col], id)
+	}
+	return id, nil
+}
+
+// secAdd records id under v in the secondary index on col.
+func (t *table) secAdd(col int, v Value, id int64) {
+	if v.IsNull() {
+		return
+	}
+	k := v.indexKey()
+	t.secIdx[col][k] = append(t.secIdx[col][k], id)
+}
+
+// secRemove drops id from the secondary index on col.
+func (t *table) secRemove(col int, v Value, id int64) {
+	if v.IsNull() {
+		return
+	}
+	k := v.indexKey()
+	ids := t.secIdx[col][k]
+	for i, x := range ids {
+		if x == id {
+			ids = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(t.secIdx[col], k)
+	} else {
+		t.secIdx[col][k] = ids
+	}
+}
+
+// update replaces the row at id with validated vals, maintaining indexes.
+func (t *table) update(id int64, vals []Value) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("minisql: internal: updating missing rowid %d", id)
+	}
+	for col, idx := range t.indexes {
+		nv := vals[col]
+		if nv.IsNull() {
+			continue
+		}
+		if existing, exists := idx[nv.indexKey()]; exists && existing != id {
+			return fmt.Errorf("minisql: duplicate value %v for unique column %q of table %q",
+				nv, t.schema.Cols[col].Name, t.schema.Name)
+		}
+	}
+	for col, idx := range t.indexes {
+		if ov := old[col]; !ov.IsNull() {
+			delete(idx, ov.indexKey())
+		}
+		if nv := vals[col]; !nv.IsNull() {
+			idx[nv.indexKey()] = id
+		}
+	}
+	for col := range t.secIdx {
+		t.secRemove(col, old[col], id)
+		t.secAdd(col, vals[col], id)
+	}
+	t.rows[id] = vals
+	return nil
+}
+
+// delete removes the row at id, maintaining indexes.
+func (t *table) delete(id int64) {
+	old, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	for col, idx := range t.indexes {
+		if v := old[col]; !v.IsNull() {
+			delete(idx, v.indexKey())
+		}
+	}
+	for col := range t.secIdx {
+		t.secRemove(col, old[col], id)
+	}
+	delete(t.rows, id)
+}
+
+// scanIDs returns rowids in a deterministic order (ascending insertion id),
+// which keeps query plans and WAL replay stable.
+func (t *table) scanIDs() []int64 {
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// clone deep-copies the table (used for snapshots).
+func (t *table) clone() *table {
+	nt := &table{
+		schema:  t.schema,
+		colIdx:  t.colIdx,
+		pkCol:   t.pkCol,
+		nextRow: t.nextRow,
+		rows:    make(map[int64][]Value, len(t.rows)),
+		indexes: make(map[int]map[string]int64, len(t.indexes)),
+	}
+	for id, row := range t.rows {
+		nt.rows[id] = append([]Value(nil), row...)
+	}
+	for col, idx := range t.indexes {
+		m := make(map[string]int64, len(idx))
+		for k, v := range idx {
+			m[k] = v
+		}
+		nt.indexes[col] = m
+	}
+	return nt
+}

@@ -1,0 +1,146 @@
+// Package pack implements the DSCL's client-side compression: gzip (as in
+// the paper, §V Fig. 21) with a small frame header so readers can tell
+// compressed values from raw ones.
+//
+// Compression is skipped when it does not pay: if gzip fails to shrink the
+// value below a configurable fraction of its original size, the value is
+// framed as "stored" instead. Already-compressed or encrypted data therefore
+// costs one header byte rather than a futile deflate pass — the CPU/space
+// trade-off §III closes with.
+//
+// Frame layout: tag(1) | payload. Tag 0x00 = stored raw, 0x01 = gzip.
+package pack
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+const (
+	tagStored = 0x00
+	tagGzip   = 0x01
+)
+
+// ErrNotFramed reports data that does not begin with a pack frame tag.
+var ErrNotFramed = errors.New("pack: data is not a pack frame")
+
+// Codec compresses and decompresses byte slices. It is safe for concurrent
+// use. The zero value is not usable; call New.
+type Codec struct {
+	level int
+	// minRatio is the largest acceptable compressed/original ratio; above
+	// it the value is stored raw.
+	minRatio float64
+
+	writers sync.Pool
+	readers sync.Pool
+}
+
+// Option configures a Codec.
+type Option func(*Codec)
+
+// WithLevel sets the gzip compression level (gzip.BestSpeed..BestCompression).
+func WithLevel(level int) Option { return func(c *Codec) { c.level = level } }
+
+// WithSkipThreshold sets the compressed/original ratio above which values are
+// stored uncompressed. 1.0 stores raw only when gzip expands the data;
+// 0 disables the fallback entirely (always gzip).
+func WithSkipThreshold(ratio float64) Option { return func(c *Codec) { c.minRatio = ratio } }
+
+// New builds a Codec. Defaults: gzip.DefaultCompression, skip threshold 0.98.
+func New(opts ...Option) *Codec {
+	c := &Codec{level: gzip.DefaultCompression, minRatio: 0.98}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Compress frames value, gzipping it when that shrinks it enough.
+func (c *Codec) Compress(value []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(value)/2 + 16)
+	buf.WriteByte(tagGzip)
+
+	zw, _ := c.writers.Get().(*gzip.Writer)
+	if zw == nil {
+		var err error
+		zw, err = gzip.NewWriterLevel(&buf, c.level)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		zw.Reset(&buf)
+	}
+	if _, err := zw.Write(value); err != nil {
+		return nil, fmt.Errorf("pack: compressing: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("pack: finishing stream: %w", err)
+	}
+	c.writers.Put(zw)
+
+	if c.minRatio > 0 && len(value) > 0 {
+		ratio := float64(buf.Len()-1) / float64(len(value))
+		if ratio > c.minRatio {
+			out := make([]byte, 1+len(value))
+			out[0] = tagStored
+			copy(out[1:], value)
+			return out, nil
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress unframes data produced by Compress.
+func (c *Codec) Decompress(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrNotFramed
+	}
+	switch data[0] {
+	case tagStored:
+		return append([]byte(nil), data[1:]...), nil
+	case tagGzip:
+		zr, _ := c.readers.Get().(*gzip.Reader)
+		if zr == nil {
+			var err error
+			zr, err = gzip.NewReader(bytes.NewReader(data[1:]))
+			if err != nil {
+				return nil, fmt.Errorf("pack: opening stream: %w", err)
+			}
+		} else if err := zr.Reset(bytes.NewReader(data[1:])); err != nil {
+			return nil, fmt.Errorf("pack: opening stream: %w", err)
+		}
+		out, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("pack: decompressing: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("pack: closing stream: %w", err)
+		}
+		c.readers.Put(zr)
+		return out, nil
+	default:
+		return nil, ErrNotFramed
+	}
+}
+
+// IsFramed reports whether data begins with a pack frame tag. (One-byte tags
+// are ambiguous in principle; in the DSCL pipeline compression order is fixed
+// so this is only used for diagnostics.)
+func IsFramed(data []byte) bool {
+	return len(data) > 0 && (data[0] == tagStored || data[0] == tagGzip)
+}
+
+// Ratio is a convenience that reports len(compressed)/len(original) for
+// instrumentation. Returns 1 for empty input.
+func Ratio(original, compressed []byte) float64 {
+	if len(original) == 0 {
+		return 1
+	}
+	return float64(len(compressed)) / float64(len(original))
+}

@@ -1,0 +1,47 @@
+package resp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks the protocol reader never panics or over-allocates on
+// hostile input, and that values it accepts re-encode to something it
+// accepts again (round-trip stability).
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"+OK\r\n",
+		"-ERR broken\r\n",
+		":12345\r\n",
+		"$5\r\nhello\r\n",
+		"$-1\r\n",
+		"*2\r\n$1\r\na\r\n:9\r\n",
+		"*-1\r\n",
+		"$999999999999\r\n",
+		"*3\r\n",
+		"\r\n",
+		"X?\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := NewReader(bytes.NewReader(data)).Read()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(v); err != nil {
+			t.Fatalf("accepted value failed to encode: %+v: %v", v, err)
+		}
+		_ = w.Flush()
+		v2, err := NewReader(&buf).Read()
+		if err != nil {
+			t.Fatalf("re-encoded value failed to parse: %q: %v", buf.Bytes(), err)
+		}
+		if v2.Kind != v.Kind || v2.Null != v.Null {
+			t.Fatalf("round trip changed shape: %+v -> %+v", v, v2)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package resp implements the RESP2 wire protocol (the protocol spoken by
+// Redis and memcached-era clients such as Jedis). It is shared by the
+// miniredis server and client, so values cached in the remote process cache
+// cross a real socket with real serialization — the overhead §III and §V
+// attribute to remote-process caching.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Value is one RESP protocol value.
+type Value struct {
+	Kind Kind
+	// Str holds simple strings and errors; Bulk holds bulk strings.
+	Str   string
+	Int   int64
+	Bulk  []byte
+	Array []Value
+	// Null marks nil bulk strings ($-1) and nil arrays (*-1).
+	Null bool
+}
+
+// Kind enumerates RESP value types.
+type Kind byte
+
+const (
+	SimpleString Kind = '+'
+	Error        Kind = '-'
+	Integer      Kind = ':'
+	BulkString   Kind = '$'
+	Array        Kind = '*'
+)
+
+// ErrProtocol reports malformed RESP data.
+var ErrProtocol = errors.New("resp: protocol error")
+
+// MaxBulkLen bounds a single bulk string (512 MB, Redis's limit).
+const MaxBulkLen = 512 << 20
+
+// Convenience constructors.
+
+// OK is the canonical +OK reply.
+func OK() Value { return Value{Kind: SimpleString, Str: "OK"} }
+
+// Simple builds a simple-string value.
+func Simple(s string) Value { return Value{Kind: SimpleString, Str: s} }
+
+// Err builds an error value.
+func Err(format string, args ...any) Value {
+	return Value{Kind: Error, Str: fmt.Sprintf(format, args...)}
+}
+
+// Int builds an integer value.
+func Int(n int64) Value { return Value{Kind: Integer, Int: n} }
+
+// Bulk builds a bulk-string value.
+func Bulk(b []byte) Value { return Value{Kind: BulkString, Bulk: b} }
+
+// BulkString builds a bulk-string value from a string.
+func BulkStr(s string) Value { return Value{Kind: BulkString, Bulk: []byte(s)} }
+
+// Nil is the null bulk string ($-1).
+func Nil() Value { return Value{Kind: BulkString, Null: true} }
+
+// ArrayOf builds an array value.
+func ArrayOf(vs ...Value) Value { return Value{Kind: Array, Array: vs} }
+
+// IsError reports whether v is a protocol-level error reply.
+func (v Value) IsError() bool { return v.Kind == Error }
+
+// Text renders the value's payload as a string (for tests and simple
+// clients).
+func (v Value) Text() string {
+	switch v.Kind {
+	case SimpleString, Error:
+		return v.Str
+	case Integer:
+		return strconv.FormatInt(v.Int, 10)
+	case BulkString:
+		if v.Null {
+			return ""
+		}
+		return string(v.Bulk)
+	default:
+		return fmt.Sprintf("<array of %d>", len(v.Array))
+	}
+}
+
+// Reader decodes RESP values from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReader(r)} }
+
+// readLine reads up to CRLF, returning the line without the terminator.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+	}
+	return line[:len(line)-2], nil
+}
+
+// Read decodes the next value.
+func (r *Reader) Read() (Value, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return Value{}, err
+	}
+	if len(line) == 0 {
+		return Value{}, fmt.Errorf("%w: empty line", ErrProtocol)
+	}
+	kind, rest := Kind(line[0]), line[1:]
+	switch kind {
+	case SimpleString, Error:
+		return Value{Kind: kind, Str: string(rest)}, nil
+	case Integer:
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, rest)
+		}
+		return Value{Kind: Integer, Int: n}, nil
+	case BulkString:
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, rest)
+		}
+		if n == -1 {
+			return Nil(), nil
+		}
+		if n < 0 || n > MaxBulkLen {
+			return Value{}, fmt.Errorf("%w: bulk length %d out of range", ErrProtocol, n)
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProtocol)
+		}
+		return Value{Kind: BulkString, Bulk: buf[:n]}, nil
+	case Array:
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, rest)
+		}
+		if n == -1 {
+			return Value{Kind: Array, Null: true}, nil
+		}
+		if n < 0 || n > 1<<20 {
+			return Value{}, fmt.Errorf("%w: array length %d out of range", ErrProtocol, n)
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			if vs[i], err = r.Read(); err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{Kind: Array, Array: vs}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown type byte %q", ErrProtocol, line[0])
+	}
+}
+
+// ReadCommand reads one client command: an array of bulk strings, returned
+// as byte slices. (Inline commands are not supported.)
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	v, err := r.Read()
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != Array || v.Null || len(v.Array) == 0 {
+		return nil, fmt.Errorf("%w: command must be a non-empty array", ErrProtocol)
+	}
+	args := make([][]byte, len(v.Array))
+	for i, e := range v.Array {
+		if e.Kind != BulkString || e.Null {
+			return nil, fmt.Errorf("%w: command arguments must be bulk strings", ErrProtocol)
+		}
+		args[i] = e.Bulk
+	}
+	return args, nil
+}
+
+// Writer encodes RESP values onto a stream.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// Write encodes v. Call Flush to push buffered data to the connection.
+func (w *Writer) Write(v Value) error {
+	switch v.Kind {
+	case SimpleString, Error:
+		w.bw.WriteByte(byte(v.Kind))
+		w.bw.WriteString(v.Str)
+	case Integer:
+		w.bw.WriteByte(':')
+		w.bw.WriteString(strconv.FormatInt(v.Int, 10))
+	case BulkString:
+		w.bw.WriteByte('$')
+		if v.Null {
+			w.bw.WriteString("-1")
+		} else {
+			w.bw.WriteString(strconv.Itoa(len(v.Bulk)))
+			w.bw.WriteString("\r\n")
+			w.bw.Write(v.Bulk)
+		}
+	case Array:
+		w.bw.WriteByte('*')
+		if v.Null {
+			w.bw.WriteString("-1")
+		} else {
+			w.bw.WriteString(strconv.Itoa(len(v.Array)))
+			w.bw.WriteString("\r\n")
+			for _, e := range v.Array {
+				if err := w.Write(e); err != nil {
+					return err
+				}
+			}
+			return nil // elements already wrote their terminators
+		}
+	default:
+		return fmt.Errorf("%w: cannot encode kind %q", ErrProtocol, byte(v.Kind))
+	}
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// WriteCommand encodes a client command (array of bulk strings) and flushes.
+func (w *Writer) WriteCommand(args ...[]byte) error {
+	vs := make([]Value, len(args))
+	for i, a := range args {
+		vs[i] = Bulk(a)
+	}
+	if err := w.Write(ArrayOf(vs...)); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Flush pushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }

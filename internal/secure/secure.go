@@ -1,0 +1,131 @@
+// Package secure implements the DSCL's client-side encryption: an
+// AES-128-CTR + HMAC-SHA256 encrypt-then-MAC envelope. The paper (§V,
+// Fig. 20) uses AES with 128-bit keys and observes that, AES being symmetric,
+// encryption and decryption cost about the same — a property this
+// construction preserves (CTR mode runs the block cipher identically in both
+// directions).
+//
+// Envelope layout:
+//
+//	magic(2) | version(1) | iv(16) | ciphertext(n) | hmac(32)
+//
+// The MAC covers magic..ciphertext, so truncation, bit flips, and version
+// confusion are all detected before any plaintext is released.
+package secure
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the AES key size in bytes (128-bit keys, as in the paper).
+const KeySize = 16
+
+const (
+	magic0  = 0xE5
+	magic1  = 0xDC
+	version = 1
+
+	ivSize  = aes.BlockSize
+	macSize = sha256.Size
+
+	// Overhead is the fixed size added to every plaintext.
+	Overhead = 2 + 1 + ivSize + macSize
+)
+
+// Errors returned by Open.
+var (
+	ErrNotEnvelope = errors.New("secure: data is not an encryption envelope")
+	ErrTampered    = errors.New("secure: envelope failed authentication")
+)
+
+// Cipher encrypts and decrypts byte slices. It is safe for concurrent use.
+type Cipher struct {
+	encKey [KeySize]byte
+	macKey [sha256.Size]byte
+	randR  io.Reader
+}
+
+// NewCipher builds a Cipher from a 16-byte key. The encryption and MAC keys
+// are derived from it with domain-separated SHA-256, so a single user key
+// configures the whole envelope.
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("secure: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	c := &Cipher{randR: rand.Reader}
+	enc := sha256.Sum256(append([]byte("edsc-enc:"), key...))
+	copy(c.encKey[:], enc[:KeySize])
+	c.macKey = sha256.Sum256(append([]byte("edsc-mac:"), key...))
+	return c, nil
+}
+
+// NewCipherFromPassphrase derives a key from an arbitrary passphrase.
+// (A fixed-cost hash, not a tunable KDF: the paper's client encrypts with a
+// user-provided key; passphrase hardening is out of scope.)
+func NewCipherFromPassphrase(passphrase string) *Cipher {
+	sum := sha256.Sum256([]byte("edsc-pass:" + passphrase))
+	c, err := NewCipher(sum[:KeySize])
+	if err != nil {
+		panic("secure: internal key derivation failed: " + err.Error())
+	}
+	return c
+}
+
+// Seal encrypts plaintext into a fresh envelope.
+func (c *Cipher) Seal(plaintext []byte) ([]byte, error) {
+	out := make([]byte, 3+ivSize+len(plaintext)+macSize)
+	out[0], out[1], out[2] = magic0, magic1, version
+	iv := out[3 : 3+ivSize]
+	if _, err := io.ReadFull(c.randR, iv); err != nil {
+		return nil, fmt.Errorf("secure: generating IV: %w", err)
+	}
+	block, err := aes.NewCipher(c.encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(out[3+ivSize:3+ivSize+len(plaintext)], plaintext)
+
+	mac := hmac.New(sha256.New, c.macKey[:])
+	mac.Write(out[:3+ivSize+len(plaintext)])
+	mac.Sum(out[:3+ivSize+len(plaintext)])
+	return out, nil
+}
+
+// Open authenticates and decrypts an envelope produced by Seal.
+func (c *Cipher) Open(envelope []byte) ([]byte, error) {
+	if len(envelope) < Overhead || envelope[0] != magic0 || envelope[1] != magic1 {
+		return nil, ErrNotEnvelope
+	}
+	if envelope[2] != version {
+		return nil, fmt.Errorf("secure: unsupported envelope version %d", envelope[2])
+	}
+	body := envelope[:len(envelope)-macSize]
+	gotMAC := envelope[len(envelope)-macSize:]
+	mac := hmac.New(sha256.New, c.macKey[:])
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), gotMAC) {
+		return nil, ErrTampered
+	}
+	iv := envelope[3 : 3+ivSize]
+	ct := envelope[3+ivSize : len(envelope)-macSize]
+	block, err := aes.NewCipher(c.encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	return pt, nil
+}
+
+// IsEnvelope reports whether data begins with the envelope header, letting
+// mixed deployments (some values encrypted, some not) route correctly.
+func IsEnvelope(data []byte) bool {
+	return len(data) >= Overhead && data[0] == magic0 && data[1] == magic1
+}

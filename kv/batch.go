@@ -1,0 +1,50 @@
+package kv
+
+import "context"
+
+// Batch is implemented by stores that can serve multiple keys in one
+// round trip (MGET/MSET on the cache server, for instance). Code that wants
+// batching without caring whether the store supports it natively uses the
+// GetMulti/PutMulti helpers, which fall back to per-key loops.
+type Batch interface {
+	// GetMulti fetches several keys at once. Missing keys are simply
+	// absent from the result; only transport-level failures error.
+	GetMulti(ctx context.Context, keys []string) (map[string][]byte, error)
+
+	// PutMulti stores several pairs at once. Not atomic unless the
+	// underlying store says otherwise.
+	PutMulti(ctx context.Context, pairs map[string][]byte) error
+}
+
+// GetMulti fetches keys from s, using its native batch support when
+// available and a per-key loop otherwise.
+func GetMulti(ctx context.Context, s Store, keys []string) (map[string][]byte, error) {
+	if b, ok := s.(Batch); ok {
+		return b.GetMulti(ctx, keys)
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := s.Get(ctx, k)
+		if IsNotFound(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// PutMulti stores pairs into s, using native batch support when available.
+func PutMulti(ctx context.Context, s Store, pairs map[string][]byte) error {
+	if b, ok := s.(Batch); ok {
+		return b.PutMulti(ctx, pairs)
+	}
+	for k, v := range pairs {
+		if err := s.Put(ctx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

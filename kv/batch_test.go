@@ -1,0 +1,94 @@
+package kv_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"edsc/kv"
+)
+
+func TestGetMultiFallbackLoop(t *testing.T) {
+	ctx := context.Background()
+	s := kv.NewMem("m") // Mem has no native batch support
+	_ = s.Put(ctx, "a", []byte("1"))
+	_ = s.Put(ctx, "b", []byte("2"))
+	got, err := kv.GetMulti(ctx, s, []string{"a", "missing", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got["a"]) != "1" || string(got["b"]) != "2" {
+		t.Fatalf("GetMulti = %v", got)
+	}
+	if _, present := got["missing"]; present {
+		t.Fatal("missing key present in result")
+	}
+}
+
+func TestPutMultiFallbackLoop(t *testing.T) {
+	ctx := context.Background()
+	s := kv.NewMem("m")
+	pairs := map[string][]byte{"x": []byte("1"), "y": []byte("2"), "z": []byte("3")}
+	if err := kv.PutMulti(ctx, s, pairs); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range pairs {
+		v, err := s.Get(ctx, k)
+		if err != nil || !bytes.Equal(v, want) {
+			t.Fatalf("Get(%q) = %q, %v", k, v, err)
+		}
+	}
+}
+
+// batchCounter verifies the helpers prefer the native implementation.
+type batchCounter struct {
+	kv.Store
+	batchCalls int
+}
+
+func (b *batchCounter) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	b.batchCalls++
+	out := map[string][]byte{}
+	for _, k := range keys {
+		if v, err := b.Store.Get(ctx, k); err == nil {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+func (b *batchCounter) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	b.batchCalls++
+	for k, v := range pairs {
+		if err := b.Store.Put(ctx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestHelpersPreferNativeBatch(t *testing.T) {
+	ctx := context.Background()
+	b := &batchCounter{Store: kv.NewMem("m")}
+	if err := kv.PutMulti(ctx, b, map[string][]byte{"k": []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.GetMulti(ctx, b, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.batchCalls != 2 {
+		t.Fatalf("native batch calls = %d, want 2", b.batchCalls)
+	}
+}
+
+func TestGetMultiPropagatesErrors(t *testing.T) {
+	ctx := context.Background()
+	s := kv.NewMem("m")
+	_ = s.Close()
+	if _, err := kv.GetMulti(ctx, s, []string{"a"}); err == nil {
+		t.Fatal("closed store error swallowed")
+	}
+	if err := kv.PutMulti(ctx, s, map[string][]byte{"a": nil}); err == nil {
+		t.Fatal("closed store error swallowed")
+	}
+}

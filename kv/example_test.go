@@ -1,0 +1,52 @@
+package kv_test
+
+import (
+	"context"
+	"fmt"
+
+	"edsc/kv"
+)
+
+// The common key-value interface: the same code runs against any store.
+func ExampleStore() {
+	ctx := context.Background()
+	var store kv.Store = kv.NewMem("demo") // swap for any other implementation
+
+	_ = store.Put(ctx, "greeting", []byte("hello"))
+	v, _ := store.Get(ctx, "greeting")
+	fmt.Println(string(v))
+
+	_, err := store.Get(ctx, "absent")
+	fmt.Println(kv.IsNotFound(err))
+	// Output:
+	// hello
+	// true
+}
+
+// Typed access over any store — the paper's KeyValue<K,V>, with codecs.
+func ExampleMap() {
+	ctx := context.Background()
+	type user struct {
+		Name string `json:"name"`
+	}
+	users := kv.NewMap[int64, user](kv.NewMem("users"), kv.Int64Key{}, kv.JSONCodec[user]{})
+
+	_ = users.Put(ctx, 7, user{Name: "ada"})
+	u, _ := users.Get(ctx, 7)
+	fmt.Println(u.Name)
+	// Output:
+	// ada
+}
+
+// Batched access uses a store's native batch support when present and
+// falls back to per-key loops otherwise.
+func ExampleGetMulti() {
+	ctx := context.Background()
+	store := kv.NewMem("demo")
+	_ = kv.PutMulti(ctx, store, map[string][]byte{"a": []byte("1"), "b": []byte("2")})
+
+	got, _ := kv.GetMulti(ctx, store, []string{"a", "b", "missing"})
+	fmt.Println(len(got), string(got["a"]), string(got["b"]))
+	// Output:
+	// 2 1 2
+}

@@ -1,0 +1,133 @@
+package kv
+
+import (
+	"context"
+	"sync"
+)
+
+// Mem is a trivial in-memory Store. It is the reference implementation of
+// the Store contract, useful in tests and as scratch space; the DSCL's real
+// in-process cache (with eviction and expiration management) lives in
+// internal/cache and is exposed through package dscl.
+type Mem struct {
+	name string
+
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory store with the given name.
+func NewMem(name string) *Mem {
+	return &Mem{name: name, m: make(map[string][]byte)}
+}
+
+var _ Store = (*Mem)(nil)
+
+// Name implements Store.
+func (s *Mem) Name() string { return s.name }
+
+// Get implements Store.
+func (s *Mem) Get(_ context.Context, key string) ([]byte, error) {
+	if err := CheckKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Put implements Store.
+func (s *Mem) Put(_ context.Context, key string, value []byte) error {
+	if err := CheckKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.m[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(_ context.Context, key string) error {
+	if err := CheckKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.m[key]; !ok {
+		return ErrNotFound
+	}
+	delete(s.m, key)
+	return nil
+}
+
+// Contains implements Store.
+func (s *Mem) Contains(_ context.Context, key string) (bool, error) {
+	if err := CheckKey(key); err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, ok := s.m[key]
+	return ok, nil
+}
+
+// Keys implements Store.
+func (s *Mem) Keys(_ context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// Len implements Store.
+func (s *Mem) Len(_ context.Context) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.m), nil
+}
+
+// Clear implements Store.
+func (s *Mem) Clear(_ context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.m = make(map[string][]byte)
+	return nil
+}
+
+// Close implements Store.
+func (s *Mem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

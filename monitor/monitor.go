@@ -1,0 +1,220 @@
+// Package monitor implements the UDSM's performance monitoring (§II-A): it
+// collects summary statistics (count, mean, min, max, standard deviation)
+// for every operation type, plus detailed per-request latencies for recent
+// requests in a bounded ring buffer — "collect detailed data for recent
+// requests while only retaining summary statistics for older data", exactly
+// as the paper specifies. Snapshots can be rendered as text and persisted
+// into any data store supported by the UDSM.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency observations for the operations of one data
+// store. It is safe for concurrent use.
+type Recorder struct {
+	store  string
+	recent int
+
+	mu  sync.Mutex
+	ops map[string]*opStats
+}
+
+// opStats is the per-operation accumulator: running summary over all
+// observations plus a ring of recent samples.
+type opStats struct {
+	count int64
+	sum   float64 // seconds
+	sumSq float64
+	min   float64
+	max   float64
+
+	ring []Sample
+	next int
+	full bool
+}
+
+// Sample is one retained detailed observation.
+type Sample struct {
+	When    time.Time     `json:"when"`
+	Latency time.Duration `json:"latency"`
+	Bytes   int           `json:"bytes"`
+	Err     bool          `json:"err,omitempty"`
+}
+
+// New builds a Recorder for the named store, retaining recentN detailed
+// samples per operation (minimum 16).
+func New(store string, recentN int) *Recorder {
+	if recentN < 16 {
+		recentN = 16
+	}
+	return &Recorder{store: store, recent: recentN, ops: make(map[string]*opStats)}
+}
+
+// Store returns the monitored store's name.
+func (r *Recorder) Store() string { return r.store }
+
+// Record adds one observation for op ("get", "put", ...).
+func (r *Recorder) Record(op string, latency time.Duration, bytes int, failed bool) {
+	sec := latency.Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.ops[op]
+	if !ok {
+		st = &opStats{ring: make([]Sample, r.recent), min: math.Inf(1), max: math.Inf(-1)}
+		r.ops[op] = st
+	}
+	st.count++
+	st.sum += sec
+	st.sumSq += sec * sec
+	if sec < st.min {
+		st.min = sec
+	}
+	if sec > st.max {
+		st.max = sec
+	}
+	st.ring[st.next] = Sample{When: time.Now(), Latency: latency, Bytes: bytes, Err: failed}
+	st.next++
+	if st.next == len(st.ring) {
+		st.next = 0
+		st.full = true
+	}
+}
+
+// Timed runs fn, recording its latency under op. It returns fn's error.
+func (r *Recorder) Timed(op string, bytes int, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	r.Record(op, time.Since(start), bytes, err != nil)
+	return err
+}
+
+// Summary is the retained statistics for one operation.
+type Summary struct {
+	Op     string        `json:"op"`
+	Count  int64         `json:"count"`
+	Mean   time.Duration `json:"mean"`
+	Min    time.Duration `json:"min"`
+	Max    time.Duration `json:"max"`
+	Stddev time.Duration `json:"stddev"`
+	// P50/P95/P99 are percentiles over the retained recent samples (the
+	// full history keeps only the summary).
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+	// Errors counts failed recent samples.
+	Errors int `json:"errors"`
+}
+
+// Snapshot captures all operations of one store at a point in time.
+type Snapshot struct {
+	Store string              `json:"store"`
+	Taken time.Time           `json:"taken"`
+	Ops   []Summary           `json:"ops"`
+	Rec   map[string][]Sample `json:"recent,omitempty"`
+}
+
+// Snapshot returns current statistics. When includeRecent is true the
+// detailed recent samples are attached (oldest first).
+func (r *Recorder) Snapshot(includeRecent bool) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Store: r.store, Taken: time.Now()}
+	if includeRecent {
+		snap.Rec = make(map[string][]Sample)
+	}
+	names := make([]string, 0, len(r.ops))
+	for op := range r.ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	for _, op := range names {
+		st := r.ops[op]
+		recent := st.samplesLocked()
+		sum := Summary{Op: op, Count: st.count}
+		if st.count > 0 {
+			mean := st.sum / float64(st.count)
+			sum.Mean = time.Duration(mean * float64(time.Second))
+			sum.Min = time.Duration(st.min * float64(time.Second))
+			sum.Max = time.Duration(st.max * float64(time.Second))
+			variance := st.sumSq/float64(st.count) - mean*mean
+			if variance > 0 {
+				sum.Stddev = time.Duration(math.Sqrt(variance) * float64(time.Second))
+			}
+		}
+		if len(recent) > 0 {
+			lat := make([]time.Duration, 0, len(recent))
+			for _, s := range recent {
+				lat = append(lat, s.Latency)
+				if s.Err {
+					sum.Errors++
+				}
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			sum.P50 = percentile(lat, 0.50)
+			sum.P95 = percentile(lat, 0.95)
+			sum.P99 = percentile(lat, 0.99)
+		}
+		snap.Ops = append(snap.Ops, sum)
+		if includeRecent {
+			snap.Rec[op] = recent
+		}
+	}
+	return snap
+}
+
+// samplesLocked returns the ring contents oldest-first. Caller holds r.mu.
+func (st *opStats) samplesLocked() []Sample {
+	if !st.full {
+		return append([]Sample(nil), st.ring[:st.next]...)
+	}
+	out := make([]Sample, 0, len(st.ring))
+	out = append(out, st.ring[st.next:]...)
+	out = append(out, st.ring[:st.next]...)
+	return out
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Reset clears all statistics.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.ops = make(map[string]*opStats)
+	r.mu.Unlock()
+}
+
+// Text renders the snapshot as an aligned table.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "store %s (taken %s)\n", s.Store, s.Taken.Format(time.RFC3339))
+	fmt.Fprintf(&sb, "%-10s %8s %12s %12s %12s %12s %12s %12s %12s %6s\n",
+		"op", "count", "mean", "min", "max", "stddev", "p50", "p95", "p99", "errs")
+	for _, o := range s.Ops {
+		fmt.Fprintf(&sb, "%-10s %8d %12s %12s %12s %12s %12s %12s %12s %6d\n",
+			o.Op, o.Count, o.Mean, o.Min, o.Max, o.Stddev, o.P50, o.P95, o.P99, o.Errors)
+	}
+	return sb.String()
+}
+
+// Marshal serializes the snapshot (for persisting into a data store).
+func (s Snapshot) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalSnapshot reverses Marshal.
+func UnmarshalSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	err := json.Unmarshal(data, &s)
+	return s, err
+}

@@ -1,0 +1,56 @@
+# gnuplot script rendering the regenerated figures (run from results/):
+#   gnuplot plot.gp
+# Produces one PNG per figure, log-log axes as in the paper.
+
+set terminal pngcairo size 900,600 enhanced
+set logscale xy
+set xlabel "object size (bytes)"
+set ylabel "latency (ms)"
+set key top left
+set grid
+
+set output "fig09_read_latency.png"
+set title "Fig. 9 — read latency vs object size"
+plot "fig09_read_latency.dat" using 1:2 with linespoints title "cloudstore1", \
+     "" using 1:3 with linespoints title "cloudstore2", \
+     "" using 1:4 with linespoints title "minisql", \
+     "" using 1:5 with linespoints title "filesystem", \
+     "" using 1:6 with linespoints title "miniredis"
+
+set output "fig10_write_latency.png"
+set title "Fig. 10 — write latency vs object size"
+plot "fig10_write_latency.dat" using 1:2 with linespoints title "cloudstore1", \
+     "" using 1:3 with linespoints title "cloudstore2", \
+     "" using 1:4 with linespoints title "minisql", \
+     "" using 1:5 with linespoints title "filesystem", \
+     "" using 1:6 with linespoints title "miniredis"
+
+# Caching figures: no-cache plus extrapolated hit-rate curves (§V).
+do for [f in "fig11_cloudstore1_inprocess fig12_cloudstore1_remote fig13_cloudstore2_inprocess fig14_cloudstore2_remote fig15_minisql_inprocess fig16_minisql_remote fig17_filesystem_inprocess fig18_filesystem_remote fig19_miniredis_inprocess"] {
+    set output sprintf("%s.png", f)
+    set title sprintf("%s — read latency by hit rate", f)
+    plot sprintf("%s.dat", f) using 1:4 with linespoints title "no caching", \
+         "" using 1:5 with linespoints title "25% hits", \
+         "" using 1:6 with linespoints title "50% hits", \
+         "" using 1:7 with linespoints title "75% hits", \
+         "" using 1:8 with linespoints title "100% hits"
+}
+
+set output "fig20_encryption.png"
+set title "Fig. 20 — AES-128 encryption/decryption overhead"
+plot "fig20_encryption.dat" using 1:2 with linespoints title "encrypt", \
+     "" using 1:3 with linespoints title "decrypt"
+
+set output "fig21_compression.png"
+set title "Fig. 21 — gzip compression/decompression overhead"
+plot "fig21_compression.dat" using 1:2 with linespoints title "compress", \
+     "" using 1:3 with linespoints title "decompress"
+
+unset logscale
+set logscale y
+set output "fig08_delta.png"
+set xlabel "changed fraction of object"
+set ylabel "delta size (bytes)"
+set title "Fig. 8 companion — delta size vs change fraction"
+plot "fig08_delta.dat" using 1:3 with linespoints title "delta bytes", \
+     "" using ($1):($2) with lines dashtype 2 title "object size"

@@ -1,0 +1,147 @@
+package udsm
+
+import (
+	"context"
+	"fmt"
+
+	"edsc/kv"
+)
+
+// This file implements the paper's stated future work (§VII): "providing
+// more coordinated features across multiple data stores such as atomic
+// updates and two-phase commits".
+//
+// Txn is a best-effort atomic update across any set of registered stores.
+// Commit runs in two phases in the spirit of two-phase commit:
+//
+//	prepare — every target store is read to capture undo state (the prior
+//	          value, or its absence), verifying reachability before any
+//	          mutation;
+//	apply   — the operations execute in order; on the first failure every
+//	          already-applied operation is rolled back in reverse using
+//	          the captured undo state.
+//
+// Without a durable coordinator log or store-side prepared state this is
+// not a full 2PC: a crash between apply and rollback can leave partial
+// state, and concurrent writers to the same keys can interleave. Those are
+// exactly the limits of client-only coordination; the API makes the
+// guarantee ("all or nothing, absent crashes and write races") explicit.
+type Txn struct {
+	mgr *Manager
+	ops []txnOp
+}
+
+type txnOp struct {
+	store string
+	key   string
+	// value is the new value for a put; nil means delete.
+	value  []byte
+	delete bool
+}
+
+// Txn starts an empty multi-store transaction.
+func (m *Manager) Txn() *Txn { return &Txn{mgr: m} }
+
+// Put stages a write of value to key in the named store.
+func (t *Txn) Put(store, key string, value []byte) *Txn {
+	t.ops = append(t.ops, txnOp{store: store, key: key, value: append([]byte(nil), value...)})
+	return t
+}
+
+// Delete stages a deletion of key in the named store.
+func (t *Txn) Delete(store, key string) *Txn {
+	t.ops = append(t.ops, txnOp{store: store, key: key, delete: true})
+	return t
+}
+
+// Len reports the number of staged operations.
+func (t *Txn) Len() int { return len(t.ops) }
+
+// CommitError reports a failed Commit: which operation failed, and whether
+// rollback restored the earlier ones.
+type CommitError struct {
+	// FailedOp is the index (in staging order) of the operation that
+	// failed.
+	FailedOp int
+	// Cause is the underlying store error.
+	Cause error
+	// RollbackErrs lists rollback failures (empty when the rollback fully
+	// restored prior state).
+	RollbackErrs []error
+}
+
+func (e *CommitError) Error() string {
+	if len(e.RollbackErrs) == 0 {
+		return fmt.Sprintf("udsm: txn op %d failed (rolled back): %v", e.FailedOp, e.Cause)
+	}
+	return fmt.Sprintf("udsm: txn op %d failed and rollback was incomplete (%d errors, first: %v): %v",
+		e.FailedOp, len(e.RollbackErrs), e.RollbackErrs[0], e.Cause)
+}
+
+// Unwrap supports errors.Is/As on the original cause.
+func (e *CommitError) Unwrap() error { return e.Cause }
+
+// undo captures pre-transaction state of one key.
+type undo struct {
+	store   kv.Store
+	key     string
+	existed bool
+	old     []byte
+}
+
+// Commit executes the staged operations atomically (best effort; see the
+// type comment). A failed commit returns *CommitError. An empty transaction
+// commits trivially.
+func (t *Txn) Commit(ctx context.Context) error {
+	// Phase 1: resolve stores and capture undo state.
+	undos := make([]undo, len(t.ops))
+	for i, op := range t.ops {
+		ds, ok := t.mgr.Store(op.store)
+		if !ok {
+			return fmt.Errorf("udsm: txn references unknown store %q", op.store)
+		}
+		old, err := ds.Get(ctx, op.key)
+		switch {
+		case err == nil:
+			undos[i] = undo{store: ds, key: op.key, existed: true, old: old}
+		case kv.IsNotFound(err):
+			undos[i] = undo{store: ds, key: op.key}
+		default:
+			return fmt.Errorf("udsm: txn prepare failed on %s/%s: %w", op.store, op.key, err)
+		}
+	}
+
+	// Phase 2: apply, rolling back on failure.
+	for i, op := range t.ops {
+		var err error
+		if op.delete {
+			err = undos[i].store.Delete(ctx, op.key)
+			if kv.IsNotFound(err) {
+				err = nil // deleting an absent key is a no-op in a txn
+			}
+		} else {
+			err = undos[i].store.Put(ctx, op.key, op.value)
+		}
+		if err == nil {
+			continue
+		}
+		ce := &CommitError{FailedOp: i, Cause: err}
+		for j := i - 1; j >= 0; j-- {
+			u := undos[j]
+			var rerr error
+			if u.existed {
+				rerr = u.store.Put(ctx, u.key, u.old)
+			} else {
+				rerr = u.store.Delete(ctx, u.key)
+				if kv.IsNotFound(rerr) {
+					rerr = nil
+				}
+			}
+			if rerr != nil {
+				ce.RollbackErrs = append(ce.RollbackErrs, fmt.Errorf("%s/%s: %w", u.store.Name(), u.key, rerr))
+			}
+		}
+		return ce
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package udsm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"edsc/kv"
+)
+
+// failingStore fails Put on a chosen key.
+type failingStore struct {
+	kv.Store
+	failKey string
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *failingStore) Put(ctx context.Context, key string, value []byte) error {
+	if key == f.failKey {
+		return errInjected
+	}
+	return f.Store.Put(ctx, key, value)
+}
+
+func TestTxnCommitAcrossStores(t *testing.T) {
+	m := newManager(t)
+	_, _ = m.Register(NewMemStore("a"))
+	_, _ = m.Register(NewMemStore("b"))
+	ctx := context.Background()
+
+	err := m.Txn().
+		Put("a", "order:1", []byte("pending")).
+		Put("b", "inventory:widget", []byte("9")).
+		Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Store("a")
+	b, _ := m.Store("b")
+	if v, _ := a.Get(ctx, "order:1"); string(v) != "pending" {
+		t.Fatalf("a = %q", v)
+	}
+	if v, _ := b.Get(ctx, "inventory:widget"); string(v) != "9" {
+		t.Fatalf("b = %q", v)
+	}
+}
+
+func TestTxnRollbackRestoresPriorValues(t *testing.T) {
+	m := newManager(t)
+	_, _ = m.Register(NewMemStore("a"))
+	_, _ = m.Register(&failingStore{Store: NewMemStore("b"), failKey: "boom"})
+	ctx := context.Background()
+
+	a, _ := m.Store("a")
+	_ = a.Put(ctx, "existing", []byte("old"))
+
+	err := m.Txn().
+		Put("a", "existing", []byte("new")). // applies, then must roll back
+		Put("a", "fresh", []byte("x")).      // applies, then must be deleted
+		Put("b", "boom", []byte("y")).       // fails
+		Commit(ctx)
+
+	var ce *CommitError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CommitError", err)
+	}
+	if ce.FailedOp != 2 || !errors.Is(err, errInjected) || len(ce.RollbackErrs) != 0 {
+		t.Fatalf("CommitError = %+v", ce)
+	}
+	if v, _ := a.Get(ctx, "existing"); string(v) != "old" {
+		t.Fatalf("rollback failed: existing = %q", v)
+	}
+	if _, err := a.Get(ctx, "fresh"); !kv.IsNotFound(err) {
+		t.Fatalf("rollback failed: fresh still present (err = %v)", err)
+	}
+}
+
+func TestTxnDelete(t *testing.T) {
+	m := newManager(t)
+	_, _ = m.Register(NewMemStore("a"))
+	ctx := context.Background()
+	a, _ := m.Store("a")
+	_ = a.Put(ctx, "gone", []byte("v"))
+
+	if err := m.Txn().Delete("a", "gone").Delete("a", "never-existed").Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get(ctx, "gone"); !kv.IsNotFound(err) {
+		t.Fatal("delete not applied")
+	}
+}
+
+func TestTxnDeleteRolledBack(t *testing.T) {
+	m := newManager(t)
+	_, _ = m.Register(NewMemStore("a"))
+	_, _ = m.Register(&failingStore{Store: NewMemStore("b"), failKey: "boom"})
+	ctx := context.Background()
+	a, _ := m.Store("a")
+	_ = a.Put(ctx, "victim", []byte("keep me"))
+
+	err := m.Txn().
+		Delete("a", "victim").
+		Put("b", "boom", nil).
+		Commit(ctx)
+	if err == nil {
+		t.Fatal("commit succeeded despite injected failure")
+	}
+	if v, gerr := a.Get(ctx, "victim"); gerr != nil || string(v) != "keep me" {
+		t.Fatalf("deleted value not restored: %q, %v", v, gerr)
+	}
+}
+
+func TestTxnUnknownStore(t *testing.T) {
+	m := newManager(t)
+	if err := m.Txn().Put("ghost", "k", nil).Commit(context.Background()); err == nil {
+		t.Fatal("unknown store accepted")
+	}
+}
+
+func TestTxnEmptyCommit(t *testing.T) {
+	m := newManager(t)
+	if err := m.Txn().Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnPrepareFailureLeavesStateUntouched(t *testing.T) {
+	m := newManager(t)
+	closed := NewMemStore("dead")
+	_, _ = m.Register(closed)
+	_, _ = m.Register(NewMemStore("live"))
+	_ = closed.Close()
+	ctx := context.Background()
+
+	live, _ := m.Store("live")
+	_ = live.Put(ctx, "k", []byte("before"))
+
+	err := m.Txn().
+		Put("live", "k", []byte("after")).
+		Put("dead", "x", nil).
+		Commit(ctx)
+	if err == nil {
+		t.Fatal("commit succeeded with unreachable store")
+	}
+	// Prepare failed before anything was applied.
+	if v, _ := live.Get(ctx, "k"); string(v) != "before" {
+		t.Fatalf("prepare-phase failure mutated state: %q", v)
+	}
+}
+
+func TestTxnValueCopiedAtStaging(t *testing.T) {
+	m := newManager(t)
+	_, _ = m.Register(NewMemStore("a"))
+	ctx := context.Background()
+	buf := []byte("staged")
+	txn := m.Txn().Put("a", "k", buf)
+	copy(buf, "MUTATE")
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Store("a")
+	if v, _ := a.Get(ctx, "k"); string(v) != "staged" {
+		t.Fatalf("staged value aliased caller slice: %q", v)
+	}
+	if txn.Len() != 1 {
+		t.Fatalf("Len = %d", txn.Len())
+	}
+}

@@ -1,0 +1,59 @@
+package udsm_test
+
+import (
+	"context"
+	"fmt"
+
+	"edsc/future"
+	"edsc/udsm"
+)
+
+// One manager, many stores, one interface — with monitoring and the
+// asynchronous interface for free.
+func ExampleManager() {
+	ctx := context.Background()
+	mgr := udsm.New(udsm.Options{PoolSize: 4})
+	defer mgr.Close()
+
+	ds, _ := mgr.Register(udsm.NewMemStore("sessions"))
+
+	// Synchronous interface.
+	_ = ds.Put(ctx, "user:1", []byte("ada"))
+
+	// Asynchronous interface: submit, continue, collect.
+	futs := []*future.Future[[]byte]{
+		ds.Async().Get(ctx, "user:1"),
+		ds.Async().Get(ctx, "user:1"),
+	}
+	for _, f := range futs {
+		v, _ := f.MustWait()
+		fmt.Println(string(v))
+	}
+
+	// Monitoring recorded everything.
+	for _, op := range ds.Snapshot(false).Ops {
+		fmt.Println(op.Op, op.Count)
+	}
+	// Output:
+	// ada
+	// ada
+	// get 2
+	// put 1
+}
+
+// Atomic updates across stores (§VII future work).
+func ExampleTxn() {
+	ctx := context.Background()
+	mgr := udsm.New(udsm.Options{})
+	defer mgr.Close()
+	_, _ = mgr.Register(udsm.NewMemStore("db"))
+	_, _ = mgr.Register(udsm.NewMemStore("cache"))
+
+	err := mgr.Txn().
+		Put("db", "order:1", []byte("paid")).
+		Put("cache", "order:1", []byte("paid")).
+		Commit(ctx)
+	fmt.Println("committed:", err == nil)
+	// Output:
+	// committed: true
+}

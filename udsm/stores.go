@@ -1,0 +1,171 @@
+package udsm
+
+import (
+	"fmt"
+	"time"
+
+	"edsc/internal/cloudsim"
+	"edsc/internal/fsstore"
+	"edsc/internal/miniredis"
+	"edsc/internal/minisql"
+	"edsc/kv"
+)
+
+// This file exposes constructors for every data store this repository
+// implements, so applications assemble a multi-store UDSM without touching
+// internal packages — the counterpart of the paper's UDSM shipping with
+// Cloudant, OpenStack, JDBC, and Jedis clients wired in.
+
+// NewMemStore returns a volatile in-memory store.
+func NewMemStore(name string) kv.Store { return kv.NewMem(name) }
+
+// OpenFileStore opens a file-system store rooted at dir.
+func OpenFileStore(name, dir string) (kv.Store, error) { return fsstore.Open(name, dir) }
+
+// OpenMiniRedis connects to a miniredis server (see StartMiniRedis or
+// cmd/miniredis-server). prefix namespaces this store's keys so several
+// stores can share one server; "" uses the whole key space. The returned
+// store also implements kv.Expiring.
+func OpenMiniRedis(name, addr, prefix string) kv.Store {
+	return miniredis.OpenStore(name, addr, prefix)
+}
+
+// SQLStoreOptions configure OpenSQLStore.
+type SQLStoreOptions struct {
+	// Dir is the database directory; "" opens a volatile in-memory
+	// database.
+	Dir string
+	// Table is the backing table name (default "kv_data").
+	Table string
+}
+
+// SQLStore is a SQL-backed store: the common key-value interface plus the
+// native SQL interface (it implements kv.SQL).
+type SQLStore struct {
+	*minisql.KVStore
+	db   *minisql.Database
+	owns bool
+}
+
+// OpenSQLStore opens (creating if needed) a minisql-backed store. The
+// returned store owns the database and closes it with the store.
+func OpenSQLStore(name string, opts SQLStoreOptions) (*SQLStore, error) {
+	if opts.Table == "" {
+		opts.Table = "kv_data"
+	}
+	var db *minisql.Database
+	var err error
+	if opts.Dir == "" {
+		db = minisql.OpenMemory()
+	} else {
+		db, err = minisql.Open(opts.Dir, minisql.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	st, err := minisql.NewKVStore(name, db, opts.Table)
+	if err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	return &SQLStore{KVStore: st, db: db, owns: true}, nil
+}
+
+// Close closes the adapter and, when the store owns it, the database.
+func (s *SQLStore) Close() error {
+	if err := s.KVStore.Close(); err != nil {
+		return err
+	}
+	if s.owns {
+		return s.db.Close()
+	}
+	return nil
+}
+
+// OpenCloudStore connects to a cloudsim server (see StartCloudSim or
+// cmd/cloudsim-server). The returned store implements kv.Versioned, so the
+// DSCL can revalidate expired cache entries with conditional fetches.
+func OpenCloudStore(name, baseURL, bucket string) kv.Store {
+	return cloudsim.NewClient(name, baseURL, bucket)
+}
+
+// --- in-process servers, for tests, examples, and the bench harness ---
+
+// MiniRedisServer is a handle to an in-process remote cache server.
+type MiniRedisServer struct{ s *miniredis.Server }
+
+// MiniRedisOptions configure StartMiniRedis.
+type MiniRedisOptions struct {
+	// Addr is the listen address (default an ephemeral loopback port).
+	Addr string
+	// SnapshotPath enables SAVE persistence and warm restarts.
+	SnapshotPath string
+	// SweepInterval enables background expiry (0 = lazy expiry only).
+	SweepInterval time.Duration
+}
+
+// StartMiniRedis launches a miniredis server in this process. Even
+// in-process, clients reach it over a real TCP socket, so it behaves as the
+// remote process cache of §III.
+func StartMiniRedis(opts MiniRedisOptions) (*MiniRedisServer, error) {
+	s := miniredis.NewServer(miniredis.ServerConfig{
+		Addr:          opts.Addr,
+		SnapshotPath:  opts.SnapshotPath,
+		SweepInterval: opts.SweepInterval,
+	})
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	return &MiniRedisServer{s: s}, nil
+}
+
+// Addr returns "host:port".
+func (m *MiniRedisServer) Addr() string { return m.s.Addr() }
+
+// Close stops the server (saving a snapshot when configured).
+func (m *MiniRedisServer) Close() error { return m.s.Close() }
+
+// CloudSimServer is a handle to an in-process simulated cloud store.
+type CloudSimServer struct{ s *cloudsim.Server }
+
+// CloudProfile names a latency profile for StartCloudSim.
+type CloudProfile string
+
+const (
+	// ProfileCloudStore1 is the paper's first commercial cloud store:
+	// most distant, most variable.
+	ProfileCloudStore1 CloudProfile = "cloudstore1"
+	// ProfileCloudStore2 is the second cloud store: remote but steadier.
+	ProfileCloudStore2 CloudProfile = "cloudstore2"
+	// ProfileLocal injects no latency (for functional tests).
+	ProfileLocal CloudProfile = "local"
+)
+
+// StartCloudSim launches a simulated cloud object store. scale multiplies
+// the WAN latency model: 1.0 reproduces paper-magnitude latencies
+// (hundreds of ms per request), smaller values keep benchmark suites fast
+// while preserving the ordering and crossover points between stores.
+func StartCloudSim(profile CloudProfile, scale float64) (*CloudSimServer, error) {
+	var p cloudsim.Profile
+	switch profile {
+	case ProfileCloudStore1:
+		p = cloudsim.CloudStore1(scale)
+	case ProfileCloudStore2:
+		p = cloudsim.CloudStore2(scale)
+	case ProfileLocal:
+		p = cloudsim.LocalProfile("local")
+	default:
+		return nil, fmt.Errorf("udsm: unknown cloud profile %q", profile)
+	}
+	s := cloudsim.NewServer(p)
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	return &CloudSimServer{s: s}, nil
+}
+
+// URL returns the server's base URL.
+func (c *CloudSimServer) URL() string { return c.s.Addr() }
+
+// Close stops the server.
+func (c *CloudSimServer) Close() error { return c.s.Close() }

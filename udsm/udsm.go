@@ -1,0 +1,355 @@
+// Package udsm implements the Universal Data Store Manager: a single entry
+// point through which an application reaches many data stores — file
+// systems, SQL databases, cloud object stores, remote caches, in-memory
+// stores — all through the common key-value interface (edsc/kv.Store), plus
+// the UDSM features the paper builds on top of that interface (§II-A):
+//
+//   - a synchronous interface (the kv.Store methods themselves);
+//   - an asynchronous interface backed by a shared fixed-size worker pool,
+//     returning futures with completion callbacks (edsc/future);
+//   - per-store performance monitoring with summary and recent detailed
+//     statistics (edsc/monitor), persistable into any registered store;
+//   - a workload generator for measuring and comparing stores
+//     (edsc/workload).
+//
+// Because every feature is written against kv.Store, registering a store
+// gives it all of them with no per-store work — and an enhanced DSCL client
+// (edsc/dscl.Client) is itself a kv.Store, so cached, encrypted, compressed
+// clients plug in identically.
+package udsm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"edsc/future"
+	"edsc/kv"
+	"edsc/monitor"
+	"edsc/workload"
+)
+
+// Options configure a Manager.
+type Options struct {
+	// PoolSize is the number of worker goroutines serving the
+	// asynchronous interface (default 8). The paper calls this out as a
+	// user-visible configuration parameter.
+	PoolSize int
+	// RecentSamples is how many detailed latency samples each operation
+	// retains (default 256); older requests keep only summary statistics.
+	RecentSamples int
+}
+
+// Manager is the UDSM: a registry of data stores sharing an async pool.
+type Manager struct {
+	opts Options
+	pool *future.Pool
+
+	mu     sync.Mutex
+	stores map[string]*DataStore
+	closed bool
+}
+
+// New creates a Manager.
+func New(opts Options) *Manager {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 8
+	}
+	if opts.RecentSamples <= 0 {
+		opts.RecentSamples = 256
+	}
+	return &Manager{
+		opts:   opts,
+		pool:   future.NewPool(opts.PoolSize),
+		stores: make(map[string]*DataStore),
+	}
+}
+
+// Register adds a store under its Name(), wrapping it with performance
+// monitoring. Registering two stores with the same name is an error.
+func (m *Manager) Register(store kv.Store) (*DataStore, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("udsm: manager is closed")
+	}
+	name := store.Name()
+	if _, dup := m.stores[name]; dup {
+		return nil, fmt.Errorf("udsm: store %q already registered", name)
+	}
+	ds := &DataStore{
+		inner:    store,
+		recorder: monitor.New(name, m.opts.RecentSamples),
+		pool:     m.pool,
+	}
+	m.stores[name] = ds
+	return ds, nil
+}
+
+// Store looks up a registered store by name.
+func (m *Manager) Store(name string) (*DataStore, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds, ok := m.stores[name]
+	return ds, ok
+}
+
+// Names lists registered store names, sorted.
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.stores))
+	for n := range m.stores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Deregister removes a store from the manager without closing it.
+func (m *Manager) Deregister(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.stores[name]; !ok {
+		return false
+	}
+	delete(m.stores, name)
+	return true
+}
+
+// Close shuts down the async pool and closes every registered store,
+// returning the first error encountered.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	stores := make([]*DataStore, 0, len(m.stores))
+	for _, ds := range m.stores {
+		stores = append(stores, ds)
+	}
+	m.stores = make(map[string]*DataStore)
+	m.mu.Unlock()
+
+	m.pool.Close()
+	var first error
+	for _, ds := range stores {
+		if err := ds.inner.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PersistSnapshot stores the monitoring snapshot of store `from` under key
+// in store `to` — "performance data can be stored persistently using any of
+// the data stores supported by the UDSM".
+func (m *Manager) PersistSnapshot(ctx context.Context, from, to, key string, includeRecent bool) error {
+	src, ok := m.Store(from)
+	if !ok {
+		return fmt.Errorf("udsm: no store %q", from)
+	}
+	dst, ok := m.Store(to)
+	if !ok {
+		return fmt.Errorf("udsm: no store %q", to)
+	}
+	data, err := src.Snapshot(includeRecent).Marshal()
+	if err != nil {
+		return err
+	}
+	return dst.Put(ctx, key, data)
+}
+
+// LoadSnapshot reads a snapshot persisted by PersistSnapshot.
+func (m *Manager) LoadSnapshot(ctx context.Context, from, key string) (monitor.Snapshot, error) {
+	src, ok := m.Store(from)
+	if !ok {
+		return monitor.Snapshot{}, fmt.Errorf("udsm: no store %q", from)
+	}
+	data, err := src.Get(ctx, key)
+	if err != nil {
+		return monitor.Snapshot{}, err
+	}
+	return monitor.UnmarshalSnapshot(data)
+}
+
+// RunWorkload drives the workload generator against a registered store.
+// cachedGet may be nil; pass a DSCL client's Get to measure cached reads.
+func (m *Manager) RunWorkload(ctx context.Context, storeName string, cfg workload.Config, cachedGet workload.Getter) (*workload.Report, error) {
+	ds, ok := m.Store(storeName)
+	if !ok {
+		return nil, fmt.Errorf("udsm: no store %q", storeName)
+	}
+	return workload.New(cfg).Run(ctx, ds, cachedGet)
+}
+
+// DataStore is a registered store: the synchronous interface with
+// monitoring, plus accessors for the asynchronous interface and the
+// recorder. It implements kv.Store itself, so a DataStore can be layered
+// (e.g. a DSCL caching client over a monitored store).
+type DataStore struct {
+	inner    kv.Store
+	recorder *monitor.Recorder
+	pool     *future.Pool
+}
+
+var _ kv.Store = (*DataStore)(nil)
+
+// Inner returns the wrapped store for access to native features beyond the
+// key-value interface (type-assert to kv.SQL, kv.Versioned, ...).
+func (ds *DataStore) Inner() kv.Store { return ds.inner }
+
+// Monitor returns the store's latency recorder.
+func (ds *DataStore) Monitor() *monitor.Recorder { return ds.recorder }
+
+// Snapshot returns current performance statistics.
+func (ds *DataStore) Snapshot(includeRecent bool) monitor.Snapshot {
+	return ds.recorder.Snapshot(includeRecent)
+}
+
+// Name implements kv.Store.
+func (ds *DataStore) Name() string { return ds.inner.Name() }
+
+// Get implements kv.Store.
+func (ds *DataStore) Get(ctx context.Context, key string) ([]byte, error) {
+	start := time.Now()
+	v, err := ds.inner.Get(ctx, key)
+	ds.recorder.Record("get", time.Since(start), len(v), err != nil && !kv.IsNotFound(err))
+	return v, err
+}
+
+// Put implements kv.Store.
+func (ds *DataStore) Put(ctx context.Context, key string, value []byte) error {
+	start := time.Now()
+	err := ds.inner.Put(ctx, key, value)
+	ds.recorder.Record("put", time.Since(start), len(value), err != nil)
+	return err
+}
+
+// Delete implements kv.Store.
+func (ds *DataStore) Delete(ctx context.Context, key string) error {
+	start := time.Now()
+	err := ds.inner.Delete(ctx, key)
+	ds.recorder.Record("delete", time.Since(start), 0, err != nil && !kv.IsNotFound(err))
+	return err
+}
+
+// Contains implements kv.Store.
+func (ds *DataStore) Contains(ctx context.Context, key string) (bool, error) {
+	start := time.Now()
+	ok, err := ds.inner.Contains(ctx, key)
+	ds.recorder.Record("contains", time.Since(start), 0, err != nil)
+	return ok, err
+}
+
+// Keys implements kv.Store.
+func (ds *DataStore) Keys(ctx context.Context) ([]string, error) {
+	start := time.Now()
+	ks, err := ds.inner.Keys(ctx)
+	ds.recorder.Record("keys", time.Since(start), 0, err != nil)
+	return ks, err
+}
+
+// Len implements kv.Store.
+func (ds *DataStore) Len(ctx context.Context) (int, error) {
+	start := time.Now()
+	n, err := ds.inner.Len(ctx)
+	ds.recorder.Record("len", time.Since(start), 0, err != nil)
+	return n, err
+}
+
+// Clear implements kv.Store.
+func (ds *DataStore) Clear(ctx context.Context) error {
+	start := time.Now()
+	err := ds.inner.Clear(ctx)
+	ds.recorder.Record("clear", time.Since(start), 0, err != nil)
+	return err
+}
+
+// Close implements kv.Store. (Manager.Close also closes registered stores.)
+func (ds *DataStore) Close() error { return ds.inner.Close() }
+
+// Async returns the asynchronous interface to this store.
+func (ds *DataStore) Async() *AsyncStore { return &AsyncStore{ds: ds} }
+
+// AsyncStore is the nonblocking interface: every operation is submitted to
+// the manager's shared worker pool and returns a future immediately, so the
+// application "can make a request to a data store and not wait for the
+// request to return a response before continuing execution" (§II-A).
+// Attach callbacks with OnComplete — the capability for which the paper
+// chose ListenableFuture over plain Future.
+type AsyncStore struct {
+	ds *DataStore
+}
+
+// Get fetches key asynchronously.
+func (a *AsyncStore) Get(ctx context.Context, key string) *future.Future[[]byte] {
+	return future.Go(a.ds.pool, func() ([]byte, error) { return a.ds.Get(ctx, key) })
+}
+
+// Put stores value asynchronously. The caller must not mutate value until
+// the future completes.
+func (a *AsyncStore) Put(ctx context.Context, key string, value []byte) *future.Future[struct{}] {
+	return future.Go(a.ds.pool, func() (struct{}, error) {
+		return struct{}{}, a.ds.Put(ctx, key, value)
+	})
+}
+
+// Delete removes key asynchronously.
+func (a *AsyncStore) Delete(ctx context.Context, key string) *future.Future[struct{}] {
+	return future.Go(a.ds.pool, func() (struct{}, error) {
+		return struct{}{}, a.ds.Delete(ctx, key)
+	})
+}
+
+// Contains checks key asynchronously.
+func (a *AsyncStore) Contains(ctx context.Context, key string) *future.Future[bool] {
+	return future.Go(a.ds.pool, func() (bool, error) { return a.ds.Contains(ctx, key) })
+}
+
+// Keys lists keys asynchronously.
+func (a *AsyncStore) Keys(ctx context.Context) *future.Future[[]string] {
+	return future.Go(a.ds.pool, func() ([]string, error) { return a.ds.Keys(ctx) })
+}
+
+// Len counts keys asynchronously.
+func (a *AsyncStore) Len(ctx context.Context) *future.Future[int] {
+	return future.Go(a.ds.pool, func() (int, error) { return a.ds.Len(ctx) })
+}
+
+// Clear empties the store asynchronously.
+func (a *AsyncStore) Clear(ctx context.Context) *future.Future[struct{}] {
+	return future.Go(a.ds.pool, func() (struct{}, error) {
+		return struct{}{}, a.ds.Clear(ctx)
+	})
+}
+
+// RunMixedWorkload drives the closed-loop mixed read/write workload against
+// a registered store (see edsc/workload.RunMixed).
+func (m *Manager) RunMixedWorkload(ctx context.Context, storeName string, cfg workload.MixedConfig) (*workload.MixedReport, error) {
+	ds, ok := m.Store(storeName)
+	if !ok {
+		return nil, fmt.Errorf("udsm: no store %q", storeName)
+	}
+	return workload.RunMixed(ctx, ds, cfg)
+}
+
+// Report renders the monitoring snapshot of every registered store as one
+// text block, in name order — a one-call overview of the whole manager.
+func (m *Manager) Report() string {
+	var sb strings.Builder
+	for _, name := range m.Names() {
+		ds, ok := m.Store(name)
+		if !ok {
+			continue
+		}
+		sb.WriteString(ds.Snapshot(false).Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edsc/kv"
+	"edsc/monitor"
+)
+
+// MixedConfig parameterizes a closed-loop mixed read/write run: a fixed
+// number of concurrent clients each issue operations back-to-back against a
+// shared working set — the standard way to measure a store's throughput
+// rather than single-operation latency.
+type MixedConfig struct {
+	// Clients is the number of concurrent workers (default 4).
+	Clients int
+	// Ops is the total operation budget across all workers (default 1000).
+	Ops int
+	// ReadFraction in [0,1] is the probability an operation is a read
+	// (default 0.9, a cache-friendly mix).
+	ReadFraction float64
+	// Keys is the working-set size (default 100). Keys are preloaded so
+	// reads never miss.
+	Keys int
+	// Size is the object size in bytes (default 1024).
+	Size int
+	// Source provides payloads (default SyntheticSource).
+	Source DataSource
+	// Seed makes the operation mix reproducible.
+	Seed int64
+	// KeyPrefix namespaces the run's keys.
+	KeyPrefix string
+}
+
+func (c MixedConfig) withDefaults() MixedConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1000
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.9
+	}
+	if c.Keys <= 0 {
+		c.Keys = 100
+	}
+	if c.Size <= 0 {
+		c.Size = 1024
+	}
+	if c.Source == nil {
+		c.Source = SyntheticSource{Compressibility: 0.5, Seed: 1}
+	}
+	if c.KeyPrefix == "" {
+		c.KeyPrefix = "mixed:"
+	}
+	return c
+}
+
+// MixedReport is the outcome of RunMixed.
+type MixedReport struct {
+	Store   string
+	Clients int
+	Ops     int64
+	Reads   int64
+	Writes  int64
+	Errors  int64
+	Elapsed time.Duration
+	// Throughput is operations per second over the whole run.
+	Throughput float64
+	// ReadLatency / WriteLatency summarize per-operation latency.
+	ReadLatency  monitor.Summary
+	WriteLatency monitor.Summary
+}
+
+// RunMixed preloads the working set and drives the mixed workload.
+func RunMixed(ctx context.Context, store kv.Store, cfg MixedConfig) (*MixedReport, error) {
+	cfg = cfg.withDefaults()
+	payload := cfg.Source.Data(cfg.Size)
+	keyOf := func(i int) string { return fmt.Sprintf("%s%d", cfg.KeyPrefix, i) }
+	for i := 0; i < cfg.Keys; i++ {
+		if err := store.Put(ctx, keyOf(i), payload); err != nil {
+			return nil, fmt.Errorf("workload: preloading %s: %w", keyOf(i), err)
+		}
+	}
+
+	rec := monitor.New(store.Name(), 4096)
+	var reads, writes, errs atomic.Int64
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.Ops))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for remaining.Add(-1) >= 0 {
+				key := keyOf(rng.Intn(cfg.Keys))
+				if rng.Float64() < cfg.ReadFraction {
+					opStart := time.Now()
+					_, err := store.Get(ctx, key)
+					rec.Record("get", time.Since(opStart), cfg.Size, err != nil)
+					reads.Add(1)
+					if err != nil {
+						errs.Add(1)
+					}
+				} else {
+					opStart := time.Now()
+					err := store.Put(ctx, key, payload)
+					rec.Record("put", time.Since(opStart), cfg.Size, err != nil)
+					writes.Add(1)
+					if err != nil {
+						errs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &MixedReport{
+		Store:   store.Name(),
+		Clients: cfg.Clients,
+		Ops:     reads.Load() + writes.Load(),
+		Reads:   reads.Load(),
+		Writes:  writes.Load(),
+		Errors:  errs.Load(),
+		Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	}
+	for _, op := range rec.Snapshot(false).Ops {
+		switch op.Op {
+		case "get":
+			rep.ReadLatency = op
+		case "put":
+			rep.WriteLatency = op
+		}
+	}
+	return rep, nil
+}
+
+// String renders a one-line summary.
+func (r *MixedReport) String() string {
+	return fmt.Sprintf("%s: %d ops (%d r / %d w) by %d clients in %v = %.0f ops/s (read p99 %v, write p99 %v, %d errors)",
+		r.Store, r.Ops, r.Reads, r.Writes, r.Clients, r.Elapsed.Round(time.Millisecond),
+		r.Throughput, r.ReadLatency.P99, r.WriteLatency.P99, r.Errors)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"edsc/kv"
+)
+
+func TestRunMixedBasic(t *testing.T) {
+	store := kv.NewMem("m")
+	rep, err := RunMixed(context.Background(), store, MixedConfig{
+		Clients: 4, Ops: 500, ReadFraction: 0.8, Keys: 20, Size: 128, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 500 {
+		t.Fatalf("Ops = %d, want 500", rep.Ops)
+	}
+	if rep.Reads+rep.Writes != rep.Ops {
+		t.Fatalf("reads+writes = %d", rep.Reads+rep.Writes)
+	}
+	// 80/20 split within generous tolerance.
+	frac := float64(rep.Reads) / float64(rep.Ops)
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("read fraction = %.2f", frac)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	if rep.ReadLatency.Count == 0 || rep.WriteLatency.Count == 0 {
+		t.Fatalf("latency summaries missing: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "ops/s") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestRunMixedDefaults(t *testing.T) {
+	store := kv.NewMem("m")
+	rep, err := RunMixed(context.Background(), store, MixedConfig{Ops: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clients != 4 || rep.Ops != 50 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunMixedCountsErrors(t *testing.T) {
+	store := kv.NewMem("m")
+	cfg := MixedConfig{Clients: 2, Ops: 100, Keys: 5, ReadFraction: 0.5, Seed: 2}
+	// Preload succeeds, then the store dies: every op errors.
+	cfg = cfg.withDefaults()
+	if _, err := RunMixed(context.Background(), store, cfg); err != nil {
+		t.Fatal(err)
+	}
+	_ = store.Close()
+	rep, err := RunMixed(context.Background(), store, cfg)
+	if err == nil {
+		// Preload fails on a closed store, so RunMixed errors up front.
+		t.Fatalf("expected preload failure, got report %+v", rep)
+	}
+}
+
+func TestRunMixedReadsNeverMiss(t *testing.T) {
+	// All keys preloaded: a 100% read run has zero errors.
+	store := kv.NewMem("m")
+	rep, err := RunMixed(context.Background(), store, MixedConfig{
+		Clients: 3, Ops: 300, ReadFraction: 1.0, Keys: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Writes != 0 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunMixedConcurrencyScales(t *testing.T) {
+	// With an artificially slow store, more clients must raise throughput
+	// (closed-loop overlap) — this validates that workers truly run
+	// concurrently.
+	slow := &slowStore{Mem: kv.NewMem("slow"), readDelay: 2 * time.Millisecond, writeDelay: 2 * time.Millisecond}
+	one, err := RunMixed(context.Background(), slow, MixedConfig{Clients: 1, Ops: 60, Keys: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := RunMixed(context.Background(), slow, MixedConfig{Clients: 8, Ops: 60, Keys: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.Throughput < 2*one.Throughput {
+		t.Fatalf("throughput did not scale: 1 client %.0f ops/s, 8 clients %.0f ops/s",
+			one.Throughput, eight.Throughput)
+	}
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"edsc/kv"
+)
+
+func TestSyntheticSourceDeterministicAndSized(t *testing.T) {
+	src := SyntheticSource{Compressibility: 0.5, Seed: 7}
+	a := src.Data(1000)
+	b := src.Data(1000)
+	if len(a) != 1000 || !bytes.Equal(a, b) {
+		t.Fatal("synthetic source not deterministic or wrong size")
+	}
+	if bytes.Equal(src.Data(100), src.Data(100)[:50]) {
+		t.Skip("unreachable")
+	}
+}
+
+func TestSyntheticCompressibilityExtremes(t *testing.T) {
+	full := SyntheticSource{Compressibility: 1, Seed: 1}.Data(500)
+	fullDistinct := map[byte]bool{}
+	for _, c := range full {
+		fullDistinct[c] = true
+	}
+	if len(fullDistinct) > 30 {
+		t.Fatalf("fully compressible payload has %d distinct bytes", len(fullDistinct))
+	}
+	random := SyntheticSource{Compressibility: 0, Seed: 1}.Data(500)
+	distinct := map[byte]bool{}
+	for _, c := range random {
+		distinct[c] = true
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("random payload has only %d distinct bytes", len(distinct))
+	}
+}
+
+func TestFileSourceTiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seed.txt")
+	if err := os.WriteFile(path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := &FileSource{Path: path}
+	got := src.Data(8)
+	if string(got) != "abcabcab" {
+		t.Fatalf("tiled = %q", got)
+	}
+	if len(src.Data(2)) != 2 {
+		t.Fatal("truncation failed")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	src := FuncSource(func(size int) []byte { return bytes.Repeat([]byte{'z'}, size) })
+	if string(src.Data(3)) != "zzz" {
+		t.Fatal("func source broken")
+	}
+}
+
+// slowStore wraps Mem with fixed artificial latencies so measurements are
+// assertable.
+type slowStore struct {
+	*kv.Mem
+	readDelay, writeDelay time.Duration
+}
+
+func (s *slowStore) Get(ctx context.Context, key string) ([]byte, error) {
+	time.Sleep(s.readDelay)
+	return s.Mem.Get(ctx, key)
+}
+
+func (s *slowStore) Put(ctx context.Context, key string, value []byte) error {
+	time.Sleep(s.writeDelay)
+	return s.Mem.Put(ctx, key, value)
+}
+
+func TestRunMeasuresLatencies(t *testing.T) {
+	store := &slowStore{Mem: kv.NewMem("slow"), readDelay: 2 * time.Millisecond, writeDelay: 5 * time.Millisecond}
+	g := New(Config{Sizes: []int{64, 256}, Runs: 2, OpsPerRun: 2})
+	rep, err := g.Run(context.Background(), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Read < 2*time.Millisecond || p.Read > 20*time.Millisecond {
+			t.Fatalf("read latency %v out of range", p.Read)
+		}
+		if p.Write < 5*time.Millisecond {
+			t.Fatalf("write latency %v below injected delay", p.Write)
+		}
+		if p.Write <= p.Read {
+			t.Fatalf("write (%v) not slower than read (%v)", p.Write, p.Read)
+		}
+		if p.CachedRead != 0 {
+			t.Fatal("CachedRead measured without a cached getter")
+		}
+	}
+}
+
+func TestRunWithCachedGetter(t *testing.T) {
+	store := &slowStore{Mem: kv.NewMem("slow"), readDelay: 5 * time.Millisecond}
+	// Simulated cache: first access per key pays the store read, later
+	// accesses are instant.
+	seen := map[string][]byte{}
+	cached := func(ctx context.Context, key string) ([]byte, error) {
+		if v, ok := seen[key]; ok {
+			return v, nil
+		}
+		v, err := store.Get(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		seen[key] = v
+		return v, nil
+	}
+	g := New(Config{Sizes: []int{128}, Runs: 2, OpsPerRun: 2, HitRates: []float64{0, 50, 100}})
+	rep, err := g.Run(context.Background(), store, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Points[0]
+	if p.CachedRead >= p.Read/2 {
+		t.Fatalf("cached read %v not well below uncached %v", p.CachedRead, p.Read)
+	}
+	at0 := p.ReadAtHitRate(0)
+	at50 := p.ReadAtHitRate(50)
+	at100 := p.ReadAtHitRate(100)
+	if at0 != p.Read || at100 != p.CachedRead {
+		t.Fatalf("extrapolation endpoints wrong: %v, %v", at0, at100)
+	}
+	mid := (p.Read + p.CachedRead) / 2
+	if at50 < mid-time.Millisecond || at50 > mid+time.Millisecond {
+		t.Fatalf("50%% extrapolation = %v, want ~%v", at50, mid)
+	}
+}
+
+func TestReportWriteTo(t *testing.T) {
+	rep := &Report{
+		Store:    "teststore",
+		HitRates: []float64{25, 100},
+		Points: []Point{
+			{Size: 1024, Read: 2 * time.Millisecond, Write: 4 * time.Millisecond, CachedRead: time.Millisecond},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# store: teststore") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "read@25%_ms") || !strings.Contains(out, "read@100%_ms") {
+		t.Fatalf("missing hit-rate columns: %q", out)
+	}
+	if !strings.Contains(out, "1024 2.0000 4.0000 1.7500 1.0000") {
+		t.Fatalf("data row wrong: %q", out)
+	}
+}
+
+func TestMeasureTransform(t *testing.T) {
+	g := New(Config{Sizes: []int{256, 1024}, Runs: 1, OpsPerRun: 2})
+	encode := func(b []byte) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		out := append([]byte{0}, b...)
+		return out, nil
+	}
+	decode := func(b []byte) ([]byte, error) { return b[1:], nil }
+	rep, err := g.MeasureTransform("prefix", encode, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Encode < time.Millisecond {
+			t.Fatalf("encode = %v", p.Encode)
+		}
+		if p.Encode <= p.Decode {
+			t.Fatalf("encode (%v) not slower than decode (%v)", p.Encode, p.Decode)
+		}
+		if p.OutSize != p.Size+1 {
+			t.Fatalf("out size = %d", p.OutSize)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# transform: prefix") {
+		t.Fatalf("transform header missing: %q", buf.String())
+	}
+}
+
+func TestMeasureTransformDetectsCorruption(t *testing.T) {
+	g := New(Config{Sizes: []int{64}, Runs: 1, OpsPerRun: 1})
+	encode := func(b []byte) ([]byte, error) { return b, nil }
+	badDecode := func(b []byte) ([]byte, error) { return b[:len(b)-1], nil }
+	if _, err := g.MeasureTransform("bad", encode, badDecode); err == nil {
+		t.Fatal("size-changing round trip not detected")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(Config{})
+	if len(g.cfg.Sizes) == 0 || g.cfg.Runs != 4 || g.cfg.Source == nil {
+		t.Fatalf("defaults not applied: %+v", g.cfg)
+	}
+}
+
+func TestRunPropagatesStoreErrors(t *testing.T) {
+	store := kv.NewMem("m")
+	_ = store.Close()
+	g := New(Config{Sizes: []int{8}, Runs: 1, OpsPerRun: 1})
+	if _, err := g.Run(context.Background(), store, nil); err == nil {
+		t.Fatal("closed store error not propagated")
+	}
+}
