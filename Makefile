@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench figures examples clean
+.PHONY: all build test race cover bench figures examples fuzz chaos clean
 
 all: build test
 
@@ -16,6 +16,16 @@ race:
 
 cover:
 	go test -cover ./...
+
+# Short fuzz pass over the RESP protocol reader (seed corpus in
+# internal/resp/fuzz_test.go).
+fuzz:
+	go test ./internal/resp -run='^$$' -fuzz=FuzzRead -fuzztime=10s
+
+# The chaos conformance suite at aggressive settings: 4x the operations,
+# doubled fault rates, race detector on — every store must still pass.
+chaos:
+	EDSC_CHAOS=aggressive go test -race -run 'Chaos' ./...
 
 bench:
 	go test -bench=. -benchmem .

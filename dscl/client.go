@@ -179,8 +179,12 @@ func (cl *Client) Stats() Stats {
 // Name implements kv.Store.
 func (cl *Client) Name() string { return cl.store.Name() }
 
-// checkKey validates key and rejects use after Close.
-func (cl *Client) checkKey(key string) error {
+// checkKey validates key, honours an already-cancelled context, and
+// rejects use after Close.
+func (cl *Client) checkKey(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if cl.closed.Load() {
 		return kv.ErrClosed
 	}
@@ -235,7 +239,7 @@ func (cl *Client) plainForCache(plain, encoded []byte) []byte {
 // Get implements kv.Store: cache first, revalidate stale entries when
 // possible, fall back to the store, and populate the cache on the way out.
 func (cl *Client) Get(ctx context.Context, key string) ([]byte, error) {
-	if err := cl.checkKey(key); err != nil {
+	if err := cl.checkKey(ctx, key); err != nil {
 		return nil, err
 	}
 	var staleEntry *Entry
@@ -350,7 +354,7 @@ func (cl *Client) cachePut(ctx context.Context, key string, plain, encoded []byt
 // Put implements kv.Store: transform, write (optionally as a delta), then
 // update or invalidate the cache per the write policy.
 func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
-	if err := cl.checkKey(key); err != nil {
+	if err := cl.checkKey(ctx, key); err != nil {
 		return err
 	}
 	encoded, err := cl.encode(value)
@@ -393,7 +397,7 @@ func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
 
 // Delete implements kv.Store.
 func (cl *Client) Delete(ctx context.Context, key string) error {
-	if err := cl.checkKey(key); err != nil {
+	if err := cl.checkKey(ctx, key); err != nil {
 		return err
 	}
 	if cl.cache != nil {
@@ -416,7 +420,7 @@ func (cl *Client) Delete(ctx context.Context, key string) error {
 // Contains implements kv.Store. A live cached entry answers without a
 // round trip; otherwise the store is consulted.
 func (cl *Client) Contains(ctx context.Context, key string) (bool, error) {
-	if err := cl.checkKey(key); err != nil {
+	if err := cl.checkKey(ctx, key); err != nil {
 		return false, err
 	}
 	if cl.cache != nil {
@@ -439,6 +443,9 @@ func (cl *Client) Contains(ctx context.Context, key string) (bool, error) {
 // subset). Not supported through a delta chain, whose physical keys are
 // derived names.
 func (cl *Client) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cl.closed.Load() {
 		return nil, kv.ErrClosed
 	}
@@ -450,6 +457,9 @@ func (cl *Client) Keys(ctx context.Context) ([]string, error) {
 
 // Len implements kv.Store.
 func (cl *Client) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if cl.closed.Load() {
 		return 0, kv.ErrClosed
 	}
@@ -461,6 +471,9 @@ func (cl *Client) Len(ctx context.Context) (int, error) {
 
 // Clear implements kv.Store.
 func (cl *Client) Clear(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if cl.closed.Load() {
 		return kv.ErrClosed
 	}

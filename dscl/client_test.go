@@ -543,3 +543,15 @@ func TestConcurrentClientUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestClientChaos(t *testing.T) {
+	// The full enhanced pipeline — cache, compression, encryption — must
+	// stay linearizable per key when sandwiched between a fault injector
+	// and the resilience wrapper.
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		return New(kv.NewMem("base"),
+			WithCache(NewInProcessCache(InProcessOptions{CopyOnCache: true})),
+			WithCompression(CompressionOptions{}),
+			WithEncryption(bytes.Repeat([]byte{7}, KeySize))), nil
+	}, kvtest.ChaosOptions{})
+}

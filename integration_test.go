@@ -17,6 +17,8 @@ import (
 	"edsc/future"
 	"edsc/kv"
 	"edsc/kv/kvtest"
+	"edsc/kv/resilient"
+	"edsc/monitor"
 	"edsc/udsm"
 	"edsc/workload"
 )
@@ -352,4 +354,62 @@ func TestMonitoredWorkloadOnEnhancedClient(t *testing.T) {
 // benchCfg is a small workload config for integration tests.
 func benchCfg() workload.Config {
 	return workload.Config{Sizes: []int{256, 4096}, Runs: 2, OpsPerRun: 2}
+}
+
+// TestResilientCloudWorkloadUnderFaults is the resilience acceptance
+// scenario: a cloud store whose server injects wire-level faults — every
+// 10th request answered with HTTP 500, every 4th stalled 20ms — must
+// complete a full workload run behind the resilience wrapper with zero
+// client-visible errors, and the monitor must show the masking work
+// (retries and hedged reads) that made that possible.
+func TestResilientCloudWorkloadUnderFaults(t *testing.T) {
+	ctx := context.Background()
+
+	cloud, err := udsm.StartCloudSim(udsm.ProfileLocal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cloud.Close() })
+	cloud.SetFaults(udsm.CloudFaults{Every500: 10, EverySlow: 4, SlowBy: 20 * time.Millisecond, Seed: 1})
+
+	rec := monitor.New("cloud", 64)
+	store := resilient.New(udsm.OpenCloudStore("cloud", cloud.URL(), "prod"), resilient.Options{
+		RetryWrites: true,
+		MaxRetries:  8,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		HedgeDelay:  2 * time.Millisecond,
+		Recorder:    rec,
+		Seed:        1,
+	})
+	defer store.Close()
+
+	gen := workload.New(benchCfg())
+	if _, err := gen.Run(ctx, store, nil); err != nil {
+		t.Fatalf("workload run surfaced a fault the wrapper should have masked: %v", err)
+	}
+
+	if cloud.FaultsInjected() == 0 {
+		t.Fatal("the server injected no faults — the scenario tested nothing")
+	}
+	st := store.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("500s were injected but nothing was retried: %+v", st)
+	}
+	if st.Hedges == 0 {
+		t.Fatalf("reads were stalled but no hedge fired: %+v", st)
+	}
+	var sawRetry, sawHedge bool
+	for _, op := range rec.Snapshot(false).Ops {
+		switch op.Op {
+		case "retry":
+			sawRetry = op.Count > 0
+		case "hedge":
+			sawHedge = op.Count > 0
+		}
+	}
+	if !sawRetry || !sawHedge {
+		t.Fatalf("monitor snapshot missing resilience ops: retry=%v hedge=%v (%+v)",
+			sawRetry, sawHedge, rec.Snapshot(false).Ops)
+	}
 }

@@ -56,7 +56,10 @@ func (c *Client) bucketURL() string {
 // Name implements kv.Store.
 func (c *Client) Name() string { return c.name }
 
-func (c *Client) check(key string) error {
+func (c *Client) check(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if c.closed.Load() {
 		return kv.ErrClosed
 	}
@@ -92,7 +95,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 
 // GetVersioned implements kv.Versioned.
 func (c *Client) GetVersioned(ctx context.Context, key string) ([]byte, kv.Version, error) {
-	if err := c.check(key); err != nil {
+	if err := c.check(ctx, key); err != nil {
 		return nil, kv.NoVersion, err
 	}
 	resp, err := c.do(ctx, http.MethodGet, c.objectURL(key), nil, nil)
@@ -116,7 +119,7 @@ func (c *Client) GetVersioned(ctx context.Context, key string) ([]byte, kv.Versi
 
 // GetIfModified implements kv.Versioned: an If-None-Match conditional GET.
 func (c *Client) GetIfModified(ctx context.Context, key string, since kv.Version) ([]byte, kv.Version, bool, error) {
-	if err := c.check(key); err != nil {
+	if err := c.check(ctx, key); err != nil {
 		return nil, kv.NoVersion, false, err
 	}
 	hdr := map[string]string{}
@@ -152,7 +155,7 @@ func (c *Client) Put(ctx context.Context, key string, value []byte) error {
 
 // PutVersioned implements kv.Versioned.
 func (c *Client) PutVersioned(ctx context.Context, key string, value []byte) (kv.Version, error) {
-	if err := c.check(key); err != nil {
+	if err := c.check(ctx, key); err != nil {
 		return kv.NoVersion, err
 	}
 	resp, err := c.do(ctx, http.MethodPut, c.objectURL(key), value, nil)
@@ -170,7 +173,7 @@ func (c *Client) PutVersioned(ctx context.Context, key string, value []byte) (kv
 // the stored ETag still equals since (If-Match), or — with kv.NoVersion —
 // only when the object does not exist yet (If-None-Match: *).
 func (c *Client) PutIfVersion(ctx context.Context, key string, value []byte, since kv.Version) (kv.Version, error) {
-	if err := c.check(key); err != nil {
+	if err := c.check(ctx, key); err != nil {
 		return kv.NoVersion, err
 	}
 	hdr := map[string]string{}
@@ -196,7 +199,7 @@ func (c *Client) PutIfVersion(ctx context.Context, key string, value []byte, sin
 
 // Delete implements kv.Store.
 func (c *Client) Delete(ctx context.Context, key string) error {
-	if err := c.check(key); err != nil {
+	if err := c.check(ctx, key); err != nil {
 		return err
 	}
 	resp, err := c.do(ctx, http.MethodDelete, c.objectURL(key), nil, nil)
@@ -216,7 +219,7 @@ func (c *Client) Delete(ctx context.Context, key string) error {
 
 // Contains implements kv.Store.
 func (c *Client) Contains(ctx context.Context, key string) (bool, error) {
-	if err := c.check(key); err != nil {
+	if err := c.check(ctx, key); err != nil {
 		return false, err
 	}
 	resp, err := c.do(ctx, http.MethodHead, c.objectURL(key), nil, nil)

@@ -10,6 +10,7 @@ import (
 
 	"edsc/kv"
 	"edsc/kv/kvtest"
+	"edsc/kv/resilient"
 )
 
 func startServer(t *testing.T, p Profile) *Server {
@@ -296,4 +297,110 @@ func TestCompareAndPutRace(t *testing.T) {
 	if string(data) != fmt.Sprint(2*perWriter) {
 		t.Fatalf("counter = %q, want %d (lost updates)", data, 2*perWriter)
 	}
+}
+
+func TestClientChaos(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		return NewClient("cloud", s.Addr(), "chaosbucket"), nil
+	}, kvtest.ChaosOptions{})
+}
+
+func TestClientCompareAndPut(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	n := 0
+	kvtest.RunCompareAndPut(t, func(t *testing.T) (kv.Store, func()) {
+		n++
+		return NewClient("cloud", s.Addr(), fmt.Sprintf("casbucket%d", n)), nil
+	})
+}
+
+// TestServerFaultInjection covers the wire-level fault hooks directly: a
+// plain (unwrapped) client must see the injected failures.
+func TestServerFaultInjection(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("Always500", func(t *testing.T) {
+		s := startServer(t, LocalProfile("cloud"))
+		s.SetFaults(Faults{P500: 1, Seed: 1})
+		c := NewClient("cloud", s.Addr(), "b")
+		defer c.Close()
+		if err := c.Put(ctx, "k", []byte("v")); err == nil {
+			t.Fatal("Put succeeded against a server answering only 500s")
+		}
+		if s.FaultsInjected() == 0 {
+			t.Fatal("server did not count the injected fault")
+		}
+		// A zero Faults removes injection entirely.
+		s.SetFaults(Faults{})
+		if err := c.Put(ctx, "k", []byte("v")); err != nil {
+			t.Fatalf("Put after clearing faults: %v", err)
+		}
+		if got := s.FaultsInjected(); got != 0 {
+			t.Fatalf("FaultsInjected = %d after clearing, want 0", got)
+		}
+	})
+
+	t.Run("Every500Cadence", func(t *testing.T) {
+		s := startServer(t, LocalProfile("cloud"))
+		s.SetFaults(Faults{Every500: 3})
+		c := NewClient("cloud", s.Addr(), "b")
+		defer c.Close()
+		var failed int
+		for i := 1; i <= 9; i++ {
+			err := c.Put(ctx, fmt.Sprintf("k%d", i), []byte("v"))
+			if i%3 == 0 {
+				if err == nil {
+					t.Fatalf("request %d should have been the injected 500", i)
+				}
+				failed++
+			} else if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+		}
+		if failed != 3 || s.FaultsInjected() != 3 {
+			t.Fatalf("failed=%d injected=%d, want exactly 3 of 9", failed, s.FaultsInjected())
+		}
+	})
+
+	t.Run("ConnectionReset", func(t *testing.T) {
+		s := startServer(t, LocalProfile("cloud"))
+		s.SetFaults(Faults{PDrop: 1, Seed: 1})
+		c := NewClient("cloud", s.Addr(), "b")
+		defer c.Close()
+		_, err := c.Get(ctx, "k")
+		if err == nil {
+			t.Fatal("Get succeeded over a dropped connection")
+		}
+		// The transport error must not be mistaken for a store answer.
+		if kv.IsNotFound(err) || errors.Is(err, kv.ErrVersionMismatch) {
+			t.Fatalf("connection reset surfaced as a definitive answer: %v", err)
+		}
+	})
+
+	t.Run("ThrottleAnd500MaskedByRetry", func(t *testing.T) {
+		s := startServer(t, LocalProfile("cloud"))
+		s.SetFaults(Faults{P500: 0.3, P429: 0.2, Seed: 7})
+		c := NewClient("cloud", s.Addr(), "b")
+		res := resilient.New(c, resilient.Options{
+			RetryWrites: true,
+			MaxRetries:  10,
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+		})
+		defer res.Close()
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if err := res.Put(ctx, k, []byte(k)); err != nil {
+				t.Fatalf("Put %s: %v", k, err)
+			}
+			if v, err := res.Get(ctx, k); err != nil || string(v) != k {
+				t.Fatalf("Get %s = %q, %v", k, v, err)
+			}
+		}
+		if s.FaultsInjected() == 0 || res.Stats().Retries == 0 {
+			t.Fatalf("injected=%d retries=%d; the retry path was not exercised",
+				s.FaultsInjected(), res.Stats().Retries)
+		}
+	})
 }

@@ -1,0 +1,149 @@
+package cloudsim
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults configures server-side fault injection: real wire-level failures
+// (HTTP 500s, 429 throttling, TCP connection resets, stalled responses) of
+// the kind §V's cloud measurements imply, injected before any request
+// handling so no server state changes for a faulted request. The zero value
+// injects nothing.
+//
+// The EveryN knobs are deterministic — every Nth request, counted across
+// the whole server — so tests can assert exact behaviour; the probability
+// knobs model the open-world case. Both can be combined.
+type Faults struct {
+	// P500 / P429 are the probabilities a request is answered with HTTP
+	// 500 / 429 (with a Retry-After: 0 header) instead of being served.
+	P500 float64
+	P429 float64
+	// PDrop is the probability the TCP connection is reset mid-request
+	// (no HTTP response at all).
+	PDrop float64
+	// PSlow is the probability a request stalls for SlowBy before being
+	// served normally — server-side tail latency for hedging to beat.
+	PSlow  float64
+	SlowBy time.Duration
+
+	// Every500 answers every Nth request with a 500 (0 disables).
+	Every500 int
+	// EverySlow stalls every Nth request by SlowBy (0 disables).
+	EverySlow int
+
+	// Seed makes the probabilistic draws reproducible.
+	Seed int64
+}
+
+// faultState is the live injector: one request counter and one seeded RNG
+// shared by all connections.
+type faultState struct {
+	cfg Faults
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	n   int64
+
+	injected atomic.Int64
+}
+
+// faultAction is what the injector decided for one request.
+type faultAction int
+
+const (
+	faultNone faultAction = iota
+	fault500
+	fault429
+	faultDrop
+)
+
+// SetFaults installs (or, with a zero Faults, removes) fault injection.
+// Safe to call while the server is serving.
+func (s *Server) SetFaults(f Faults) {
+	if f == (Faults{}) {
+		s.faults.Store(nil)
+		return
+	}
+	if f.SlowBy <= 0 {
+		f.SlowBy = 20 * time.Millisecond
+	}
+	st := &faultState{cfg: f, rng: rand.New(rand.NewSource(f.Seed))}
+	s.faults.Store(st)
+}
+
+// FaultsInjected reports how many requests have been failed or stalled by
+// the currently installed fault configuration (0 when none installed).
+func (s *Server) FaultsInjected() int64 {
+	st := s.faults.Load()
+	if st == nil {
+		return 0
+	}
+	return st.injected.Load()
+}
+
+// decide picks the fate of one request: a possible stall plus a possible
+// failure action. Deterministic EveryN counters are checked first so their
+// cadence is independent of the probabilistic draws.
+func (st *faultState) decide() (stall bool, action faultAction) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.n++
+	stall = st.cfg.EverySlow > 0 && st.n%int64(st.cfg.EverySlow) == 0
+	if !stall && st.cfg.PSlow > 0 && st.rng.Float64() < st.cfg.PSlow {
+		stall = true
+	}
+	switch {
+	case st.cfg.Every500 > 0 && st.n%int64(st.cfg.Every500) == 0:
+		action = fault500
+	case st.cfg.P500 > 0 && st.rng.Float64() < st.cfg.P500:
+		action = fault500
+	case st.cfg.P429 > 0 && st.rng.Float64() < st.cfg.P429:
+		action = fault429
+	case st.cfg.PDrop > 0 && st.rng.Float64() < st.cfg.PDrop:
+		action = faultDrop
+	}
+	return stall, action
+}
+
+// injectFault runs the fault stage for one request. It returns true when
+// the request was consumed by a fault and must not be handled.
+func (s *Server) injectFault(w http.ResponseWriter) bool {
+	st := s.faults.Load()
+	if st == nil {
+		return false
+	}
+	stall, action := st.decide()
+	if stall {
+		st.injected.Add(1)
+		time.Sleep(st.cfg.SlowBy)
+	}
+	switch action {
+	case fault500:
+		st.injected.Add(1)
+		http.Error(w, "injected internal error", http.StatusInternalServerError)
+		return true
+	case fault429:
+		st.injected.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "injected throttle", http.StatusTooManyRequests)
+		return true
+	case faultDrop:
+		st.injected.Add(1)
+		// A raw TCP reset: hijack the connection and close it so the
+		// client sees a broken transport, not an HTTP error.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				_ = conn.Close()
+				return true
+			}
+		}
+		// Hijack unavailable: the closest approximation is a 500.
+		http.Error(w, "injected connection drop", http.StatusInternalServerError)
+		return true
+	}
+	return false
+}

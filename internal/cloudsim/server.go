@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,6 +29,10 @@ import (
 //	DELETE /v1/{bucket}              empty the bucket
 type Server struct {
 	model *model
+
+	// faults, when non-nil, injects wire-level failures ahead of request
+	// handling (see Faults).
+	faults atomic.Pointer[faultState]
 
 	mu      sync.RWMutex
 	buckets map[string]map[string]object
@@ -105,6 +110,9 @@ func parsePath(escaped string) (bucket, key string, ok bool) {
 }
 
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	if s.injectFault(w) {
+		return
+	}
 	bucket, key, ok := parsePath(r.URL.EscapedPath())
 	if !ok {
 		http.Error(w, "bad path", http.StatusBadRequest)

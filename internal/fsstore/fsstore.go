@@ -112,7 +112,10 @@ func (s *Store) checkOpen() error {
 }
 
 // Get implements kv.Store.
-func (s *Store) Get(_ context.Context, key string) ([]byte, error) {
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := kv.CheckKey(key); err != nil {
 		return nil, err
 	}
@@ -132,7 +135,10 @@ func (s *Store) Get(_ context.Context, key string) ([]byte, error) {
 }
 
 // Put implements kv.Store.
-func (s *Store) Put(_ context.Context, key string, value []byte) error {
+func (s *Store) Put(ctx context.Context, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := kv.CheckKey(key); err != nil {
 		return err
 	}
@@ -165,7 +171,10 @@ func (s *Store) Put(_ context.Context, key string, value []byte) error {
 }
 
 // Delete implements kv.Store.
-func (s *Store) Delete(_ context.Context, key string) error {
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := kv.CheckKey(key); err != nil {
 		return err
 	}
@@ -182,7 +191,10 @@ func (s *Store) Delete(_ context.Context, key string) error {
 }
 
 // Contains implements kv.Store.
-func (s *Store) Contains(_ context.Context, key string) (bool, error) {
+func (s *Store) Contains(ctx context.Context, key string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if err := kv.CheckKey(key); err != nil {
 		return false, err
 	}
@@ -202,7 +214,10 @@ func (s *Store) Contains(_ context.Context, key string) (bool, error) {
 }
 
 // Keys implements kv.Store.
-func (s *Store) Keys(_ context.Context) ([]string, error) {
+func (s *Store) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if err := s.checkOpen(); err != nil {
@@ -246,7 +261,10 @@ func (s *Store) Len(ctx context.Context) (int, error) {
 }
 
 // Clear implements kv.Store.
-func (s *Store) Clear(_ context.Context) error {
+func (s *Store) Clear(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkOpen(); err != nil {

@@ -135,3 +135,13 @@ func TestOpenOnFile(t *testing.T) {
 		t.Fatal("Open on a regular file succeeded")
 	}
 }
+
+func TestChaos(t *testing.T) {
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		s, err := Open("fs", t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, nil
+	}, kvtest.ChaosOptions{})
+}

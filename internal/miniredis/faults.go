@@ -1,0 +1,95 @@
+package miniredis
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Faults configures server-side connection-drop injection: after a command
+// has been read, the connection can be closed either before the command
+// executes (nothing happened — a retry is safe) or after it executes but
+// before the reply is written (the lost-acknowledgement case: the client
+// sees a dead connection and cannot know the write applied). The zero
+// value injects nothing.
+type Faults struct {
+	// PDropPre is the probability a command's connection is dropped
+	// before the command executes.
+	PDropPre float64
+	// PDropPost is the probability the connection is dropped after the
+	// command executed, swallowing the reply.
+	PDropPost float64
+	// EveryPre / EveryPost drop every Nth command deterministically
+	// (0 disables), counted across all connections.
+	EveryPre  int
+	EveryPost int
+	// Seed makes the probabilistic draws reproducible.
+	Seed int64
+}
+
+type redisFaultState struct {
+	cfg Faults
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	n   int64
+
+	injected atomic.Int64
+}
+
+// SetFaults installs (or, with a zero Faults, removes) fault injection.
+// Safe to call while the server is serving.
+func (s *Server) SetFaults(f Faults) {
+	if f == (Faults{}) {
+		s.faults.Store(nil)
+		return
+	}
+	st := &redisFaultState{cfg: f, rng: rand.New(rand.NewSource(f.Seed))}
+	s.faults.Store(st)
+}
+
+// FaultsInjected reports how many connection drops the current fault
+// configuration has served (0 when none installed).
+func (s *Server) FaultsInjected() int64 {
+	st := s.faults.Load()
+	if st == nil {
+		return 0
+	}
+	return st.injected.Load()
+}
+
+// dropDecision says what to do with the connection for one command.
+type dropDecision int
+
+const (
+	dropNone dropDecision = iota
+	dropPre               // close before executing
+	dropPost              // execute, then close without replying
+)
+
+// decideDrop picks the fate of one command. The deterministic EveryN
+// counters run first so their cadence is independent of the random draws.
+func (s *Server) decideDrop() dropDecision {
+	st := s.faults.Load()
+	if st == nil {
+		return dropNone
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.n++
+	d := dropNone
+	switch {
+	case st.cfg.EveryPre > 0 && st.n%int64(st.cfg.EveryPre) == 0:
+		d = dropPre
+	case st.cfg.EveryPost > 0 && st.n%int64(st.cfg.EveryPost) == 0:
+		d = dropPost
+	case st.cfg.PDropPre > 0 && st.rng.Float64() < st.cfg.PDropPre:
+		d = dropPre
+	case st.cfg.PDropPost > 0 && st.rng.Float64() < st.cfg.PDropPost:
+		d = dropPost
+	}
+	if d != dropNone {
+		st.injected.Add(1)
+	}
+	return d
+}

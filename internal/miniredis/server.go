@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edsc/internal/resp"
@@ -36,6 +37,10 @@ type Server struct {
 
 	ln   net.Listener
 	quit chan struct{}
+
+	// faults, when non-nil, injects connection drops around command
+	// execution (see Faults).
+	faults atomic.Pointer[redisFaultState]
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -177,6 +182,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		// Wire-fault stage: a pre-drop closes the connection before the
+		// command runs; a post-drop lets it run and swallows the reply.
+		drop := s.decideDrop()
+		if drop == dropPre {
+			return
+		}
 		var (
 			reply resp.Value
 			quit  bool
@@ -227,6 +238,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.txnMu.RLock()
 			reply, quit = s.dispatch(args)
 			s.txnMu.RUnlock()
+		}
+		if drop == dropPost {
+			return
 		}
 		if err := w.Write(reply); err != nil {
 			return

@@ -47,7 +47,10 @@ func (s *Store) Client() *Client { return s.client }
 // Name implements kv.Store.
 func (s *Store) Name() string { return s.name }
 
-func (s *Store) check(key string) error {
+func (s *Store) check(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.closed.Load() {
 		return kv.ErrClosed
 	}
@@ -56,7 +59,7 @@ func (s *Store) check(key string) error {
 
 // Get implements kv.Store.
 func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
-	if err := s.check(key); err != nil {
+	if err := s.check(ctx, key); err != nil {
 		return nil, err
 	}
 	v, found, err := s.client.Get(ctx, s.prefix+key)
@@ -71,7 +74,7 @@ func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 
 // Put implements kv.Store.
 func (s *Store) Put(ctx context.Context, key string, value []byte) error {
-	if err := s.check(key); err != nil {
+	if err := s.check(ctx, key); err != nil {
 		return err
 	}
 	return kv.WrapErr(s.name, "put", key, s.client.Set(ctx, s.prefix+key, value, 0))
@@ -79,7 +82,7 @@ func (s *Store) Put(ctx context.Context, key string, value []byte) error {
 
 // PutTTL implements kv.Expiring.
 func (s *Store) PutTTL(ctx context.Context, key string, value []byte, ttlNanos int64) error {
-	if err := s.check(key); err != nil {
+	if err := s.check(ctx, key); err != nil {
 		return err
 	}
 	return kv.WrapErr(s.name, "put", key, s.client.Set(ctx, s.prefix+key, value, time.Duration(ttlNanos)))
@@ -87,7 +90,7 @@ func (s *Store) PutTTL(ctx context.Context, key string, value []byte, ttlNanos i
 
 // TTL implements kv.Expiring.
 func (s *Store) TTL(ctx context.Context, key string) (int64, error) {
-	if err := s.check(key); err != nil {
+	if err := s.check(ctx, key); err != nil {
 		return 0, err
 	}
 	d, err := s.client.TTL(ctx, s.prefix+key)
@@ -106,7 +109,7 @@ func (s *Store) TTL(ctx context.Context, key string) (int64, error) {
 
 // Delete implements kv.Store.
 func (s *Store) Delete(ctx context.Context, key string) error {
-	if err := s.check(key); err != nil {
+	if err := s.check(ctx, key); err != nil {
 		return err
 	}
 	n, err := s.client.Del(ctx, s.prefix+key)
@@ -121,7 +124,7 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 
 // Contains implements kv.Store.
 func (s *Store) Contains(ctx context.Context, key string) (bool, error) {
-	if err := s.check(key); err != nil {
+	if err := s.check(ctx, key); err != nil {
 		return false, err
 	}
 	ok, err := s.client.Exists(ctx, s.prefix+key)
@@ -130,6 +133,9 @@ func (s *Store) Contains(ctx context.Context, key string) (bool, error) {
 
 // Keys implements kv.Store.
 func (s *Store) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.closed.Load() {
 		return nil, kv.ErrClosed
 	}
@@ -150,6 +156,9 @@ func (s *Store) Keys(ctx context.Context) ([]string, error) {
 
 // Len implements kv.Store.
 func (s *Store) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if s.closed.Load() {
 		return 0, kv.ErrClosed
 	}
@@ -167,6 +176,9 @@ func (s *Store) Len(ctx context.Context) (int, error) {
 // Clear implements kv.Store. With a prefix, only this store's keys are
 // removed; without one, the whole server is flushed.
 func (s *Store) Clear(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.closed.Load() {
 		return kv.ErrClosed
 	}
@@ -199,6 +211,9 @@ func (s *Store) Close() error {
 
 // GetMulti implements kv.Batch with one MGET round trip.
 func (s *Store) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.closed.Load() {
 		return nil, kv.ErrClosed
 	}
@@ -231,6 +246,9 @@ func (s *Store) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 
 // PutMulti implements kv.Batch with one MSET round trip.
 func (s *Store) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.closed.Load() {
 		return kv.ErrClosed
 	}

@@ -8,6 +8,7 @@ import (
 
 	"edsc/kv"
 	"edsc/kv/kvtest"
+	"edsc/kv/resilient"
 )
 
 func TestStoreConformance(t *testing.T) {
@@ -168,4 +169,46 @@ func TestBatchConformance(t *testing.T) {
 		n++
 		return OpenStore("r", s.Addr(), fmt.Sprintf("bat%d:", n)), nil
 	})
+}
+
+func TestStoreChaos(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		return OpenStore("miniredis", s.Addr(), "chaos/"), nil
+	}, kvtest.ChaosOptions{})
+}
+
+// TestStoreSurvivesConnectionDrops exercises the wire-level fault hooks: the
+// server drops every few connections (both before a command executes and
+// after it executes but before the reply is written), and a resilient-wrapped
+// store must mask every drop through retries.
+func TestStoreSurvivesConnectionDrops(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	s.SetFaults(Faults{EveryPre: 5, EveryPost: 7, Seed: 1})
+	defer s.SetFaults(Faults{})
+
+	st := OpenStore("miniredis", s.Addr(), "drop/")
+	defer st.Close()
+	res := resilient.New(st, resilient.Options{
+		RetryWrites: true,
+		MaxRetries:  8,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := res.Put(ctx, k, []byte(k)); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+		if v, err := res.Get(ctx, k); err != nil || string(v) != k {
+			t.Fatalf("Get %s = %q, %v", k, v, err)
+		}
+	}
+	if s.FaultsInjected() == 0 {
+		t.Fatal("no connection drops were injected — the test proved nothing")
+	}
+	if res.Stats().Retries == 0 {
+		t.Fatal("drops were injected but nothing was retried")
+	}
 }

@@ -68,7 +68,10 @@ func (s *KVStore) check(key string) error {
 }
 
 // Get implements kv.Store.
-func (s *KVStore) Get(_ context.Context, key string) ([]byte, error) {
+func (s *KVStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.check(key); err != nil {
 		return nil, err
 	}
@@ -85,7 +88,10 @@ func (s *KVStore) Get(_ context.Context, key string) ([]byte, error) {
 
 // Put implements kv.Store. Each Put is one committed transaction, paying
 // the WAL fsync — the commit cost §V observes for MySQL writes.
-func (s *KVStore) Put(_ context.Context, key string, value []byte) error {
+func (s *KVStore) Put(ctx context.Context, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.check(key); err != nil {
 		return err
 	}
@@ -95,7 +101,10 @@ func (s *KVStore) Put(_ context.Context, key string, value []byte) error {
 }
 
 // Delete implements kv.Store.
-func (s *KVStore) Delete(_ context.Context, key string) error {
+func (s *KVStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.check(key); err != nil {
 		return err
 	}
@@ -110,7 +119,10 @@ func (s *KVStore) Delete(_ context.Context, key string) error {
 }
 
 // Contains implements kv.Store.
-func (s *KVStore) Contains(_ context.Context, key string) (bool, error) {
+func (s *KVStore) Contains(ctx context.Context, key string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if err := s.check(key); err != nil {
 		return false, err
 	}
@@ -122,7 +134,10 @@ func (s *KVStore) Contains(_ context.Context, key string) (bool, error) {
 }
 
 // Keys implements kv.Store.
-func (s *KVStore) Keys(_ context.Context) ([]string, error) {
+func (s *KVStore) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.check("x"); err != nil {
 		return nil, err
 	}
@@ -138,7 +153,10 @@ func (s *KVStore) Keys(_ context.Context) ([]string, error) {
 }
 
 // Len implements kv.Store.
-func (s *KVStore) Len(_ context.Context) (int, error) {
+func (s *KVStore) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if err := s.check("x"); err != nil {
 		return 0, err
 	}
@@ -150,7 +168,10 @@ func (s *KVStore) Len(_ context.Context) (int, error) {
 }
 
 // Clear implements kv.Store.
-func (s *KVStore) Clear(_ context.Context) error {
+func (s *KVStore) Clear(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.check("x"); err != nil {
 		return err
 	}
@@ -168,7 +189,10 @@ func (s *KVStore) Close() error {
 }
 
 // Exec implements kv.SQL.
-func (s *KVStore) Exec(_ context.Context, query string) (int, error) {
+func (s *KVStore) Exec(ctx context.Context, query string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if err := s.check("x"); err != nil {
 		return 0, err
 	}
@@ -177,7 +201,10 @@ func (s *KVStore) Exec(_ context.Context, query string) (int, error) {
 }
 
 // Query implements kv.SQL.
-func (s *KVStore) Query(_ context.Context, query string) (*kv.Rows, error) {
+func (s *KVStore) Query(ctx context.Context, query string) (*kv.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.check("x"); err != nil {
 		return nil, err
 	}

@@ -121,3 +121,14 @@ func TestTwoKVStoresShareDatabase(t *testing.T) {
 		t.Fatal("Clear on store_a wiped store_b")
 	}
 }
+
+func TestKVStoreChaos(t *testing.T) {
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		db := OpenMemory()
+		st, err := NewKVStore("sql", db, "kv_data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, func() { _ = db.Close() }
+	}, kvtest.ChaosOptions{})
+}

@@ -1,6 +1,7 @@
 package minisql
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -102,10 +103,10 @@ func TestKVAdapterHostileKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	hostile := `k'; DROP TABLE kvp; --`
-	if err := st.Put(nil, hostile, []byte("v")); err != nil {
+	if err := st.Put(context.Background(), hostile, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := st.Get(nil, hostile)
+	v, err := st.Get(context.Background(), hostile)
 	if err != nil || string(v) != "v" {
 		t.Fatalf("hostile key round trip: %q, %v", v, err)
 	}

@@ -21,6 +21,23 @@ func FuzzRead(f *testing.F) {
 		"*3\r\n",
 		"\r\n",
 		"X?\r\n",
+		// Partial frames: a well-formed header whose payload never arrives.
+		"$5\r\nhel",
+		"*2\r\n$1\r\na",
+		"*2\r\n$1\r\na\r\n",
+		"+OK",
+		":12",
+		// Inline errors, including a bare CR inside the message.
+		"-\r\n",
+		"-ERR bad\rdata\r\n",
+		// Oversized bulk-string and array headers: lengths past the sane
+		// limit, past int32, and a huge element inside a small array — the
+		// reader must reject them without allocating the claimed size.
+		"$1048577\r\n",
+		"$2147483648\r\n",
+		"*1\r\n$536870912\r\nx\r\n",
+		"*2147483648\r\n",
+		"$-2\r\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

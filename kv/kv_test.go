@@ -281,3 +281,15 @@ func TestMapKeyCodecErrors(t *testing.T) {
 		t.Fatalf("Get empty key err = %v", err)
 	}
 }
+
+func TestMemChaos(t *testing.T) {
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		return kv.NewMem("mem"), nil
+	}, kvtest.ChaosOptions{})
+}
+
+func TestMemCompareAndPut(t *testing.T) {
+	kvtest.RunCompareAndPut(t, func(t *testing.T) (kv.Store, func()) {
+		return kv.NewMem("mem"), nil
+	})
+}

@@ -1,0 +1,271 @@
+package kvtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"edsc/kv"
+	"edsc/kv/faulty"
+	"edsc/kv/resilient"
+)
+
+// ChaosOptions tune the chaos conformance suite. The zero value picks
+// moderate defaults; setting the EDSC_CHAOS environment variable to
+// "aggressive" (the `make chaos` configuration) raises fault rates and
+// iteration counts for every caller at once.
+type ChaosOptions struct {
+	// Workers is the number of concurrent clients, each owning a disjoint
+	// key space (default 4). Stores whose fixtures cannot take concurrent
+	// traffic should set 1.
+	Workers int
+	// OpsPerWorker is the operation count per worker (default 150).
+	OpsPerWorker int
+	// KeysPerWorker is each worker's key-space size (default 5).
+	KeysPerWorker int
+	// Seed drives both the fault injection and the operation mix.
+	Seed int64
+	// ErrBefore, ErrAfter, PSpike override the injected fault rates
+	// (defaults 0.15, 0.10, 0.05).
+	ErrBefore, ErrAfter, PSpike float64
+}
+
+// RunChaos is the chaos conformance suite: it sandwiches the store under
+// test between a fault injector below (kv/faulty with before-apply errors,
+// lost-ack after-apply errors, and latency spikes) and the resilience
+// wrapper above (kv/resilient with retries, hedged reads, write retries
+// opted in), then drives concurrent per-key workloads and checks every
+// observation against a per-key possibility model.
+//
+// The model is exact for this workload: each worker owns its keys, so
+// operations on a key are sequential, and an ambiguous failure (an error
+// from a write that may have applied) simply widens the set of values the
+// next read may legally return. Any observation outside that set is a
+// linearizability violation — a real bug in the store, the injector, or
+// the retry policy. Torn writes and stale reads are deliberately not
+// injected here: no retry policy can mask them (kv/faulty's own tests
+// cover their observability).
+func RunChaos(t *testing.T, f Factory, opts ChaosOptions) {
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.OpsPerWorker == 0 {
+		opts.OpsPerWorker = 150
+	}
+	if opts.KeysPerWorker == 0 {
+		opts.KeysPerWorker = 5
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.ErrBefore == 0 {
+		opts.ErrBefore = 0.15
+	}
+	if opts.ErrAfter == 0 {
+		opts.ErrAfter = 0.10
+	}
+	if opts.PSpike == 0 {
+		opts.PSpike = 0.05
+	}
+	retries := 12
+	if os.Getenv("EDSC_CHAOS") == "aggressive" {
+		opts.OpsPerWorker *= 4
+		opts.ErrBefore = 0.30
+		opts.ErrAfter = 0.20
+		opts.PSpike = 0.10
+		retries = 20
+	}
+
+	t.Run("Chaos", func(t *testing.T) {
+		inner := open(t, f)
+		inj := faulty.New(inner, faulty.Options{
+			Seed:      opts.Seed,
+			ErrBefore: opts.ErrBefore,
+			ErrAfter:  opts.ErrAfter,
+			PSpike:    opts.PSpike,
+			Spike:     200 * time.Microsecond,
+		})
+		res := resilient.New(inj, resilient.Options{
+			RetryWrites: true,
+			MaxRetries:  retries,
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+			HedgeDelay:  time.Millisecond,
+			Seed:        opts.Seed,
+		})
+
+		var wg sync.WaitGroup
+		errs := make(chan error, opts.Workers)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := chaosWorker(res, w, opts); err != nil {
+					errs <- err
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		if inj.Stats().Injected() == 0 {
+			t.Fatal("chaos run injected no faults — the suite tested nothing")
+		}
+		if st := res.Stats(); st.Retries == 0 {
+			t.Fatalf("faults were injected but nothing was retried: %+v", st)
+		}
+	})
+}
+
+// keyState is the set of values a key may legally hold, given the writes
+// issued and which of them failed ambiguously.
+type keyState struct {
+	vals   map[string]bool // possible present values
+	absent bool            // whether "absent" is possible
+}
+
+func newKeyState() *keyState {
+	return &keyState{vals: make(map[string]bool), absent: true}
+}
+
+// chaosWorker drives one key space and checks every observation.
+func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+	states := make(map[string]*keyState, opts.KeysPerWorker)
+	for i := 0; i < opts.KeysPerWorker; i++ {
+		states[fmt.Sprintf("chaos-w%d-k%d", w, i)] = newKeyState()
+	}
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+
+	for op := 0; op < opts.OpsPerWorker; op++ {
+		k := keys[rng.Intn(len(keys))]
+		st := states[k]
+		switch draw := rng.Float64(); {
+		case draw < 0.45: // put
+			v := fmt.Sprintf("w%d-op%d", w, op)
+			err := s.Put(ctx, k, []byte(v))
+			switch {
+			case err == nil:
+				st.vals = map[string]bool{v: true}
+				st.absent = false
+			case errors.Is(err, faulty.ErrInjected):
+				// Ambiguous: the write may or may not have applied.
+				st.vals[v] = true
+			default:
+				return fmt.Errorf("worker %d op %d: Put(%q): %v", w, op, k, err)
+			}
+
+		case draw < 0.75: // get
+			v, err := s.Get(ctx, k)
+			switch {
+			case err == nil:
+				if !st.vals[string(v)] {
+					return fmt.Errorf("worker %d op %d: Get(%q) = %q, not in possible set %v",
+						w, op, k, v, possibleList(st))
+				}
+				st.vals = map[string]bool{string(v): true}
+				st.absent = false
+			case kv.IsNotFound(err):
+				if !st.absent {
+					return fmt.Errorf("worker %d op %d: Get(%q) = NotFound, but key cannot be absent (possible %v)",
+						w, op, k, possibleList(st))
+				}
+				st.vals = map[string]bool{}
+				st.absent = true
+			case errors.Is(err, faulty.ErrInjected):
+				// Retries exhausted; the read observed nothing.
+			default:
+				return fmt.Errorf("worker %d op %d: Get(%q): %v", w, op, k, err)
+			}
+
+		case draw < 0.9: // delete
+			err := s.Delete(ctx, k)
+			switch {
+			case err == nil:
+				// Deleted now, or found already deleted after a transient
+				// failure — either way the key ends absent.
+				st.vals = map[string]bool{}
+				st.absent = true
+			case kv.IsNotFound(err):
+				if !st.absent {
+					return fmt.Errorf("worker %d op %d: Delete(%q) = NotFound, but key cannot be absent (possible %v)",
+						w, op, k, possibleList(st))
+				}
+				st.vals = map[string]bool{}
+				st.absent = true
+			case errors.Is(err, faulty.ErrInjected):
+				// Ambiguous: the delete may have applied.
+				st.absent = true
+			default:
+				return fmt.Errorf("worker %d op %d: Delete(%q): %v", w, op, k, err)
+			}
+
+		default: // contains
+			ok, err := s.Contains(ctx, k)
+			switch {
+			case err == nil && ok:
+				if len(st.vals) == 0 {
+					return fmt.Errorf("worker %d op %d: Contains(%q) = true, but key must be absent", w, op, k)
+				}
+				st.absent = false
+			case err == nil && !ok:
+				if !st.absent {
+					return fmt.Errorf("worker %d op %d: Contains(%q) = false, but key cannot be absent (possible %v)",
+						w, op, k, possibleList(st))
+				}
+				st.vals = map[string]bool{}
+				st.absent = true
+			case errors.Is(err, faulty.ErrInjected):
+			default:
+				return fmt.Errorf("worker %d op %d: Contains(%q): %v", w, op, k, err)
+			}
+		}
+	}
+
+	// Final sweep: every key must still be explainable.
+	for _, k := range keys {
+		st := states[k]
+		v, err := s.Get(ctx, k)
+		switch {
+		case err == nil:
+			if !st.vals[string(v)] {
+				return fmt.Errorf("worker %d final: Get(%q) = %q, not in possible set %v", w, k, v, possibleList(st))
+			}
+		case kv.IsNotFound(err):
+			if !st.absent {
+				return fmt.Errorf("worker %d final: Get(%q) = NotFound, but key cannot be absent (possible %v)",
+					w, k, possibleList(st))
+			}
+		case errors.Is(err, faulty.ErrInjected):
+		default:
+			return fmt.Errorf("worker %d final: Get(%q): %v", w, k, err)
+		}
+	}
+	return nil
+}
+
+// possibleList renders a key's possibility set for error messages.
+func possibleList(st *keyState) []string {
+	var out []string
+	for v := range st.vals {
+		out = append(out, v)
+	}
+	if st.absent {
+		out = append(out, "<absent>")
+	}
+	return out
+}

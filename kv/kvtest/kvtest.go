@@ -7,6 +7,7 @@ package kvtest
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,6 +30,10 @@ type Options struct {
 	// SkipConcurrency disables the concurrent-access test (for stores
 	// whose test fixture cannot afford it).
 	SkipConcurrency bool
+	// SkipContext disables the context-cancellation test, for stores that
+	// legitimately cannot observe cancellation (none in this repository —
+	// the escape hatch exists for out-of-tree implementations).
+	SkipContext bool
 	// QuickChecks is the number of property-test iterations (default 40).
 	QuickChecks int
 }
@@ -56,6 +61,9 @@ func Run(t *testing.T, f Factory, opts Options) {
 	t.Run("Clear", func(t *testing.T) { testClear(t, f) })
 	t.Run("ValueAliasing", func(t *testing.T) { testValueAliasing(t, f) })
 	t.Run("Closed", func(t *testing.T) { testClosed(t, f) })
+	if !opts.SkipContext {
+		t.Run("ContextCancel", func(t *testing.T) { testContextCancel(t, f) })
+	}
 	t.Run("PropertyRoundTrip", func(t *testing.T) { testPropertyRoundTrip(t, f, opts.QuickChecks) })
 	t.Run("ModelCheck", func(t *testing.T) { testModelCheck(t, f) })
 	if !opts.SkipConcurrency {
@@ -269,6 +277,29 @@ func testValueAliasing(t *testing.T, f Factory) {
 	}
 	if again := mustGet(t, s, "k"); !bytes.Equal(again, []byte("original")) {
 		t.Fatalf("store aliased Get result: got %q", again)
+	}
+}
+
+// testContextCancel verifies that an already-cancelled context is honoured
+// promptly — Get/Put/Delete return ctx.Err() (possibly wrapped) — and that
+// the rejected write left no trace.
+func testContextCancel(t *testing.T, f Factory) {
+	s := open(t, f)
+	mustPut(t, s, "k", []byte("keep"))
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Get(cctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if err := s.Put(cctx, "k", []byte("clobber")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if err := s.Delete(cctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Delete with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The cancelled Put and Delete must not have touched the store.
+	if got := mustGet(t, s, "k"); !bytes.Equal(got, []byte("keep")) {
+		t.Fatalf("cancelled write changed the value: %q", got)
 	}
 }
 

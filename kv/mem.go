@@ -2,6 +2,7 @@ package kv
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -9,26 +10,46 @@ import (
 // the Store contract, useful in tests and as scratch space; the DSCL's real
 // in-process cache (with eviction and expiration management) lives in
 // internal/cache and is exposed through package dscl.
+//
+// Mem also implements CompareAndPut, making it the reference for the
+// optimistic-concurrency contract: every write bumps an internal sequence
+// number that serves as the key's version.
 type Mem struct {
 	name string
 
 	mu     sync.RWMutex
 	m      map[string][]byte
+	ver    map[string]Version
+	seq    uint64
 	closed bool
 }
 
 // NewMem returns an empty in-memory store with the given name.
 func NewMem(name string) *Mem {
-	return &Mem{name: name, m: make(map[string][]byte)}
+	return &Mem{name: name, m: make(map[string][]byte), ver: make(map[string]Version)}
 }
 
-var _ Store = (*Mem)(nil)
+var (
+	_ Store         = (*Mem)(nil)
+	_ CompareAndPut = (*Mem)(nil)
+)
 
 // Name implements Store.
 func (s *Mem) Name() string { return s.name }
 
+// bump assigns the key a fresh version. Callers hold s.mu.
+func (s *Mem) bump(key string) Version {
+	s.seq++
+	v := Version(fmt.Sprintf("m%d", s.seq))
+	s.ver[key] = v
+	return v
+}
+
 // Get implements Store.
-func (s *Mem) Get(_ context.Context, key string) ([]byte, error) {
+func (s *Mem) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := CheckKey(key); err != nil {
 		return nil, err
 	}
@@ -45,7 +66,10 @@ func (s *Mem) Get(_ context.Context, key string) ([]byte, error) {
 }
 
 // Put implements Store.
-func (s *Mem) Put(_ context.Context, key string, value []byte) error {
+func (s *Mem) Put(ctx context.Context, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := CheckKey(key); err != nil {
 		return err
 	}
@@ -55,11 +79,42 @@ func (s *Mem) Put(_ context.Context, key string, value []byte) error {
 		return ErrClosed
 	}
 	s.m[key] = append([]byte(nil), value...)
+	s.bump(key)
 	return nil
 }
 
+// PutIfVersion implements CompareAndPut: with NoVersion the write is
+// create-only; otherwise it succeeds only while the stored version still
+// matches since. A lost race returns ErrVersionMismatch.
+func (s *Mem) PutIfVersion(ctx context.Context, key string, value []byte, since Version) (Version, error) {
+	if err := ctx.Err(); err != nil {
+		return NoVersion, err
+	}
+	if err := CheckKey(key); err != nil {
+		return NoVersion, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return NoVersion, ErrClosed
+	}
+	cur, exists := s.ver[key]
+	if since == NoVersion {
+		if exists {
+			return NoVersion, ErrVersionMismatch
+		}
+	} else if !exists || cur != since {
+		return NoVersion, ErrVersionMismatch
+	}
+	s.m[key] = append([]byte(nil), value...)
+	return s.bump(key), nil
+}
+
 // Delete implements Store.
-func (s *Mem) Delete(_ context.Context, key string) error {
+func (s *Mem) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := CheckKey(key); err != nil {
 		return err
 	}
@@ -72,11 +127,15 @@ func (s *Mem) Delete(_ context.Context, key string) error {
 		return ErrNotFound
 	}
 	delete(s.m, key)
+	delete(s.ver, key)
 	return nil
 }
 
 // Contains implements Store.
-func (s *Mem) Contains(_ context.Context, key string) (bool, error) {
+func (s *Mem) Contains(ctx context.Context, key string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if err := CheckKey(key); err != nil {
 		return false, err
 	}
@@ -90,7 +149,10 @@ func (s *Mem) Contains(_ context.Context, key string) (bool, error) {
 }
 
 // Keys implements Store.
-func (s *Mem) Keys(_ context.Context) ([]string, error) {
+func (s *Mem) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -104,7 +166,10 @@ func (s *Mem) Keys(_ context.Context) ([]string, error) {
 }
 
 // Len implements Store.
-func (s *Mem) Len(_ context.Context) (int, error) {
+func (s *Mem) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -114,13 +179,17 @@ func (s *Mem) Len(_ context.Context) (int, error) {
 }
 
 // Clear implements Store.
-func (s *Mem) Clear(_ context.Context) error {
+func (s *Mem) Clear(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
 	s.m = make(map[string][]byte)
+	s.ver = make(map[string]Version)
 	return nil
 }
 

@@ -1,0 +1,111 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker trips after `threshold` consecutive failed attempts, rejects
+// traffic for `cooldown`, then admits a single probe; the probe's outcome
+// decides between closing again and re-opening. A threshold of 0 disables
+// the breaker entirely.
+//
+// "Consecutive" is attempt-level, not operation-level: a retried operation
+// whose first attempt fails and second succeeds resets the streak, because
+// the store evidently recovered.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       int64
+	rejects     int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether an attempt may proceed. In the open state it starts
+// admitting one probe per cooldown window.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		b.rejects++
+		return false
+	default: // half-open: one probe in flight at a time
+		if b.probing {
+			b.rejects++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// observe records the outcome of an admitted attempt.
+func (b *breaker) observe(ok bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case ok:
+		b.state = breakerClosed
+		b.consecutive = 0
+		b.probing = false
+	case b.state == breakerHalfOpen:
+		// Failed probe: back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	default:
+		b.consecutive++
+		if b.consecutive >= b.threshold && b.state == breakerClosed {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	}
+}
+
+// snapshot returns (trips, rejects) so far.
+func (b *breaker) snapshot() (int64, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.rejects
+}

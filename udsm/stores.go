@@ -169,3 +169,25 @@ func (c *CloudSimServer) URL() string { return c.s.Addr() }
 
 // Close stops the server.
 func (c *CloudSimServer) Close() error { return c.s.Close() }
+
+// CloudFaults configures server-side fault injection for a cloudsim server
+// (HTTP 500/429, connection resets, stalled responses).
+type CloudFaults = cloudsim.Faults
+
+// SetFaults installs (or, with a zero value, removes) fault injection on
+// the running server — the chaos knob for resilience experiments.
+func (c *CloudSimServer) SetFaults(f CloudFaults) { c.s.SetFaults(f) }
+
+// FaultsInjected reports how many requests the current fault configuration
+// has failed or stalled.
+func (c *CloudSimServer) FaultsInjected() int64 { return c.s.FaultsInjected() }
+
+// RedisFaults configures connection-drop injection for a miniredis server.
+type RedisFaults = miniredis.Faults
+
+// SetFaults installs (or, with a zero value, removes) connection-drop
+// injection on the running server.
+func (m *MiniRedisServer) SetFaults(f RedisFaults) { m.s.SetFaults(f) }
+
+// FaultsInjected reports how many connection drops have been injected.
+func (m *MiniRedisServer) FaultsInjected() int64 { return m.s.FaultsInjected() }

@@ -397,3 +397,14 @@ func TestSQLStoreDurableDir(t *testing.T) {
 		t.Fatalf("durability broken: %q, %v", v, err)
 	}
 }
+
+func TestDataStoreChaos(t *testing.T) {
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		m := New(Options{PoolSize: 2})
+		ds, err := m.Register(NewMemStore("mem"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds, func() { _ = m.Close() }
+	}, kvtest.ChaosOptions{})
+}
