@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench figures examples fuzz chaos clean
+.PHONY: all build test race cover bench figures examples fuzz chaos metrics clean
 
 all: build test
 
@@ -43,3 +43,8 @@ examples:
 
 clean:
 	rm -rf results/*.tmp
+
+# Observability acceptance: workload through the resilient stack, then
+# assert the /metrics scrape carries per-op histograms + resilience counters.
+metrics:
+	go test -race -run TestMetricsEndpointAcceptance -v .

@@ -45,6 +45,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("cloudsim-server (%s, scale %.2f) at %s\n", *profile, *scale, srv.Addr())
+	fmt.Printf("metrics at %s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

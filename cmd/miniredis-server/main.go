@@ -22,6 +22,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:6379", "listen address")
 		snapshot = flag.String("snapshot", "", "snapshot file for SAVE/warm restart (empty = persistence off)")
 		sweep    = flag.Duration("sweep", 30*time.Second, "expired-key sweep interval (0 = lazy expiry only)")
+		metrics  = flag.String("metrics", "", "observability listen address for /metrics and /debug/pprof/ (empty = off)")
 	)
 	flag.Parse()
 
@@ -29,6 +30,7 @@ func main() {
 		Addr:          *addr,
 		SnapshotPath:  *snapshot,
 		SweepInterval: *sweep,
+		MetricsAddr:   *metrics,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "miniredis-server:", err)
@@ -37,6 +39,9 @@ func main() {
 	fmt.Printf("miniredis-server listening on %s\n", srv.Addr())
 	if *snapshot != "" {
 		fmt.Printf("snapshot persistence: %s\n", *snapshot)
+	}
+	if a := srv.MetricsAddr(); a != "" {
+		fmt.Printf("metrics at http://%s/metrics (pprof under /debug/pprof/)\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

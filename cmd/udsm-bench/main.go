@@ -25,28 +25,30 @@ import (
 	"strings"
 
 	"edsc/internal/benchkit"
+	"edsc/monitor"
 	"edsc/workload"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", `figure to regenerate: 8..21, "all", or "mixed" (throughput extension)`)
-		out    = flag.String("out", "results", "output directory for .dat files")
-		scale  = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = paper magnitude)")
-		runs   = flag.Int("runs", 4, "runs averaged per data point")
-		ops    = flag.Int("ops", 2, "operations per run per point")
-		maxSz  = flag.Int("maxsize", 1<<20, "largest object size in bytes")
-		tmpDir = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
+		fig     = flag.String("fig", "all", `figure to regenerate: 8..21, "all", or "mixed" (throughput extension)`)
+		out     = flag.String("out", "results", "output directory for .dat files")
+		scale   = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = paper magnitude)")
+		runs    = flag.Int("runs", 4, "runs averaged per data point")
+		ops     = flag.Int("ops", 2, "operations per run per point")
+		maxSz   = flag.Int("maxsize", 1<<20, "largest object size in bytes")
+		tmpDir  = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
+		metrics = flag.String("metrics", "", "observability listen address serving the manager's /metrics and /debug/pprof/ while the bench runs (empty = off)")
 	)
 	flag.Parse()
 
-	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir); err != nil {
+	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, out string, scale float64, runs, ops, maxSize int, workdir string) error {
+func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metricsAddr string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -64,6 +66,15 @@ func run(fig, out string, scale float64, runs, ops, maxSize int, workdir string)
 		return err
 	}
 	defer env.Close()
+
+	if metricsAddr != "" {
+		msrv, err := monitor.Serve(metricsAddr, env.Mgr.Metrics())
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics at http://%s/metrics (pprof under /debug/pprof/)\n", msrv.Addr())
+	}
 
 	cfg := benchkit.PaperConfig()
 	cfg.Runs, cfg.OpsPerRun = runs, ops

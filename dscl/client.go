@@ -7,6 +7,7 @@ import (
 
 	"edsc/internal/delta"
 	"edsc/kv"
+	"edsc/monitor"
 )
 
 // WritePolicy selects how Put interacts with the cache.
@@ -272,11 +273,18 @@ func (cl *Client) Get(ctx context.Context, key string) ([]byte, error) {
 		}
 	}
 
+	// Every path from here reaches the store: tag the context with a
+	// request ID so retries, hedges, and server logs correlate. The
+	// cache-hit fast paths above stay untagged — no wire traffic to trace.
+	ctx, _ = monitor.WithRequestID(ctx)
+
 	// Revalidation path: ask the server whether our stale copy is current.
 	if staleEntry != nil && cl.reval && cl.chain == nil && staleEntry.Version != kv.NoVersion {
 		if vs, ok := cl.store.(kv.Versioned); ok {
 			cl.revals.Add(1)
+			revalStart := time.Now()
 			data, ver, modified, err := vs.GetIfModified(ctx, key, staleEntry.Version)
+			monitor.AddSpan(ctx, "dscl", "revalidate", revalStart, err != nil)
 			switch {
 			case kv.IsNotFound(err):
 				_, _ = cl.cache.Delete(ctx, key)
@@ -323,6 +331,8 @@ func (cl *Client) Get(ctx context.Context, key string) ([]byte, error) {
 // returning the plaintext, the encoded bytes, and the version when known.
 func (cl *Client) fetch(ctx context.Context, key string) (plain, raw []byte, ver kv.Version, err error) {
 	cl.reads.Add(1)
+	start := time.Now()
+	defer func() { monitor.AddSpan(ctx, "dscl", "fetch", start, err != nil) }()
 	if cl.chain != nil {
 		raw, err = cl.chain.Get(ctx, key)
 	} else if vs, ok := cl.store.(kv.Versioned); ok {
@@ -361,6 +371,7 @@ func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
 	if err != nil {
 		return err
 	}
+	ctx, _ = monitor.WithRequestID(ctx)
 	cl.writes.Add(1)
 	var ver kv.Version
 	if cl.chain != nil {

@@ -144,10 +144,12 @@ func WaitAll[T any](ctx context.Context, fs ...*Future[T]) error {
 // the submitter, providing backpressure.
 type Pool struct {
 	tasks chan func()
+	done  chan struct{} // closed when Close begins; unblocks pending Submits
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu         sync.Mutex
+	closed     bool
+	submitting sync.WaitGroup // Submits between the closed check and the send
 }
 
 // NewPool starts a pool with the given number of workers (minimum 1) and a
@@ -156,7 +158,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{tasks: make(chan func(), workers)}
+	p := &Pool{tasks: make(chan func(), workers), done: make(chan struct{})}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -169,21 +171,29 @@ func NewPool(workers int) *Pool {
 	return p
 }
 
-// Submit schedules task on the pool.
+// Submit schedules task on the pool. The closed check happens under the
+// pool lock, but the (possibly blocking) queue send does not — a full queue
+// must not serialize other submitters, block Close, or deadlock a pooled
+// task submitting follow-up work to its own pool while the queue drains.
 func (p *Pool) Submit(task func()) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return ErrPoolClosed
 	}
-	// Send under the lock so Close cannot close the channel between the
-	// check and the send.
-	p.tasks <- task
+	p.submitting.Add(1)
 	p.mu.Unlock()
-	return nil
+	defer p.submitting.Done()
+	select {
+	case p.tasks <- task:
+		return nil
+	case <-p.done:
+		return ErrPoolClosed
+	}
 }
 
-// Close stops accepting tasks and waits for queued tasks to finish.
+// Close stops accepting tasks and waits for queued tasks to finish. Submits
+// blocked on a full queue are released with ErrPoolClosed.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -191,24 +201,34 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
-	close(p.tasks)
 	p.mu.Unlock()
+	close(p.done)
+	// Every in-flight Submit now either completed its send or returned
+	// ErrPoolClosed; once they drain, no sender remains and the task
+	// channel can be closed safely for the workers to finish the queue.
+	p.submitting.Wait()
+	close(p.tasks)
 	p.wg.Wait()
 }
 
 // Go runs fn on the pool and returns a Future for its result. Panics in fn
 // are recovered and surfaced as errors so one bad task cannot kill a shared
-// worker.
+// worker. A panic in an OnComplete callback (which runs in the completing
+// worker) is also contained — the future is already resolved by then, so
+// the recovery path must not complete it a second time.
 func Go[T any](p *Pool, fn func() (T, error)) *Future[T] {
 	f, complete := NewFuture[T]()
 	err := p.Submit(func() {
+		resolved := false
 		defer func() {
-			if r := recover(); r != nil {
+			if r := recover(); r != nil && !resolved {
 				var zero T
 				complete(zero, fmt.Errorf("future: task panicked: %v", r))
 			}
 		}()
-		complete(fn())
+		v, err := fn()
+		resolved = true
+		complete(v, err)
 	})
 	if err != nil {
 		var zero T

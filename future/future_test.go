@@ -273,3 +273,89 @@ func TestAsyncOverlap(t *testing.T) {
 		t.Fatalf("8 overlapped ops took %v, want ~%v", elapsed, d)
 	}
 }
+
+// TestNestedSubmitRunsFollowUp: a pooled task submitting follow-up work to
+// its own pool must not deadlock. The original Submit held the pool mutex
+// across the (possibly blocking) queue send, so a worker's nested Submit
+// could wedge behind any other submitter parked on a full queue.
+func TestNestedSubmitRunsFollowUp(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	done := make(chan struct{})
+	err := p.Submit(func() {
+		if err := p.Submit(func() { close(done) }); err != nil {
+			t.Errorf("nested Submit: %v", err)
+			close(done)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested Submit deadlocked")
+	}
+}
+
+// TestCloseReleasesBlockedSubmit: Submits parked on a full queue must not
+// block Close; Close must release them. With the send under the mutex,
+// Close deadlocked on Lock() whenever any submitter was blocked.
+func TestCloseReleasesBlockedSubmit(t *testing.T) {
+	p := NewPool(1)
+	gate := make(chan struct{})
+	if err := p.Submit(func() { <-gate }); err != nil { // occupy the worker
+		t.Fatal(err)
+	}
+	_ = p.Submit(func() {}) // fill the 1-slot queue
+	errc := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { errc <- p.Submit(func() {}) }()
+	}
+	time.Sleep(20 * time.Millisecond) // let the submitters park on the send
+
+	closed := make(chan struct{})
+	go func() {
+		close(gate) // let the worker drain so Close can finish
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked behind parked Submits")
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errc:
+			// A parked Submit either won the freed slot (nil; its task was
+			// drained by Close) or was released with ErrPoolClosed.
+			if err != nil && !errors.Is(err, ErrPoolClosed) {
+				t.Fatalf("released Submit err = %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("a parked Submit never returned")
+		}
+	}
+}
+
+// TestOnCompletePanicDoesNotDoubleComplete: an OnComplete callback runs in
+// the completing worker; if it panics, the recovery path that guards
+// against task panics must not try to complete the already-resolved future
+// a second time (which itself panics and killed the worker).
+func TestOnCompletePanicDoesNotDoubleComplete(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	gate := make(chan struct{})
+	f := Go(p, func() (int, error) { <-gate; return 7, nil })
+	f.OnComplete(func(int, error) { panic("callback kaboom") }) // runs in the worker
+	close(gate)
+	if v, err := f.MustWait(); v != 7 || err != nil {
+		t.Fatalf("future corrupted by callback panic: %d, %v", v, err)
+	}
+	// The worker must survive the callback panic to run the next task.
+	g := Go(p, func() (int, error) { return 9, nil })
+	if v, err := g.MustWait(); v != 9 || err != nil {
+		t.Fatalf("pool dead after callback panic: %d, %v", v, err)
+	}
+}

@@ -9,7 +9,10 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -411,5 +414,122 @@ func TestResilientCloudWorkloadUnderFaults(t *testing.T) {
 	if !sawRetry || !sawHedge {
 		t.Fatalf("monitor snapshot missing resilience ops: retry=%v hedge=%v (%+v)",
 			sawRetry, sawHedge, rec.Snapshot(false).Ops)
+	}
+}
+
+// TestMetricsEndpointAcceptance is the observability acceptance scenario: a
+// cloudsim server under fault injection serves its /v1 API and, on the same
+// listener, a /metrics endpoint aggregating the server-side per-op recorder,
+// the client-side resilient store's recorder, and the wrapper's
+// retry/hedge/breaker counters. After a workload runs through the full
+// stack, one scrape must show per-op counts, latency histogram buckets, and
+// nonzero resilience counters — and the UDSM's slow-trace retention must
+// have produced span traces that reach down to individual HTTP attempts.
+func TestMetricsEndpointAcceptance(t *testing.T) {
+	ctx := context.Background()
+
+	cloud, err := udsm.StartCloudSim(udsm.ProfileLocal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cloud.Close() })
+	cloud.SetFaults(udsm.CloudFaults{Every500: 10, EverySlow: 4, SlowBy: 5 * time.Millisecond, Seed: 1})
+
+	rec := monitor.New("cloud", 64)
+	store := resilient.New(udsm.OpenCloudStore("cloud", cloud.URL(), "prod"), resilient.Options{
+		RetryWrites: true,
+		MaxRetries:  8,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		HedgeDelay:  2 * time.Millisecond,
+		Recorder:    rec,
+		Seed:        1,
+	})
+	// Everything scrapes from the cloud server's own endpoint: client-side
+	// recorder and resilience counters ride on the server's registry.
+	cloud.Metrics().Register(rec)
+	store.RegisterMetrics(cloud.Metrics())
+
+	// Trace every request (threshold 1ns) through the UDSM so the slow
+	// buffer fills with spans from the resilient and HTTP layers.
+	mgr := udsm.New(udsm.Options{SlowTrace: time.Nanosecond})
+	defer mgr.Close()
+	ds, err := mgr.Register(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := workload.New(benchCfg())
+	if _, err := gen.Run(ctx, ds, nil); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	if store.Stats().Retries == 0 {
+		t.Fatal("no retries despite injected 500s — counters would test nothing")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(cloud.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		// Server-side per-op series from the cloudsim recorder.
+		`edsc_op_total{store="cloudsim",op="get"}`,
+		`edsc_op_total{store="cloudsim",op="put"}`,
+		`edsc_op_latency_seconds_bucket{store="cloudsim",op="get",le=`,
+		// Client-side series from the resilient wrapper's recorder.
+		`edsc_op_total{store="cloud",op="retry"}`,
+		// Resilience event counters.
+		`edsc_resilience_events_total{store="cloud",event="retry"}`,
+		`edsc_resilience_events_total{store="cloud",event="hedge"}`,
+		`edsc_resilience_events_total{store="cloud",event="breaker_trip"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, `event="retry"} 0`) {
+		t.Error("retry counter is zero on /metrics despite observed retries")
+	}
+	if t.Failed() {
+		t.Fatalf("scrape:\n%s", body)
+	}
+
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+
+	// Slow-trace acceptance: traces were retained and carry request IDs and
+	// spans from the layers below the UDSM.
+	snap := ds.Snapshot(false)
+	if len(snap.Slow) == 0 {
+		t.Fatal("no slow traces retained with SlowTrace=1ns")
+	}
+	var sawDeepSpan bool
+	for _, tr := range snap.Slow {
+		if tr.ID == "" {
+			t.Fatalf("trace without request ID: %+v", tr)
+		}
+		for _, sp := range tr.Spans {
+			if sp.Layer == "http" || sp.Layer == "resilient" {
+				sawDeepSpan = true
+			}
+		}
+	}
+	if !sawDeepSpan {
+		t.Fatalf("no span from the http/resilient layers in %d traces", len(snap.Slow))
 	}
 }

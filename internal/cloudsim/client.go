@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"edsc/kv"
+	"edsc/monitor"
 )
 
 // Client is the data store client for a cloudsim server: the analogue of a
@@ -78,7 +79,16 @@ func (c *Client) do(ctx context.Context, method, u string, body []byte, hdr map[
 	for k, v := range hdr {
 		req.Header.Set(k, v)
 	}
-	return c.hc.Do(req)
+	// Propagate the caller's request ID onto the wire so client-side
+	// traces and server-side logs line up, and leave one span per HTTP
+	// attempt (retries and hedges each show up individually).
+	if rid := monitor.RequestID(ctx); rid != "" {
+		req.Header.Set("X-Request-Id", rid)
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	monitor.AddSpan(ctx, "http", method+" "+c.bucket, start, err != nil)
+	return resp, err
 }
 
 // drainClose releases the connection for reuse.

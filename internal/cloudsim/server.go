@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"edsc/monitor"
 )
 
 // Server is a simulated cloud object store: a REST API over buckets of
@@ -37,6 +39,9 @@ type Server struct {
 	mu      sync.RWMutex
 	buckets map[string]map[string]object
 
+	rec     *monitor.Recorder
+	metrics *monitor.Registry
+
 	http *http.Server
 	ln   net.Listener
 }
@@ -48,8 +53,20 @@ type object struct {
 
 // NewServer builds a server with the given latency profile.
 func NewServer(p Profile) *Server {
-	return &Server{model: newModel(p), buckets: make(map[string]map[string]object)}
+	s := &Server{
+		model:   newModel(p),
+		buckets: make(map[string]map[string]object),
+		rec:     monitor.New("cloudsim", 256),
+		metrics: monitor.NewRegistry(),
+	}
+	s.metrics.Register(s.rec)
+	return s
 }
+
+// Metrics returns the server's registry, so callers can register extra
+// sources (e.g. a client-side resilience wrapper's counters) that then show
+// up on this server's /metrics endpoint.
+func (s *Server) Metrics() *monitor.Registry { return s.metrics }
 
 // Start listens on 127.0.0.1 (ephemeral port) and serves in the background.
 func (s *Server) Start() error { return s.StartAddr("127.0.0.1:0") }
@@ -61,9 +78,84 @@ func (s *Server) StartAddr(addr string) error {
 		return fmt.Errorf("cloudsim: listen: %w", err)
 	}
 	s.ln = ln
-	s.http = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	// The observability surface (/metrics, /debug/vars, /debug/pprof/)
+	// rides on its own mux; everything else goes to the API handler
+	// directly — a ServeMux would path-clean object keys like ".." and
+	// redirect them. Fault injection applies only to API traffic, so
+	// scrapes keep working while the store misbehaves.
+	obs := http.NewServeMux()
+	monitor.Mount(obs, s.metrics)
+	s.http = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/") {
+			obs.ServeHTTP(w, r)
+			return
+		}
+		s.handleAPI(w, r)
+	})}
 	go func() { _ = s.http.Serve(ln) }()
 	return nil
+}
+
+// statusWriter captures the status code and body size of a response so the
+// server-side recorder can classify the op after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// opName maps a request to the recorder's op label.
+func opName(method, key string) string {
+	if key == "" {
+		if method == http.MethodDelete {
+			return "clear"
+		}
+		return "list"
+	}
+	switch method {
+	case http.MethodGet:
+		return "get"
+	case http.MethodHead:
+		return "head"
+	case http.MethodPut:
+		return "put"
+	case http.MethodDelete:
+		return "delete"
+	default:
+		return strings.ToLower(method)
+	}
+}
+
+// handleAPI wraps handle with server-side observability: per-op latency
+// recording (5xx counts as failure — 404/304/412 are protocol outcomes,
+// not server faults) and X-Request-Id echo for request correlation.
+func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	if rid := r.Header.Get("X-Request-Id"); rid != "" {
+		w.Header().Set("X-Request-Id", rid)
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.handle(sw, r)
+	_, key, _ := parsePath(r.URL.EscapedPath())
+	n := sw.bytes
+	if n == 0 && r.ContentLength > 0 {
+		n = int(r.ContentLength)
+	}
+	s.rec.Record(opName(r.Method, key), time.Since(start), n, sw.status >= 500)
 }
 
 // Addr returns the server's base URL ("http://127.0.0.1:port").

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"edsc/internal/resp"
+	"edsc/monitor"
 )
 
 // ServerConfig parameterizes a Server.
@@ -26,6 +27,10 @@ type ServerConfig struct {
 	// SweepInterval enables a background expired-key sweep (0 disables;
 	// lazy expiry on access still applies).
 	SweepInterval time.Duration
+	// MetricsAddr, when non-empty, starts a sidecar HTTP listener on that
+	// address exposing /metrics, /debug/vars, and /debug/pprof/ — the RESP
+	// protocol itself cannot carry them. Use "127.0.0.1:0" for ephemeral.
+	MetricsAddr string
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -51,6 +56,10 @@ type Server struct {
 	// holds the read side.
 	txnMu sync.RWMutex
 
+	rec     *monitor.Recorder
+	metrics *monitor.Registry
+	msrv    *monitor.MetricsServer
+
 	started time.Time
 }
 
@@ -59,12 +68,28 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		db:    newDB(cfg.Clock),
 		quit:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
+		rec:   monitor.New("miniredis", 256),
 	}
+	s.metrics = monitor.NewRegistry()
+	s.metrics.Register(s.rec)
+	return s
+}
+
+// Metrics returns the server's registry for additional metric sources.
+func (s *Server) Metrics() *monitor.Registry { return s.metrics }
+
+// MetricsAddr returns the sidecar observability listener's "host:port", or
+// "" when MetricsAddr was not configured.
+func (s *Server) MetricsAddr() string {
+	if s.msrv == nil {
+		return ""
+	}
+	return s.msrv.Addr()
 }
 
 // Start begins listening and serving. It returns once the listener is
@@ -83,6 +108,14 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 	s.started = time.Now()
+	if s.cfg.MetricsAddr != "" {
+		msrv, err := monitor.Serve(s.cfg.MetricsAddr, s.metrics)
+		if err != nil {
+			_ = ln.Close()
+			return err
+		}
+		s.msrv = msrv
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.cfg.SweepInterval > 0 {
@@ -115,6 +148,9 @@ func (s *Server) Close() error {
 	}
 	if s.ln != nil {
 		_ = s.ln.Close()
+	}
+	if s.msrv != nil {
+		_ = s.msrv.Close()
 	}
 	s.mu.Lock()
 	for c := range s.conns {
@@ -220,7 +256,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.txnMu.Lock()
 				results := make([]resp.Value, len(queue))
 				for i, qargs := range queue {
-					results[i], _ = s.dispatch(qargs)
+					results[i], _ = s.dispatchRecorded(qargs)
 				}
 				s.txnMu.Unlock()
 				queue = nil
@@ -236,7 +272,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			reply = resp.Simple("QUEUED")
 		default:
 			s.txnMu.RLock()
-			reply, quit = s.dispatch(args)
+			reply, quit = s.dispatchRecorded(args)
 			s.txnMu.RUnlock()
 		}
 		if drop == dropPost {
@@ -252,6 +288,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatchRecorded wraps dispatch with per-command observability: latency,
+// argument payload bytes, and error replies (per-command failure signal).
+func (s *Server) dispatchRecorded(args [][]byte) (resp.Value, bool) {
+	start := time.Now()
+	reply, quit := s.dispatch(args)
+	n := 0
+	for _, a := range args[1:] {
+		n += len(a)
+	}
+	s.rec.Record(strings.ToLower(string(args[0])), time.Since(start), n, reply.IsError())
+	return reply, quit
 }
 
 // dispatch executes one command, returning the reply and whether the

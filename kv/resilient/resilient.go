@@ -154,6 +154,27 @@ func (s *Store) Stats() Stats {
 	}
 }
 
+// RegisterMetrics exports the wrapper's recovery counters through reg as
+// the counter family edsc_resilience_events_total{store,event} with events
+// retry, hedge, hedge_win, timeout, breaker_trip, and breaker_reject —
+// PR 1's resilience work, visible on the same /metrics page as the
+// latency histograms.
+func (s *Store) RegisterMetrics(reg *monitor.Registry) {
+	reg.RegisterCounters("edsc_resilience_events_total",
+		map[string]string{"store": s.Name()},
+		func() map[string]int64 {
+			st := s.Stats()
+			return map[string]int64{
+				"retry":          st.Retries,
+				"hedge":          st.Hedges,
+				"hedge_win":      st.HedgeWins,
+				"timeout":        st.Timeouts,
+				"breaker_trip":   st.BreakerTrips,
+				"breaker_reject": st.BreakerRejects,
+			}
+		})
+}
+
 // Name implements kv.Store. The wrapper is transparent: monitoring and
 // registries see the inner store's name.
 func (s *Store) Name() string { return s.inner.Name() }
@@ -222,13 +243,18 @@ func (s *Store) do(ctx context.Context, op string, retries int, fn func(context.
 	for attempt := 0; ; attempt++ {
 		if !s.breaker.allow() {
 			s.record("breaker_open", 0, true)
+			monitor.AddSpan(ctx, "resilient", op+" breaker_open", time.Now(), true)
 			return fmt.Errorf("%w (%s)", ErrBreakerOpen, op)
 		}
+		attemptStart := time.Now()
 		err = s.attempt(ctx, fn)
 		s.breaker.observe(healthy(err))
 		if err == nil || !retryable(err) || ctx.Err() != nil || attempt >= retries {
 			return err
 		}
+		// The failed attempt will be retried: leave a span so a slow
+		// request's trace shows each recovery step.
+		monitor.AddSpan(ctx, "resilient", fmt.Sprintf("%s attempt %d", op, attempt+1), attemptStart, true)
 		d := s.backoff(attempt)
 		s.retries.Add(1)
 		s.record("retry", d, false)
@@ -289,6 +315,7 @@ func (s *Store) hedgedGet(ctx context.Context, key string) ([]byte, error) {
 		v, err := s.inner.Get(cctx, key)
 		ch <- result{hedge, v, err}
 	}
+	firstStart := time.Now()
 	go launch(false)
 
 	timer := time.NewTimer(s.opts.HedgeDelay)
@@ -300,6 +327,7 @@ func (s *Store) hedgedGet(ctx context.Context, key string) ([]byte, error) {
 	case <-timer.C:
 		s.hedges.Add(1)
 		s.record("hedge", s.opts.HedgeDelay, false)
+		monitor.AddSpan(ctx, "resilient", "get hedge", firstStart, false)
 		go launch(true)
 		inFlight = 2
 	case <-ctx.Done():

@@ -1,0 +1,113 @@
+package monitor
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// hist is a log-linear latency histogram over the *full* operation history:
+// the HDR-histogram bucketing scheme with 32 linear sub-buckets per power of
+// two, giving ~3% relative resolution from 1ns up to the full int64
+// nanosecond range in a fixed 1888-bucket array. Recording is a single
+// atomic increment, so the hot path never takes a lock, and memory stays
+// bounded no matter how many operations are observed — the complement of the
+// paper's recent-sample ring, which keeps detail but only for a window.
+type hist struct {
+	counts []atomic.Uint64
+}
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+	// histLen covers every representable index: values below histSub get
+	// one bucket each; above that, each power of two is split into histSub
+	// sub-buckets, up to bit 62 (the int64 nanosecond ceiling).
+	histLen = (62-histSubBits)*histSub + 2*histSub
+)
+
+func newHist() *hist { return &hist{counts: make([]atomic.Uint64, histLen)} }
+
+// histIndex maps a nanosecond latency to its bucket.
+func histIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	u := uint64(ns)
+	if u < histSub {
+		return int(u)
+	}
+	b := bits.Len64(u) - 1 // position of the highest set bit
+	sub := u >> uint(b-histSubBits)
+	return (b-histSubBits)*histSub + int(sub)
+}
+
+// histUpper is the largest nanosecond value bucket i can hold (the "le"
+// bound of the bucket, inclusive).
+func histUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	b := i/histSub - 1 + histSubBits
+	sub := uint64(histSub + i%histSub)
+	return int64((sub+1)<<uint(b-histSubBits)) - 1
+}
+
+func (h *hist) record(latency time.Duration) {
+	h.counts[histIndex(latency.Nanoseconds())].Add(1)
+}
+
+// snapshot copies the bucket counts (not atomic across buckets; counts may
+// lag one another by in-flight records, which is fine for monitoring).
+func (h *hist) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// histPercentile computes the nearest-rank percentile from a bucket
+// snapshot, returning the upper bound of the bucket containing that rank.
+func histPercentile(counts []uint64, total uint64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(histUpper(i))
+		}
+	}
+	return time.Duration(histUpper(len(counts) - 1))
+}
+
+// Bucket is one non-empty histogram bucket in a Summary: Count observations
+// were at most Le. Counts are cumulative (Prometheus "le" semantics).
+type Bucket struct {
+	Le    time.Duration `json:"le"`
+	Count uint64        `json:"n"`
+}
+
+// histBuckets converts a bucket snapshot into the cumulative non-empty
+// Bucket list carried by Summary.
+func histBuckets(counts []uint64) []Bucket {
+	var out []Bucket
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, Bucket{Le: time.Duration(histUpper(i)), Count: cum})
+	}
+	return out
+}

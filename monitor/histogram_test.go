@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistIndexUpperInverse(t *testing.T) {
+	// Every observable value must land in a bucket whose upper bound is at
+	// or above it, and within the histogram's relative resolution.
+	for _, ns := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1000,
+		1_000_000, 123_456_789, int64(time.Hour), 1 << 40, 1<<62 - 1} {
+		i := histIndex(ns)
+		if i < 0 || i >= histLen {
+			t.Fatalf("histIndex(%d) = %d out of range", ns, i)
+		}
+		up := histUpper(i)
+		if up < ns {
+			t.Fatalf("histUpper(histIndex(%d)) = %d < value", ns, up)
+		}
+		// Relative resolution: 32 sub-buckets per power of two is ~3%.
+		if ns >= 64 && float64(up-ns) > 0.04*float64(ns) {
+			t.Fatalf("bucket for %d too wide: upper %d (+%.1f%%)",
+				ns, up, 100*float64(up-ns)/float64(ns))
+		}
+	}
+}
+
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 5, 31, 32, 40, 64, 128, 1 << 20, 1 << 40} {
+		i := histIndex(ns)
+		if i < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", ns, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestHistPercentileRanks(t *testing.T) {
+	h := newHist()
+	// 90 fast ops at ~1ms, 10 slow at ~500ms.
+	for i := 0; i < 90; i++ {
+		h.record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.record(500 * time.Millisecond)
+	}
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+	p50 := histPercentile(counts, total, 0.50)
+	if p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	// Rank 91 (0.901*100 rounds up) falls in the slow bucket; so must p99.
+	for _, q := range []float64{0.901, 0.99} {
+		p := histPercentile(counts, total, q)
+		if p < 480*time.Millisecond || p > 520*time.Millisecond {
+			t.Fatalf("q=%v -> %v, want ~500ms", q, p)
+		}
+	}
+}
+
+func TestHistBucketsCumulative(t *testing.T) {
+	h := newHist()
+	h.record(time.Millisecond)
+	h.record(time.Millisecond)
+	h.record(time.Second)
+	bs := histBuckets(h.snapshot())
+	if len(bs) < 2 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	var prev uint64
+	for _, b := range bs {
+		if b.Count < prev {
+			t.Fatalf("buckets not cumulative: %+v", bs)
+		}
+		prev = b.Count
+	}
+	if bs[len(bs)-1].Count != 3 {
+		t.Fatalf("last bucket count = %d, want 3", bs[len(bs)-1].Count)
+	}
+	if bs[0].Le < time.Millisecond || bs[0].Le > 2*time.Millisecond {
+		t.Fatalf("first bucket le = %v", bs[0].Le)
+	}
+}
+
+func TestHistNegativeLatencyClamped(t *testing.T) {
+	h := newHist()
+	h.record(-time.Second) // clock weirdness must not panic or corrupt
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1 {
+		t.Fatalf("total = %d", total)
+	}
+}

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNearestRankPercentile pins the nearest-rank definition: the smallest
+// sample with at least q*n samples at or below it. The old truncating
+// implementation returned sorted[int(q*n)], which reads one past the rank
+// (p99 of 100 samples gave the maximum, p50 of 2 gave the larger).
+func TestNearestRankPercentile(t *testing.T) {
+	mk := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"single p50", mk(1), 0.50, 1 * time.Millisecond},
+		{"single p99", mk(1), 0.99, 1 * time.Millisecond},
+		{"two p50 is lower", mk(2), 0.50, 1 * time.Millisecond},
+		{"two p99", mk(2), 0.99, 2 * time.Millisecond},
+		{"hundred p50", mk(100), 0.50, 50 * time.Millisecond},
+		{"hundred p95", mk(100), 0.95, 95 * time.Millisecond},
+		{"hundred p99 not max", mk(100), 0.99, 99 * time.Millisecond},
+		{"ring-sized p99", mk(256), 0.99, 254 * time.Millisecond}, // ceil(253.44)
+		{"empty", nil, 0.99, 0},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: percentile(q=%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+// TestFullHistoryPercentileDivergesFromRing is the headline property of the
+// v2 recorder: with a latency regression early in the run and >10k fast ops
+// after it, the ring (recent window) forgets the tail entirely while the
+// full-history histogram still reports it.
+func TestFullHistoryPercentileDivergesFromRing(t *testing.T) {
+	r := New("s", 256)
+	for i := 0; i < 200; i++ {
+		r.Record("get", 500*time.Millisecond, 0, false)
+	}
+	for i := 0; i < 9800; i++ {
+		r.Record("get", time.Millisecond, 0, false)
+	}
+	s := r.Snapshot(false).Ops[0]
+	if s.Count != 10000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Sorted by value the slow 200 are the top 2%, so full-history p99
+	// (rank 9900 > 9800 fast samples) must land in the slow band.
+	if s.P99 < 400*time.Millisecond {
+		t.Fatalf("full-history p99 = %v, lost the slow tail", s.P99)
+	}
+	if s.P999 < s.P99 {
+		t.Fatalf("p999 %v < p99 %v", s.P999, s.P99)
+	}
+	// The ring holds only the last 256 samples — all fast.
+	if s.RingP99 > 10*time.Millisecond {
+		t.Fatalf("ring p99 = %v, want ~1ms (ring must only see recent ops)", s.RingP99)
+	}
+	if s.P99 < 100*s.RingP99 {
+		t.Fatalf("expected divergence: full p99 %v vs ring p99 %v", s.P99, s.RingP99)
+	}
+}
+
+// TestConcurrentRecordSnapshotReset exercises the striped hot path against
+// snapshots and resets under the race detector.
+func TestConcurrentRecordSnapshotReset(t *testing.T) {
+	r := New("s", 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record("get", time.Duration(i%1000)*time.Microsecond, i, i%7 == 0)
+				r.Record("put", time.Millisecond, 0, false)
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			snap := r.Snapshot(i%2 == 0)
+			for _, op := range snap.Ops {
+				if op.Count < 0 {
+					t.Errorf("negative count in %+v", op)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			time.Sleep(3 * time.Millisecond)
+			r.Reset()
+		}
+	}()
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkRecordParallel measures the striped hot path under contention;
+// compare with -cpu 1,4,16 to see that Record scales instead of serializing
+// on one recorder-wide mutex.
+func BenchmarkRecordParallel(b *testing.B) {
+	r := New("bench", 256)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record("get", 123*time.Microsecond, 64, false)
+		}
+	})
+}
+
+func BenchmarkSnapshotWhileRecording(b *testing.B) {
+	r := New("bench", 256)
+	for i := 0; i < 10000; i++ {
+		r.Record("get", time.Duration(i)*time.Microsecond, 0, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot(false)
+	}
+}

@@ -1,0 +1,171 @@
+// Request tracing: a context-propagated request ID plus lightweight span
+// records, so a slow operation can be explained layer by layer (cache
+// fetch, resilience retries, individual HTTP attempts) after the fact.
+// Tracing is pull-based and cheap: layers call AddSpan, which is a no-op
+// unless an enclosing layer started a trace with StartTrace, and finished
+// traces are retained by a Recorder only when they exceed its slow
+// threshold (SetSlowThreshold).
+package monitor
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	ridKey ctxKey = iota
+	traceKey
+)
+
+// maxSpans bounds the spans retained per trace (a retry storm must not
+// grow a trace without bound).
+const maxSpans = 64
+
+var (
+	ridSeq    atomic.Uint64
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "req"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridSeq.Add(1))
+}
+
+// WithRequestID returns a context carrying a request ID, generating one
+// when ctx has none, plus the ID itself. IDs are unique within a process
+// and prefixed with a per-process random tag, so IDs from several clients
+// stamped onto one server's requests stay distinguishable.
+func WithRequestID(ctx context.Context) (context.Context, string) {
+	if id := RequestID(ctx); id != "" {
+		return ctx, id
+	}
+	id := newRequestID()
+	return context.WithValue(ctx, ridKey, id), id
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}
+
+// Span is one timed step inside a trace: which layer did what, starting at
+// Offset into the request, for Dur.
+type Span struct {
+	Layer  string        `json:"layer"`
+	Op     string        `json:"op"`
+	Offset time.Duration `json:"offset"`
+	Dur    time.Duration `json:"dur"`
+	Err    bool          `json:"err,omitempty"`
+}
+
+// Trace is a finished slow-request record retained by a Recorder.
+type Trace struct {
+	ID    string        `json:"id"`
+	Op    string        `json:"op"`
+	Begin time.Time     `json:"begin"`
+	Total time.Duration `json:"total"`
+	Err   bool          `json:"err,omitempty"`
+	Spans []Span        `json:"spans,omitempty"`
+}
+
+// String renders the trace as one line per span.
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "slow %s op=%s total=%v", t.ID, t.Op, t.Total)
+	if t.Err {
+		sb.WriteString(" err")
+	}
+	for _, s := range t.Spans {
+		fmt.Fprintf(&sb, "\n  +%-12v %-10s %-20s %v", s.Offset, s.Layer, s.Op, s.Dur)
+		if s.Err {
+			sb.WriteString(" err")
+		}
+	}
+	return sb.String()
+}
+
+// ActiveTrace collects spans for one in-flight request. It is created by
+// StartTrace and safe for concurrent AddSpan calls (hedged attempts).
+type ActiveTrace struct {
+	id    string
+	begin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// ID returns the trace's request ID.
+func (t *ActiveTrace) ID() string { return t.id }
+
+// StartTrace begins a trace for one request, ensuring ctx carries a request
+// ID. The returned ActiveTrace is non-nil only on the outermost call: when
+// ctx already carries a trace, inner layers get back (ctx, nil) and their
+// spans accrue to the enclosing trace, so stacked wrappers (UDSM over DSCL
+// over resilient) produce one trace per request, finished once.
+func StartTrace(ctx context.Context) (context.Context, *ActiveTrace) {
+	if _, ok := ctx.Value(traceKey).(*ActiveTrace); ok {
+		return ctx, nil
+	}
+	ctx, id := WithRequestID(ctx)
+	tr := &ActiveTrace{id: id, begin: time.Now()}
+	return context.WithValue(ctx, traceKey, tr), tr
+}
+
+// AddSpan records one step of the active trace in ctx: layer/op, started at
+// start and ending now. Without an active trace it is a no-op.
+func AddSpan(ctx context.Context, layer, op string, start time.Time, failed bool) {
+	tr, ok := ctx.Value(traceKey).(*ActiveTrace)
+	if !ok {
+		return
+	}
+	tr.mu.Lock()
+	if len(tr.spans) < maxSpans {
+		tr.spans = append(tr.spans, Span{
+			Layer:  layer,
+			Op:     op,
+			Offset: start.Sub(tr.begin),
+			Dur:    time.Since(start),
+			Err:    failed,
+		})
+	}
+	tr.mu.Unlock()
+}
+
+// FinishTrace completes tr (as returned by StartTrace; nil is ignored) for
+// an operation that took total. When the recorder's slow threshold is set
+// and total reaches it, the trace is retained for snapshots, evicting the
+// oldest retained trace when full.
+func (r *Recorder) FinishTrace(tr *ActiveTrace, op string, total time.Duration, failed bool) {
+	if tr == nil {
+		return
+	}
+	thresh := r.slowThresh.Load()
+	if thresh <= 0 || int64(total) < thresh {
+		return
+	}
+	tr.mu.Lock()
+	spans := append([]Span(nil), tr.spans...)
+	tr.mu.Unlock()
+	rec := Trace{ID: tr.id, Op: op, Begin: tr.begin, Total: total, Err: failed, Spans: spans}
+	r.slowMu.Lock()
+	if len(r.slow) >= r.slowCap {
+		copy(r.slow, r.slow[1:])
+		r.slow = r.slow[:len(r.slow)-1]
+	}
+	r.slow = append(r.slow, rec)
+	r.slowMu.Unlock()
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWithRequestIDStable(t *testing.T) {
+	ctx, id := WithRequestID(context.Background())
+	if id == "" || RequestID(ctx) != id {
+		t.Fatalf("id = %q, ctx carries %q", id, RequestID(ctx))
+	}
+	// A second call must not mint a new ID.
+	ctx2, id2 := WithRequestID(ctx)
+	if id2 != id || RequestID(ctx2) != id {
+		t.Fatalf("request ID regenerated: %q -> %q", id, id2)
+	}
+	_, other := WithRequestID(context.Background())
+	if other == id {
+		t.Fatal("distinct requests share an ID")
+	}
+}
+
+func TestStartTraceOutermostOnly(t *testing.T) {
+	ctx, tr := StartTrace(context.Background())
+	if tr == nil {
+		t.Fatal("outermost StartTrace returned nil trace")
+	}
+	if tr.ID() == "" || tr.ID() != RequestID(ctx) {
+		t.Fatalf("trace id %q vs ctx id %q", tr.ID(), RequestID(ctx))
+	}
+	// Inner layers see the existing trace and must not start another.
+	_, inner := StartTrace(ctx)
+	if inner != nil {
+		t.Fatal("nested StartTrace returned a second trace")
+	}
+}
+
+func TestAddSpanAccruesToEnclosingTrace(t *testing.T) {
+	ctx, tr := StartTrace(context.Background())
+	start := time.Now().Add(-5 * time.Millisecond)
+	AddSpan(ctx, "resilient", "get attempt 1", start, true)
+	AddSpan(ctx, "http", "GET b", start, false)
+	// No-trace contexts are a cheap no-op.
+	AddSpan(context.Background(), "http", "GET b", start, false)
+
+	r := New("s", 16)
+	r.SetSlowThreshold(time.Millisecond)
+	r.FinishTrace(tr, "get", 10*time.Millisecond, false)
+	snap := r.Snapshot(false)
+	if len(snap.Slow) != 1 {
+		t.Fatalf("slow traces = %d, want 1", len(snap.Slow))
+	}
+	got := snap.Slow[0]
+	if got.Op != "get" || got.Total != 10*time.Millisecond || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got.Spans[0].Layer != "resilient" || !got.Spans[0].Err || got.Spans[1].Layer != "http" {
+		t.Fatalf("spans = %+v", got.Spans)
+	}
+	if !strings.Contains(got.String(), "resilient") {
+		t.Fatalf("rendering = %q", got.String())
+	}
+	if !strings.Contains(snap.Text(), got.ID) {
+		t.Fatal("snapshot text omits slow traces")
+	}
+}
+
+func TestFinishTraceRetention(t *testing.T) {
+	r := New("s", 16)
+	// Threshold unset: nothing retained.
+	ctx, tr := StartTrace(context.Background())
+	_ = ctx
+	r.FinishTrace(tr, "get", time.Hour, false)
+	if n := len(r.Snapshot(false).Slow); n != 0 {
+		t.Fatalf("retained %d traces with tracing disabled", n)
+	}
+
+	r.SetSlowThreshold(10 * time.Millisecond)
+	_, fast := StartTrace(context.Background())
+	r.FinishTrace(fast, "get", 5*time.Millisecond, false) // under threshold
+	_, slow := StartTrace(context.Background())
+	r.FinishTrace(slow, "get", 15*time.Millisecond, false)
+	r.FinishTrace(nil, "get", time.Hour, false) // inner layer: ignored
+	if n := len(r.Snapshot(false).Slow); n != 1 {
+		t.Fatalf("retained %d traces, want 1", n)
+	}
+
+	// The buffer is bounded, evicting oldest-first.
+	for i := 0; i < 100; i++ {
+		_, tr := StartTrace(context.Background())
+		r.FinishTrace(tr, "get", time.Duration(20+i)*time.Millisecond, false)
+	}
+	slowTraces := r.Snapshot(false).Slow
+	if len(slowTraces) != r.slowCap {
+		t.Fatalf("retained %d, want cap %d", len(slowTraces), r.slowCap)
+	}
+	if got := slowTraces[len(slowTraces)-1].Total; got != 119*time.Millisecond {
+		t.Fatalf("newest retained = %v, want 119ms", got)
+	}
+
+	// Reset clears retained traces too.
+	r.Reset()
+	if n := len(r.Snapshot(false).Slow); n != 0 {
+		t.Fatalf("Reset left %d traces", n)
+	}
+}
+
+func TestSpanCountBounded(t *testing.T) {
+	ctx, tr := StartTrace(context.Background())
+	for i := 0; i < 10*maxSpans; i++ {
+		AddSpan(ctx, "l", "op", time.Now(), false)
+	}
+	r := New("s", 16)
+	r.SetSlowThreshold(1)
+	r.FinishTrace(tr, "get", time.Second, false)
+	if n := len(r.Snapshot(false).Slow[0].Spans); n != maxSpans {
+		t.Fatalf("spans = %d, want cap %d", n, maxSpans)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"edsc/internal/miniredis"
 	"edsc/internal/minisql"
 	"edsc/kv"
+	"edsc/monitor"
 )
 
 // This file exposes constructors for every data store this repository
@@ -102,6 +103,9 @@ type MiniRedisOptions struct {
 	SnapshotPath string
 	// SweepInterval enables background expiry (0 = lazy expiry only).
 	SweepInterval time.Duration
+	// MetricsAddr, when non-empty, starts the sidecar observability
+	// listener (/metrics, /debug/pprof/) on that address.
+	MetricsAddr string
 }
 
 // StartMiniRedis launches a miniredis server in this process. Even
@@ -112,6 +116,7 @@ func StartMiniRedis(opts MiniRedisOptions) (*MiniRedisServer, error) {
 		Addr:          opts.Addr,
 		SnapshotPath:  opts.SnapshotPath,
 		SweepInterval: opts.SweepInterval,
+		MetricsAddr:   opts.MetricsAddr,
 	})
 	if err := s.Start(); err != nil {
 		return nil, err
@@ -121,6 +126,13 @@ func StartMiniRedis(opts MiniRedisOptions) (*MiniRedisServer, error) {
 
 // Addr returns "host:port".
 func (m *MiniRedisServer) Addr() string { return m.s.Addr() }
+
+// Metrics returns the server's metric registry (per-command recorder).
+func (m *MiniRedisServer) Metrics() *monitor.Registry { return m.s.Metrics() }
+
+// MetricsAddr returns the sidecar observability listener's "host:port", or
+// "" when MetricsAddr was not configured.
+func (m *MiniRedisServer) MetricsAddr() string { return m.s.MetricsAddr() }
 
 // Close stops the server (saving a snapshot when configured).
 func (m *MiniRedisServer) Close() error { return m.s.Close() }
@@ -164,8 +176,13 @@ func StartCloudSim(profile CloudProfile, scale float64) (*CloudSimServer, error)
 	return &CloudSimServer{s: s}, nil
 }
 
-// URL returns the server's base URL.
+// URL returns the server's base URL. The same server also serves /metrics,
+// /debug/vars, and /debug/pprof/ beside the /v1 object API.
 func (c *CloudSimServer) URL() string { return c.s.Addr() }
+
+// Metrics returns the server's metric registry (server-side per-op
+// recorder); extra sources registered here appear on its /metrics endpoint.
+func (c *CloudSimServer) Metrics() *monitor.Registry { return c.s.Metrics() }
 
 // Close stops the server.
 func (c *CloudSimServer) Close() error { return c.s.Close() }

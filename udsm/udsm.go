@@ -41,12 +41,17 @@ type Options struct {
 	// RecentSamples is how many detailed latency samples each operation
 	// retains (default 256); older requests keep only summary statistics.
 	RecentSamples int
+	// SlowTrace, when positive, retains a span trace for every request
+	// whose total latency reaches it (surfaced in snapshots and /metrics
+	// debug pages). Zero disables slow-request tracing.
+	SlowTrace time.Duration
 }
 
 // Manager is the UDSM: a registry of data stores sharing an async pool.
 type Manager struct {
-	opts Options
-	pool *future.Pool
+	opts    Options
+	pool    *future.Pool
+	metrics *monitor.Registry
 
 	mu     sync.Mutex
 	stores map[string]*DataStore
@@ -62,11 +67,18 @@ func New(opts Options) *Manager {
 		opts.RecentSamples = 256
 	}
 	return &Manager{
-		opts:   opts,
-		pool:   future.NewPool(opts.PoolSize),
-		stores: make(map[string]*DataStore),
+		opts:    opts,
+		pool:    future.NewPool(opts.PoolSize),
+		metrics: monitor.NewRegistry(),
+		stores:  make(map[string]*DataStore),
 	}
 }
+
+// Metrics returns the manager's metric registry: every registered store's
+// recorder is exported through it. Mount it on an HTTP mux (monitor.Mount)
+// or serve it standalone (monitor.Serve) to expose /metrics for the whole
+// manager.
+func (m *Manager) Metrics() *monitor.Registry { return m.metrics }
 
 // Register adds a store under its Name(), wrapping it with performance
 // monitoring. Registering two stores with the same name is an error.
@@ -85,6 +97,10 @@ func (m *Manager) Register(store kv.Store) (*DataStore, error) {
 		recorder: monitor.New(name, m.opts.RecentSamples),
 		pool:     m.pool,
 	}
+	if m.opts.SlowTrace > 0 {
+		ds.recorder.SetSlowThreshold(m.opts.SlowTrace)
+	}
+	m.metrics.Register(ds.recorder)
 	m.stores[name] = ds
 	return ds, nil
 }
@@ -117,6 +133,7 @@ func (m *Manager) Deregister(name string) bool {
 		return false
 	}
 	delete(m.stores, name)
+	m.metrics.Unregister(name)
 	return true
 }
 
@@ -215,60 +232,84 @@ func (ds *DataStore) Snapshot(includeRecent bool) monitor.Snapshot {
 // Name implements kv.Store.
 func (ds *DataStore) Name() string { return ds.inner.Name() }
 
+// observe wraps one operation with monitoring and request tracing: the
+// DataStore is the outermost layer, so it starts the per-request trace
+// (generating the request ID inner layers stamp onto the wire) and, when
+// the manager retains slow traces, finishes it into the recorder.
+func (ds *DataStore) observe(ctx context.Context, op string, fn func(ctx context.Context) (int, error), okErr func(error) bool) error {
+	ctx, tr := monitor.StartTrace(ctx)
+	start := time.Now()
+	bytes, err := fn(ctx)
+	d := time.Since(start)
+	failed := err != nil && (okErr == nil || !okErr(err))
+	ds.recorder.Record(op, d, bytes, failed)
+	ds.recorder.FinishTrace(tr, op, d, failed)
+	return err
+}
+
 // Get implements kv.Store.
 func (ds *DataStore) Get(ctx context.Context, key string) ([]byte, error) {
-	start := time.Now()
-	v, err := ds.inner.Get(ctx, key)
-	ds.recorder.Record("get", time.Since(start), len(v), err != nil && !kv.IsNotFound(err))
+	var v []byte
+	err := ds.observe(ctx, "get", func(ctx context.Context) (int, error) {
+		var err error
+		v, err = ds.inner.Get(ctx, key)
+		return len(v), err
+	}, kv.IsNotFound)
 	return v, err
 }
 
 // Put implements kv.Store.
 func (ds *DataStore) Put(ctx context.Context, key string, value []byte) error {
-	start := time.Now()
-	err := ds.inner.Put(ctx, key, value)
-	ds.recorder.Record("put", time.Since(start), len(value), err != nil)
-	return err
+	return ds.observe(ctx, "put", func(ctx context.Context) (int, error) {
+		return len(value), ds.inner.Put(ctx, key, value)
+	}, nil)
 }
 
 // Delete implements kv.Store.
 func (ds *DataStore) Delete(ctx context.Context, key string) error {
-	start := time.Now()
-	err := ds.inner.Delete(ctx, key)
-	ds.recorder.Record("delete", time.Since(start), 0, err != nil && !kv.IsNotFound(err))
-	return err
+	return ds.observe(ctx, "delete", func(ctx context.Context) (int, error) {
+		return 0, ds.inner.Delete(ctx, key)
+	}, kv.IsNotFound)
 }
 
 // Contains implements kv.Store.
 func (ds *DataStore) Contains(ctx context.Context, key string) (bool, error) {
-	start := time.Now()
-	ok, err := ds.inner.Contains(ctx, key)
-	ds.recorder.Record("contains", time.Since(start), 0, err != nil)
+	var ok bool
+	err := ds.observe(ctx, "contains", func(ctx context.Context) (int, error) {
+		var err error
+		ok, err = ds.inner.Contains(ctx, key)
+		return 0, err
+	}, nil)
 	return ok, err
 }
 
 // Keys implements kv.Store.
 func (ds *DataStore) Keys(ctx context.Context) ([]string, error) {
-	start := time.Now()
-	ks, err := ds.inner.Keys(ctx)
-	ds.recorder.Record("keys", time.Since(start), 0, err != nil)
+	var ks []string
+	err := ds.observe(ctx, "keys", func(ctx context.Context) (int, error) {
+		var err error
+		ks, err = ds.inner.Keys(ctx)
+		return 0, err
+	}, nil)
 	return ks, err
 }
 
 // Len implements kv.Store.
 func (ds *DataStore) Len(ctx context.Context) (int, error) {
-	start := time.Now()
-	n, err := ds.inner.Len(ctx)
-	ds.recorder.Record("len", time.Since(start), 0, err != nil)
+	var n int
+	err := ds.observe(ctx, "len", func(ctx context.Context) (int, error) {
+		var err error
+		n, err = ds.inner.Len(ctx)
+		return 0, err
+	}, nil)
 	return n, err
 }
 
 // Clear implements kv.Store.
 func (ds *DataStore) Clear(ctx context.Context) error {
-	start := time.Now()
-	err := ds.inner.Clear(ctx)
-	ds.recorder.Record("clear", time.Since(start), 0, err != nil)
-	return err
+	return ds.observe(ctx, "clear", func(ctx context.Context) (int, error) {
+		return 0, ds.inner.Clear(ctx)
+	}, nil)
 }
 
 // Close implements kv.Store. (Manager.Close also closes registered stores.)
