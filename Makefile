@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench figures examples fuzz chaos metrics clean
+.PHONY: all build test race cover bench bench-batch figures examples fuzz chaos metrics clean
 
 all: build test
 
@@ -29,6 +29,12 @@ chaos:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Batched multi-key ablation (one bulk round trip vs a per-key loop) plus
+# the per-store speedup sweep into results/ext_batch_speedup.dat.
+bench-batch:
+	go test -bench=BenchmarkAblationBatch -benchmem .
+	go run ./cmd/udsm-bench -fig batch -out results -scale 0.05
 
 # Regenerate every figure's data series into results/ (see EXPERIMENTS.md).
 figures:

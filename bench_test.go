@@ -429,6 +429,66 @@ func BenchmarkAblationPipeline(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationBatch compares a sequential per-key loop against one
+// batched GetMulti/PutMulti of the same 64 keys on Cloud Store 1: the batch
+// pays the WAN round trip once instead of 64 times.
+func BenchmarkAblationBatch(b *testing.B) {
+	e := env(b)
+	ds, err := e.Store(benchkit.Cloud1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const batch = 64
+	val := bytes.Repeat([]byte("v"), 256)
+	keys := make([]string, batch)
+	pairs := make(map[string][]byte, batch)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ablbatch:%d", i)
+		pairs[keys[i]] = val
+	}
+	if err := ds.PutMulti(ctx, pairs); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("get-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				if _, err := ds.Get(ctx, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("get-batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, err := ds.GetMulti(ctx, keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != batch {
+				b.Fatalf("GetMulti returned %d of %d keys", len(got), batch)
+			}
+		}
+	})
+	b.Run("put-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				if err := ds.Put(ctx, k, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("put-batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ds.PutMulti(ctx, pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAsyncVsSync contrasts the synchronous and asynchronous UDSM
 // interfaces on a slow store: the async batch should complete in roughly
 // one store-latency instead of N (§II-A's motivation).

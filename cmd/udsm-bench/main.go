@@ -39,16 +39,17 @@ func main() {
 		maxSz   = flag.Int("maxsize", 1<<20, "largest object size in bytes")
 		tmpDir  = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
 		metrics = flag.String("metrics", "", "observability listen address serving the manager's /metrics and /debug/pprof/ while the bench runs (empty = off)")
+		batch   = flag.Int("batch", 0, `largest keys-per-batch for the batched multi-key comparison (0 = off; "-fig batch" enables it with the default of 64)`)
 	)
 	flag.Parse()
 
-	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics); err != nil {
+	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metricsAddr string) error {
+func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metricsAddr string, batch int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -172,7 +173,54 @@ func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metric
 			return err
 		}
 	}
+	if batch > 0 || fig == "batch" {
+		if batch <= 0 {
+			batch = 64
+		}
+		fmt.Printf("running batched multi-key comparison (up to %d keys/batch) ...\n", batch)
+		if err := runBatch(ctx, env, out, batch); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("done; data files in %s\n", out)
+	return nil
+}
+
+// runBatch measures, per store, how much a batched multi-key call saves over
+// the equivalent per-key loop — the end-to-end payoff of the bulk interface.
+func runBatch(ctx context.Context, env *benchkit.Env, out string, maxBatch int) error {
+	f, err := os.Create(filepath.Join(out, "ext_batch_speedup.dat"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# extension: batched multi-key interface vs per-key loop, 1 KiB objects")
+	fmt.Fprintln(f, "# columns: store batch_size perkey_get_ms batch_get_ms get_speedup perkey_put_ms batch_put_ms put_speedup")
+	sizes := []int{}
+	for _, n := range []int{4, 16, maxBatch} {
+		if n <= maxBatch && (len(sizes) == 0 || n > sizes[len(sizes)-1]) {
+			sizes = append(sizes, n)
+		}
+	}
+	for _, name := range benchkit.AllStores() {
+		ds, err := env.Store(name)
+		if err != nil {
+			return err
+		}
+		rep, err := workload.RunBatchCompare(ctx, ds, workload.BatchConfig{
+			BatchSizes: sizes, Runs: 2, KeyPrefix: "batch:" + name + ":",
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range rep.Points {
+			fmt.Printf("  %s n=%d: get %.1fx, put %.1fx\n", name, p.BatchSize, p.GetSpeedup(), p.PutSpeedup())
+			fmt.Fprintf(f, "%s %d %.4f %.4f %.2f %.4f %.4f %.2f\n",
+				name, p.BatchSize,
+				float64(p.PerKeyGet)/1e6, float64(p.BatchGet)/1e6, p.GetSpeedup(),
+				float64(p.PerKeyPut)/1e6, float64(p.BatchPut)/1e6, p.PutSpeedup())
+		}
+	}
 	return nil
 }
 

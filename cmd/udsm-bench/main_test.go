@@ -8,7 +8,7 @@ import (
 
 func TestRunSingleFigure(t *testing.T) {
 	out := t.TempDir()
-	if err := run("20", out, 0.001, 1, 1, 4096, t.TempDir(), ""); err != nil {
+	if err := run("20", out, 0.001, 1, 1, 4096, t.TempDir(), "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "fig20_encryption.dat"))
@@ -22,10 +22,10 @@ func TestRunSingleFigure(t *testing.T) {
 
 func TestRunCachedFigureAndDelta(t *testing.T) {
 	out := t.TempDir()
-	if err := run("17", out, 0.001, 1, 1, 1024, t.TempDir(), ""); err != nil {
+	if err := run("17", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("8", out, 0.001, 1, 1, 1024, t.TempDir(), ""); err != nil {
+	if err := run("8", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig17_filesystem_inprocess.dat", "fig08_delta.dat"} {
@@ -37,10 +37,24 @@ func TestRunCachedFigureAndDelta(t *testing.T) {
 
 func TestRunMixedMode(t *testing.T) {
 	out := t.TempDir()
-	if err := run("mixed", out, 0.001, 1, 1, 1024, t.TempDir(), ""); err != nil {
+	if err := run("mixed", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "ext_mixed_throughput.dat")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	out := t.TempDir()
+	if err := run("batch", out, 0.001, 1, 1, 1024, t.TempDir(), "", 8); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "ext_batch_speedup.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty batch data file")
 	}
 }

@@ -1,0 +1,183 @@
+package dscl
+
+import (
+	"context"
+	"time"
+
+	"edsc/kv"
+	"edsc/monitor"
+)
+
+var _ kv.Batch = (*Client)(nil)
+
+// GetMulti implements kv.Batch with miss coalescing: every key the cache can
+// answer is served locally, and all remaining keys are fetched from the
+// store in a single batched round trip (§III's caching integrated with the
+// bulk interface). Fetched entries enter the cache with their version and
+// expiration metadata exactly as a single-key fetch would.
+//
+// Partial-result semantics follow kv.GetMulti: absent keys are simply
+// missing from the returned map, and on error the partial map assembled so
+// far is returned with the first error.
+func (cl *Client) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cl.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	out := make(map[string][]byte, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	miss := make([]string, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if err := kv.CheckKey(k); err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if cl.cache == nil {
+			miss = append(miss, k)
+			continue
+		}
+		e, state, err := cl.cache.Get(ctx, k)
+		switch {
+		case err != nil:
+			cl.cacheErrs.Add(1)
+			miss = append(miss, k)
+		case state == Hit && isNegative(e):
+			cl.negHits.Add(1) // definitively absent: stays out of the map
+		case state == Hit:
+			v, derr := cl.cachedToPlain(e.Value)
+			if derr != nil {
+				return out, derr
+			}
+			cl.hits.Add(1)
+			out[k] = v
+		default:
+			// Stale entries join the batch instead of revalidating one by
+			// one: the batch is a single round trip either way, so a full
+			// fresh value costs nothing extra here.
+			cl.misses.Add(1)
+			miss = append(miss, k)
+		}
+	}
+	if len(miss) == 0 {
+		return out, nil
+	}
+
+	ctx, _ = monitor.WithRequestID(ctx)
+	if cl.chain != nil {
+		// Delta chains materialize each value from a chain of physical
+		// records; there is no batch fast path through them.
+		for _, k := range miss {
+			v, err := cl.Get(ctx, k)
+			if kv.IsNotFound(err) {
+				continue
+			}
+			if err != nil {
+				return out, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	}
+
+	start := time.Now()
+	cl.reads.Add(1) // one batched store read, whatever the key count
+	got, err := kv.GetMultiVersioned(ctx, cl.store, miss)
+	monitor.AddSpan(ctx, "dscl", "batch_fetch", start, err != nil)
+	if err != nil {
+		return out, err
+	}
+	for _, k := range miss {
+		vv, ok := got[k]
+		if !ok {
+			// The store no longer has it: drop any stale copy, remember the
+			// miss with a tombstone when negative caching is on.
+			if cl.cache != nil {
+				if _, derr := cl.cache.Delete(ctx, k); derr != nil {
+					cl.cacheErrs.Add(1)
+				}
+				cl.cacheNegative(ctx, k)
+			}
+			continue
+		}
+		plain, derr := cl.decode(vv.Value)
+		if derr != nil {
+			return out, derr
+		}
+		cl.cachePut(ctx, k, plain, vv.Value, vv.Version)
+		out[k] = plain
+	}
+	return out, nil
+}
+
+// PutMulti implements kv.Batch: transform every value, write the whole set
+// in one batched round trip, then apply the write policy per key. Batch
+// writes return no versions, so write-through entries carry kv.NoVersion and
+// revalidate with a full fetch once they expire.
+func (cl *Client) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cl.closed.Load() {
+		return kv.ErrClosed
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	for k := range pairs {
+		if err := kv.CheckKey(k); err != nil {
+			return err
+		}
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	if cl.chain != nil {
+		// Delta encoding diffs each write against the key's previous
+		// version; that is inherently per key.
+		for k, v := range pairs {
+			if err := cl.Put(ctx, k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	encoded := make(map[string][]byte, len(pairs))
+	for k, v := range pairs {
+		e, err := cl.encode(v)
+		if err != nil {
+			return err
+		}
+		encoded[k] = e
+	}
+	start := time.Now()
+	cl.writes.Add(1) // one batched store write
+	err := kv.PutMulti(ctx, cl.store, encoded)
+	monitor.AddSpan(ctx, "dscl", "batch_put", start, err != nil)
+	if err != nil {
+		return err
+	}
+	for k, v := range pairs {
+		cl.notifyWrite(k)
+		if cl.cache == nil {
+			continue
+		}
+		switch cl.policy {
+		case WriteThrough:
+			// Cache a private copy: the caller may mutate its slice later.
+			plain := append([]byte(nil), v...)
+			cl.cachePut(ctx, k, plain, encoded[k], kv.NoVersion)
+		case WriteInvalidate:
+			if _, derr := cl.cache.Delete(ctx, k); derr != nil {
+				cl.cacheErrs.Add(1)
+			}
+		case WriteAround:
+		}
+	}
+	return nil
+}

@@ -28,9 +28,11 @@ type Client struct {
 }
 
 var (
-	_ kv.Store         = (*Client)(nil)
-	_ kv.Versioned     = (*Client)(nil)
-	_ kv.CompareAndPut = (*Client)(nil)
+	_ kv.Store          = (*Client)(nil)
+	_ kv.Versioned      = (*Client)(nil)
+	_ kv.CompareAndPut  = (*Client)(nil)
+	_ kv.Batch          = (*Client)(nil)
+	_ kv.VersionedBatch = (*Client)(nil)
 )
 
 // NewClient builds a client for bucket on the server at baseURL.
@@ -205,6 +207,120 @@ func (c *Client) PutIfVersion(ctx context.Context, key string, value []byte, sin
 	default:
 		return kv.NoVersion, kv.WrapErr(c.name, "put", key, fmt.Errorf("unexpected status %s", resp.Status))
 	}
+}
+
+// GetMulti implements kv.Batch: one bulk request serves every key, costing
+// a single WAN round trip plus the bandwidth term for the combined payload.
+func (c *Client) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	vv, err := c.GetMultiVersioned(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(vv))
+	for k, v := range vv {
+		out[k] = v.Value
+	}
+	return out, nil
+}
+
+// GetMultiVersioned implements kv.VersionedBatch: the bulk fetch also
+// reports each object's ETag, so a caching client can install everything
+// the batch returned with the version metadata revalidation needs.
+func (c *Client) GetMultiVersioned(ctx context.Context, keys []string) (map[string]kv.VersionedValue, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	for _, k := range keys {
+		if err := kv.CheckKey(k); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]kv.VersionedValue, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	body, err := json.Marshal(keys)
+	if err != nil {
+		return nil, kv.WrapErr(c.name, "batch_get", "", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, c.bucketURL()+"?batch=get", body,
+		map[string]string{"Content-Type": "application/json"})
+	if err != nil {
+		return nil, kv.WrapErr(c.name, "batch_get", "", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, kv.WrapErr(c.name, "batch_get", "", fmt.Errorf("unexpected status %s", resp.Status))
+	}
+	var objs []struct {
+		Key   string `json:"key"`
+		Value []byte `json:"value"`
+		ETag  string `json:"etag"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&objs); err != nil {
+		return nil, kv.WrapErr(c.name, "batch_get", "", err)
+	}
+	for _, o := range objs {
+		out[o.Key] = kv.VersionedValue{Value: o.Value, Version: kv.Version(o.ETag)}
+	}
+	return out, nil
+}
+
+// PutMulti implements kv.Batch: one bulk request writes every pair.
+func (c *Client) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	_, err := c.PutMultiVersioned(ctx, pairs)
+	return err
+}
+
+// PutMultiVersioned is PutMulti returning each key's new version (ETag),
+// the write-side analogue of GetMultiVersioned.
+func (c *Client) PutMultiVersioned(ctx context.Context, pairs map[string][]byte) (map[string]kv.Version, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	out := make(map[string]kv.Version, len(pairs))
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	type wireObject struct {
+		Key   string `json:"key"`
+		Value []byte `json:"value"`
+		ETag  string `json:"etag,omitempty"`
+	}
+	objs := make([]wireObject, 0, len(pairs))
+	for k, v := range pairs {
+		if err := kv.CheckKey(k); err != nil {
+			return nil, err
+		}
+		objs = append(objs, wireObject{Key: k, Value: v})
+	}
+	body, err := json.Marshal(objs)
+	if err != nil {
+		return nil, kv.WrapErr(c.name, "batch_put", "", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, c.bucketURL()+"?batch=put", body,
+		map[string]string{"Content-Type": "application/json"})
+	if err != nil {
+		return nil, kv.WrapErr(c.name, "batch_put", "", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, kv.WrapErr(c.name, "batch_put", "", fmt.Errorf("unexpected status %s", resp.Status))
+	}
+	var results []wireObject
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+		return nil, kv.WrapErr(c.name, "batch_put", "", err)
+	}
+	for _, o := range results {
+		out[o.Key] = kv.Version(o.ETag)
+	}
+	return out, nil
 }
 
 // Delete implements kv.Store.

@@ -404,3 +404,135 @@ func TestServerFaultInjection(t *testing.T) {
 		}
 	})
 }
+
+func TestBatchConformance(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	n := 0
+	kvtest.RunBatch(t, func(t *testing.T) (kv.Store, func()) {
+		n++
+		return NewClient("cloud", s.Addr(), fmt.Sprintf("batchbucket%d", n)), nil
+	})
+}
+
+func TestResilientBatchConformance(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	n := 0
+	kvtest.RunBatch(t, func(t *testing.T) (kv.Store, func()) {
+		n++
+		c := NewClient("cloud", s.Addr(), fmt.Sprintf("resbatch%d", n))
+		return resilient.New(c, resilient.Options{RetryWrites: true}), nil
+	})
+}
+
+// TestBatchOneRoundTrip asserts the bulk endpoint's cost model: fetching N
+// keys through GetMulti must charge one WAN round trip (plus bandwidth for
+// the combined payload), not N, and the server must record one batch_get op
+// instead of N gets.
+func TestBatchOneRoundTrip(t *testing.T) {
+	const rtt = 30 * time.Millisecond
+	s := startServer(t, Profile{Name: "cloud", BaseRTT: rtt, Scale: 1, Seed: 1})
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+
+	const n = 16
+	pairs := map[string][]byte{}
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", i)
+		pairs[k] = []byte(fmt.Sprintf("value-%d", i))
+		keys = append(keys, k)
+	}
+	if err := c.PutMulti(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	got, err := c.GetMulti(ctx, keys)
+	elapsed := time.Since(start)
+	if err != nil || len(got) != n {
+		t.Fatalf("GetMulti = %d entries, %v", len(got), err)
+	}
+	for k, want := range pairs {
+		if string(got[k]) != string(want) {
+			t.Fatalf("GetMulti[%q] = %q, want %q", k, got[k], want)
+		}
+	}
+	// One round trip, not N: even allowing generous scheduling slack the
+	// batch must come in far under n*rtt (480ms).
+	if elapsed > 5*rtt {
+		t.Fatalf("GetMulti of %d keys took %v, want ~1 RTT (%v)", n, elapsed, rtt)
+	}
+
+	snap := s.rec.Snapshot(false)
+	counts := map[string]int64{}
+	for _, op := range snap.Ops {
+		counts[op.Op] = op.Count
+	}
+	if counts["batch_get"] != 1 || counts["batch_put"] != 1 {
+		t.Fatalf("server op counts = %v, want one batch_get and one batch_put", counts)
+	}
+	if counts["get"] != 0 || counts["put"] != 0 {
+		t.Fatalf("server op counts = %v: batch ops degraded to per-key requests", counts)
+	}
+}
+
+// TestBatchVersionedRoundTrip checks the ETags bulk replies carry match the
+// per-object ones, for both reads and writes.
+func TestBatchVersionedRoundTrip(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+
+	vers, err := c.PutMultiVersioned(ctx, map[string][]byte{"a": []byte("1"), "b": []byte("2")})
+	if err != nil || len(vers) != 2 {
+		t.Fatalf("PutMultiVersioned = %v, %v", vers, err)
+	}
+	for k, ver := range vers {
+		_, single, err := c.GetVersioned(ctx, k)
+		if err != nil || single != ver {
+			t.Fatalf("batch ETag %q for %q != per-object ETag %q (%v)", ver, k, single, err)
+		}
+	}
+
+	got, err := c.GetMultiVersioned(ctx, []string{"a", "b", "missing"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("GetMultiVersioned = %v, %v", got, err)
+	}
+	for k, vv := range got {
+		if vv.Version != vers[k] {
+			t.Fatalf("GetMultiVersioned[%q].Version = %q, want %q", k, vv.Version, vers[k])
+		}
+	}
+	if string(got["a"].Value) != "1" || string(got["b"].Value) != "2" {
+		t.Fatalf("GetMultiVersioned values = %v", got)
+	}
+
+	// The versions a bulk fetch returns satisfy a conditional GET.
+	_, v, modified, err := c.GetIfModified(ctx, "a", got["a"].Version)
+	if err != nil || modified || v != got["a"].Version {
+		t.Fatalf("GetIfModified with batch ETag = %q, %v, %v; want not-modified", v, modified, err)
+	}
+}
+
+// TestBatchEmptyAndBadInput covers the degenerate bulk cases.
+func TestBatchEmptyAndBadInput(t *testing.T) {
+	s := startServer(t, LocalProfile("cloud"))
+	c := NewClient("cloud", s.Addr(), "b")
+	defer c.Close()
+	ctx := context.Background()
+
+	if got, err := c.GetMulti(ctx, nil); err != nil || len(got) != 0 {
+		t.Fatalf("GetMulti(nil) = %v, %v", got, err)
+	}
+	if err := c.PutMulti(ctx, nil); err != nil {
+		t.Fatalf("PutMulti(nil) = %v", err)
+	}
+	if _, err := c.GetMulti(ctx, []string{"ok", ""}); !errors.Is(err, kv.ErrEmptyKey) {
+		t.Fatalf("GetMulti with empty key = %v, want ErrEmptyKey", err)
+	}
+	if err := c.PutMulti(ctx, map[string][]byte{"": []byte("v")}); !errors.Is(err, kv.ErrEmptyKey) {
+		t.Fatalf("PutMulti with empty key = %v, want ErrEmptyKey", err)
+	}
+}

@@ -29,6 +29,14 @@ import (
 //	DELETE /v1/{bucket}/{key}        remove; 404 when absent
 //	GET    /v1/{bucket}              JSON array of keys
 //	DELETE /v1/{bucket}              empty the bucket
+//	POST   /v1/{bucket}?batch=get    bulk fetch: body is a JSON array of
+//	                                 keys; reply is a JSON array of
+//	                                 {key,value,etag} with absent keys
+//	                                 omitted. One WAN round trip for the
+//	                                 whole payload.
+//	POST   /v1/{bucket}?batch=put    bulk store: body is a JSON array of
+//	                                 {key,value}; reply is a JSON array of
+//	                                 {key,etag}. One WAN round trip.
 type Server struct {
 	model *model
 
@@ -119,8 +127,11 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 }
 
 // opName maps a request to the recorder's op label.
-func opName(method, key string) string {
+func opName(method, key, batch string) string {
 	if key == "" {
+		if method == http.MethodPost && batch != "" {
+			return "batch_" + batch
+		}
 		if method == http.MethodDelete {
 			return "clear"
 		}
@@ -155,7 +166,7 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 	if n == 0 && r.ContentLength > 0 {
 		n = int(r.ContentLength)
 	}
-	s.rec.Record(opName(r.Method, key), time.Since(start), n, sw.status >= 500)
+	s.rec.Record(opName(r.Method, key, r.URL.Query().Get("batch")), time.Since(start), n, sw.status >= 500)
 }
 
 // Addr returns the server's base URL ("http://127.0.0.1:port").
@@ -317,7 +328,88 @@ func (s *Server) handleBucket(w http.ResponseWriter, r *http.Request, bucket str
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 
+	case http.MethodPost: // bulk operations
+		switch r.URL.Query().Get("batch") {
+		case "get":
+			s.handleBatchGet(w, r, bucket)
+		case "put":
+			s.handleBatchPut(w, r, bucket)
+		default:
+			http.Error(w, "unknown batch mode", http.StatusBadRequest)
+		}
+
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// batchObject is one entry of the bulk wire format. Value marshals as
+// base64 (encoding/json's []byte convention); replies to batch=put omit it.
+type batchObject struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+	ETag  string `json:"etag,omitempty"`
+}
+
+// handleBatchGet serves POST /v1/{bucket}?batch=get: N objects in one
+// request. The whole exchange costs one WAN round trip plus the bandwidth
+// term for the combined payload — the amortization that makes client-side
+// batching worthwhile — instead of the N round trips per-key GETs pay.
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request, bucket string) {
+	var keys []string
+	if err := json.NewDecoder(r.Body).Decode(&keys); err != nil {
+		http.Error(w, "bad batch body", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	objs := make([]batchObject, 0, len(keys))
+	total := 0
+	for _, k := range keys {
+		if obj, found := s.buckets[bucket][k]; found {
+			objs = append(objs, batchObject{Key: k, Value: obj.data, ETag: obj.etag})
+			total += len(obj.data)
+		}
+	}
+	s.mu.RUnlock()
+	time.Sleep(s.model.delay(total))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(objs)
+}
+
+// handleBatchPut serves POST /v1/{bucket}?batch=put: N writes in one
+// request, one WAN round trip for the combined payload. The reply carries
+// each object's new ETag so clients can cache what they just wrote.
+func (s *Server) handleBatchPut(w http.ResponseWriter, r *http.Request, bucket string) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	var objs []batchObject
+	if err := json.Unmarshal(body, &objs); err != nil {
+		http.Error(w, "bad batch body", http.StatusBadRequest)
+		return
+	}
+	for _, o := range objs {
+		if o.Key == "" {
+			http.Error(w, "empty key in batch", http.StatusBadRequest)
+			return
+		}
+	}
+	time.Sleep(s.model.delay(len(body)))
+	results := make([]batchObject, 0, len(objs))
+	s.mu.Lock()
+	b := s.buckets[bucket]
+	if b == nil {
+		b = make(map[string]object)
+		s.buckets[bucket] = b
+	}
+	for _, o := range objs {
+		etag := etagOf(o.Value)
+		b[o.Key] = object{data: o.Value, etag: etag}
+		results = append(results, batchObject{Key: o.Key, ETag: etag})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(results)
 }

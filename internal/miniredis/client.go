@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,48 @@ type clientConn struct {
 
 // ErrClientClosed reports use of a Client after Close.
 var ErrClientClosed = errors.New("miniredis: client is closed")
+
+// ErrAmbiguousExchange reports a connection that died after non-idempotent
+// commands were sent but before any reply arrived: the server may or may
+// not have executed them, so the client must not replay automatically (a
+// replayed INCR would double-increment). Callers that know how to resolve
+// the ambiguity — e.g. a version-checked write, or a retry policy the
+// application opted into — may retry; the exchange itself is retryable,
+// just not blindly replayable.
+var ErrAmbiguousExchange = errors.New("miniredis: connection lost after a non-idempotent command may have executed")
+
+// replayable is the idempotency allowlist for automatic retry: commands a
+// second execution leaves with the same state *and* the same reply, so a
+// lost-ack replay is invisible to the caller. Deliberately absent:
+//
+//   - INCR/INCRBY/DECR/DECRBY, APPEND, GETSET, GETDEL, SETNX — a replay
+//     changes state or returns a different answer;
+//   - DEL, HDEL, HSET — state converges but the reply (existence / new-field
+//     counts) changes, which callers map to ErrNotFound and the like;
+//   - MULTI/EXEC/DISCARD — a transaction must not be resubmitted blind.
+var replayable = map[string]bool{
+	"GET": true, "MGET": true, "SET": true, "MSET": true,
+	"EXISTS": true, "KEYS": true, "DBSIZE": true, "SCAN": true,
+	"PING": true, "ECHO": true, "TTL": true, "PTTL": true,
+	"EXPIRE": true, "PEXPIRE": true, "TYPE": true, "STRLEN": true,
+	"HGET": true, "HGETALL": true, "HKEYS": true, "HLEN": true, "HEXISTS": true,
+	"FLUSHALL": true, "FLUSHDB": true, "SAVE": true, "SELECT": true,
+}
+
+// replaySafe reports whether every command in the pipeline is on the
+// idempotency allowlist.
+func replaySafe(cmds [][][]byte) (ok bool, offender string) {
+	for _, cmd := range cmds {
+		if len(cmd) == 0 {
+			return false, "(empty)"
+		}
+		name := strings.ToUpper(string(cmd[0]))
+		if !replayable[name] {
+			return false, name
+		}
+	}
+	return true, ""
+}
 
 // ServerError is an error reply from the server ("-ERR ...").
 type ServerError string
@@ -117,10 +160,17 @@ func (c *Client) DoPipeline(ctx context.Context, cmds [][][]byte) ([]resp.Value,
 	}
 	out, retry, err := c.doPipelineOnce(ctx, cmds)
 	if err != nil && retry {
-		// The pooled connection had been closed by the server; since no
-		// reply was received, the exchange is safe to retry on a fresh
-		// connection.
-		out, _, err = c.doPipelineOnce(ctx, cmds)
+		// The pooled connection died before the first reply. That does NOT
+		// mean the server did nothing: it may have executed the commands
+		// and dropped the connection while replying (the lost-ack case the
+		// post-execute fault hook injects). Replaying is only safe when
+		// every command is idempotent; otherwise surface the ambiguity and
+		// let the caller's retry policy decide.
+		if ok, offender := replaySafe(cmds); ok {
+			out, _, err = c.doPipelineOnce(ctx, cmds)
+		} else {
+			err = fmt.Errorf("%w (%s): %v", ErrAmbiguousExchange, offender, err)
+		}
 	}
 	return out, err
 }

@@ -1,0 +1,179 @@
+package miniredis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"edsc/internal/resp"
+	"edsc/kv"
+	"edsc/kv/resilient"
+)
+
+// TestIncrNotReplayedOnAmbiguousDrop is the regression test for the
+// double-execution bug: the client used to replay a pipeline whenever a
+// pooled connection died before the first reply, but a post-execute drop
+// means the server already ran the commands — so a replayed INCR
+// incremented twice while the caller saw a single (failed) call.
+func TestIncrNotReplayedOnAmbiguousDrop(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	c := NewClient(s.Addr())
+	defer c.Close()
+	ctx := context.Background()
+
+	// Prime the pool so the faulted INCR runs on a pooled connection —
+	// the precondition for the automatic-replay path.
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop every command after execution: the INCR applies server-side,
+	// but the client never sees the reply.
+	s.SetFaults(Faults{EveryPost: 1})
+	_, err := c.Incr(ctx, "ctr", 1)
+	if err == nil {
+		t.Fatal("Incr reported success through a dropped reply")
+	}
+	if !errors.Is(err, ErrAmbiguousExchange) {
+		t.Fatalf("Incr err = %v, want ErrAmbiguousExchange", err)
+	}
+	if s.FaultsInjected() == 0 {
+		t.Fatal("no drop was injected — the test proved nothing")
+	}
+
+	// One ambiguous increment (which did execute) plus one clean increment
+	// must land on exactly 2. The old replay bug would have executed the
+	// first INCR twice, landing on 3.
+	s.SetFaults(Faults{})
+	got, err := c.Incr(ctx, "ctr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("counter = %d after one ambiguous + one clean increment, want 2 (ambiguous INCR was replayed)", got)
+	}
+}
+
+// TestIdempotentCommandsStillReplayed confirms the fix did not lose the
+// useful half of the retry: allowlisted commands are still replayed
+// transparently when a pooled connection turns out dead.
+func TestIdempotentCommandsStillReplayed(t *testing.T) {
+	s := startServer(t, ServerConfig{})
+	c := NewClient(s.Addr())
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Set(ctx, "k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Command counting starts here: the next command (GET, count 1) runs on
+	// the pooled connection from the SET and is dropped post-execute; its
+	// automatic replay (count 2) goes through.
+	s.SetFaults(Faults{EveryPost: 3})
+	defer s.SetFaults(Faults{})
+	for i := 0; i < 6; i++ {
+		v, found, err := c.Get(ctx, "k")
+		if err != nil || !found || string(v) != "v" {
+			t.Fatalf("Get #%d = %q, %v, %v (idempotent replay broken)", i, v, found, err)
+		}
+	}
+	if s.FaultsInjected() == 0 {
+		t.Fatal("no drop was injected — the test proved nothing")
+	}
+}
+
+// TestGetMultiShortReplyIsProtocolError pins the MGET reply-length check: a
+// server answering with fewer elements than keys must produce an error, not
+// a silently truncated (and positionally misaligned) result.
+func TestGetMultiShortReplyIsProtocolError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := resp.NewReader(conn)
+		w := resp.NewWriter(conn)
+		if _, err := r.Read(); err != nil {
+			return
+		}
+		// One element for a two-key MGET: malformed.
+		_ = w.Write(resp.ArrayOf(resp.Bulk([]byte("only"))))
+		_ = w.Flush()
+	}()
+
+	st := OpenStore("m", ln.Addr().String(), "")
+	defer st.Close()
+	_, err = st.GetMulti(context.Background(), []string{"a", "b"})
+	if err == nil {
+		t.Fatal("short MGET reply accepted")
+	}
+	if !strings.Contains(err.Error(), "protocol error") {
+		t.Fatalf("err = %v, want a protocol error", err)
+	}
+}
+
+// opCount reads the server-side per-command counter for one command name.
+func opCount(s *Server, cmd string) int64 {
+	for _, sum := range s.rec.Snapshot(false).Ops {
+		if sum.Op == cmd {
+			return sum.Count
+		}
+	}
+	return 0
+}
+
+// TestResilientUsesNativeMGET proves the resilience wrapper forwards
+// kv.Batch to the store's native multi-key commands: a 16-key GetMulti must
+// reach the server as exactly one MGET, with zero per-key GETs.
+func TestResilientUsesNativeMGET(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	st := OpenStore("m", srv.Addr(), "")
+	defer st.Close()
+	rs := resilient.New(st, resilient.Options{BaseBackoff: 100 * time.Microsecond})
+	ctx := context.Background()
+
+	var iface kv.Store = rs
+	if _, ok := iface.(kv.Batch); !ok {
+		t.Fatal("resilient(miniredis) does not implement kv.Batch")
+	}
+
+	keys := make([]string, 16)
+	pairs := make(map[string][]byte, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+		pairs[keys[i]] = []byte(fmt.Sprintf("v%02d", i))
+	}
+	if err := rs.PutMulti(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.GetMulti(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 || string(got["k07"]) != "v07" {
+		t.Fatalf("GetMulti returned %d values", len(got))
+	}
+
+	if n := opCount(srv, "mget"); n != 1 {
+		t.Fatalf("server saw %d MGETs, want exactly 1", n)
+	}
+	if n := opCount(srv, "mset"); n != 1 {
+		t.Fatalf("server saw %d MSETs, want exactly 1", n)
+	}
+	if n := opCount(srv, "get"); n != 0 {
+		t.Fatalf("server saw %d per-key GETs, want 0 — batch fell back to a loop", n)
+	}
+	if n := opCount(srv, "set"); n != 0 {
+		t.Fatalf("server saw %d per-key SETs, want 0 — batch fell back to a loop", n)
+	}
+}

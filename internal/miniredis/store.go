@@ -2,6 +2,7 @@ package miniredis
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -235,9 +236,16 @@ func (s *Store) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 	if err := asErr(v); err != nil {
 		return nil, kv.WrapErr(s.name, "getmulti", "", err)
 	}
+	// MGET's contract is strictly positional: one reply element per key. A
+	// short or malformed reply would silently map values to the wrong keys
+	// (or drop them), so it must be a hard protocol error, never a guess.
+	if len(v.Array) != len(keys) {
+		return nil, kv.WrapErr(s.name, "getmulti", "",
+			fmt.Errorf("protocol error: MGET returned %d replies for %d keys", len(v.Array), len(keys)))
+	}
 	out := make(map[string][]byte, len(keys))
 	for i, e := range v.Array {
-		if i < len(keys) && !e.Null {
+		if !e.Null {
 			out[keys[i]] = e.Bulk
 		}
 	}

@@ -1,11 +1,15 @@
 package kv
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 // Batch is implemented by stores that can serve multiple keys in one
-// round trip (MGET/MSET on the cache server, for instance). Code that wants
-// batching without caring whether the store supports it natively uses the
-// GetMulti/PutMulti helpers, which fall back to per-key loops.
+// round trip (MGET/MSET on the cache server, the bulk endpoints on the
+// cloud stores). Code that wants batching without caring whether the store
+// supports it natively uses the GetMulti/PutMulti helpers, which fall back
+// to a bounded-concurrency parallel fan-out.
 type Batch interface {
 	// GetMulti fetches several keys at once. Missing keys are simply
 	// absent from the result; only transport-level failures error.
@@ -16,35 +20,174 @@ type Batch interface {
 	PutMulti(ctx context.Context, pairs map[string][]byte) error
 }
 
+// VersionedValue is one batch-read result carrying the version under which
+// the value was read.
+type VersionedValue struct {
+	Value   []byte
+	Version Version
+}
+
+// VersionedBatch is implemented by stores whose batch reads also report
+// per-key versions (the cloud stores' bulk endpoint returns each object's
+// ETag). A caching client can then install everything one batch fetched
+// with the metadata its revalidation path needs.
+type VersionedBatch interface {
+	Batch
+
+	// GetMultiVersioned is GetMulti plus each key's version. Missing keys
+	// are absent from the result.
+	GetMultiVersioned(ctx context.Context, keys []string) (map[string]VersionedValue, error)
+}
+
+// BatchFanout bounds the concurrency of the GetMulti/PutMulti fallback
+// fan-out for stores without native batch support: enough parallelism to
+// amortize round-trip latency without stampeding a store's connection pool.
+const BatchFanout = 8
+
 // GetMulti fetches keys from s, using its native batch support when
-// available and a per-key loop otherwise.
+// available and a bounded-concurrency parallel fan-out of Gets otherwise.
+//
+// Fallback semantics: every key is attempted; keys the store reports as
+// absent (ErrNotFound) are simply missing from the result. On any other
+// failure the remaining fetches are cancelled and GetMulti returns the
+// partial result gathered so far together with the first error — callers
+// that care only about completeness check err, callers that can use a
+// partial answer (a cache warming pass, for instance) may use both.
 func GetMulti(ctx context.Context, s Store, keys []string) (map[string][]byte, error) {
 	if b, ok := s.(Batch); ok {
 		return b.GetMulti(ctx, keys)
 	}
 	out := make(map[string][]byte, len(keys))
-	for _, k := range keys {
-		v, err := s.Get(ctx, k)
-		if IsNotFound(err) {
-			continue
-		}
-		if err != nil {
-			return nil, err
-		}
-		out[k] = v
+	if len(keys) == 0 {
+		return out, nil
 	}
-	return out, nil
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, BatchFanout)
+	)
+	for _, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k string) {
+			defer func() { <-sem; wg.Done() }()
+			if cctx.Err() != nil {
+				return // a sibling already failed; don't bother
+			}
+			v, err := s.Get(cctx, k)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				out[k] = v
+			case IsNotFound(err):
+				// Absent keys are not an error.
+			case firstErr == nil:
+				firstErr = err
+				cancel()
+			}
+		}(k)
+	}
+	wg.Wait()
+	return out, firstErr
 }
 
-// PutMulti stores pairs into s, using native batch support when available.
+// PutMulti stores pairs into s, using native batch support when available
+// and a bounded-concurrency parallel fan-out of Puts otherwise.
+//
+// Fallback semantics: on failure the remaining writes are cancelled and the
+// first error is returned; pairs whose Put already succeeded stay written
+// (batch writes are not atomic — see Batch).
 func PutMulti(ctx context.Context, s Store, pairs map[string][]byte) error {
 	if b, ok := s.(Batch); ok {
 		return b.PutMulti(ctx, pairs)
 	}
-	for k, v := range pairs {
-		if err := s.Put(ctx, k, v); err != nil {
-			return err
-		}
+	if len(pairs) == 0 {
+		return nil
 	}
-	return nil
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, BatchFanout)
+	)
+	for k, v := range pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k string, v []byte) {
+			defer func() { <-sem; wg.Done() }()
+			if cctx.Err() != nil {
+				return
+			}
+			if err := s.Put(cctx, k, v); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(k, v)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// GetMultiVersioned fetches keys with versions, using native versioned
+// batch support when available and a fan-out of GetVersioned otherwise.
+// Stores without kv.Versioned yield values with NoVersion. Fallback
+// semantics match GetMulti: partial result plus first error.
+func GetMultiVersioned(ctx context.Context, s Store, keys []string) (map[string]VersionedValue, error) {
+	if vb, ok := s.(VersionedBatch); ok {
+		return vb.GetMultiVersioned(ctx, keys)
+	}
+	vs, versioned := s.(Versioned)
+	if !versioned {
+		flat, err := GetMulti(ctx, s, keys)
+		out := make(map[string]VersionedValue, len(flat))
+		for k, v := range flat {
+			out[k] = VersionedValue{Value: v, Version: NoVersion}
+		}
+		return out, err
+	}
+	out := make(map[string]VersionedValue, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, BatchFanout)
+	)
+	for _, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k string) {
+			defer func() { <-sem; wg.Done() }()
+			if cctx.Err() != nil {
+				return
+			}
+			v, ver, err := vs.GetVersioned(cctx, k)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				out[k] = VersionedValue{Value: v, Version: ver}
+			case IsNotFound(err):
+			case firstErr == nil:
+				firstErr = err
+				cancel()
+			}
+		}(k)
+	}
+	wg.Wait()
+	return out, firstErr
 }

@@ -3,7 +3,12 @@ package kv_test
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"edsc/kv"
 )
@@ -90,5 +95,188 @@ func TestGetMultiPropagatesErrors(t *testing.T) {
 	}
 	if err := kv.PutMulti(ctx, s, map[string][]byte{"a": nil}); err == nil {
 		t.Fatal("closed store error swallowed")
+	}
+}
+
+// slowStore adds fixed per-operation latency and tracks the peak number of
+// concurrent operations, so tests can prove the fallback actually fans out.
+type slowStore struct {
+	kv.Store
+	delay   time.Duration
+	cur     atomic.Int64
+	peak    atomic.Int64
+	badKeys map[string]error // keys whose Get/Put fail
+}
+
+func (s *slowStore) enter() {
+	n := s.cur.Add(1)
+	for {
+		p := s.peak.Load()
+		if n <= p || s.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	time.Sleep(s.delay)
+}
+
+func (s *slowStore) Get(ctx context.Context, key string) ([]byte, error) {
+	s.enter()
+	defer s.cur.Add(-1)
+	if err := s.badKeys[key]; err != nil {
+		return nil, err
+	}
+	return s.Store.Get(ctx, key)
+}
+
+func (s *slowStore) Put(ctx context.Context, key string, value []byte) error {
+	s.enter()
+	defer s.cur.Add(-1)
+	if err := s.badKeys[key]; err != nil {
+		return err
+	}
+	return s.Store.Put(ctx, key, value)
+}
+
+func TestGetMultiFallbackFansOut(t *testing.T) {
+	ctx := context.Background()
+	inner := kv.NewMem("m")
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		_ = inner.Put(ctx, keys[i], []byte{byte(i)})
+	}
+	s := &slowStore{Store: inner, delay: 10 * time.Millisecond}
+	start := time.Now()
+	got, err := kv.GetMulti(ctx, s, keys)
+	elapsed := time.Since(start)
+	if err != nil || len(got) != len(keys) {
+		t.Fatalf("GetMulti = %v, %v", got, err)
+	}
+	if p := s.peak.Load(); p < 2 {
+		t.Fatalf("peak concurrency = %d, want > 1 (fallback still sequential?)", p)
+	}
+	// 8 keys at 10ms each is 80ms sequentially; a fan-out of 8 should land
+	// far below that even on a loaded machine.
+	if elapsed > 60*time.Millisecond {
+		t.Fatalf("GetMulti of 8 slow keys took %v — not parallel", elapsed)
+	}
+}
+
+func TestGetMultiPartialResultFirstError(t *testing.T) {
+	ctx := context.Background()
+	inner := kv.NewMem("m")
+	_ = inner.Put(ctx, "good", []byte("v"))
+	boom := errors.New("boom")
+	s := &slowStore{Store: inner, badKeys: map[string]error{"bad": boom}}
+	got, err := kv.GetMulti(ctx, s, []string{"good", "bad", "missing"})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want first error %v", err, boom)
+	}
+	// The partial result may or may not include "good" (its fetch races the
+	// cancellation) but must never contain the failed or missing keys.
+	if _, present := got["bad"]; present {
+		t.Fatal("failed key present in partial result")
+	}
+	if _, present := got["missing"]; present {
+		t.Fatal("missing key present in partial result")
+	}
+	if v, present := got["good"]; present && string(v) != "v" {
+		t.Fatalf("partial result corrupted: got[good] = %q", v)
+	}
+}
+
+func TestPutMultiFirstError(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("boom")
+	s := &slowStore{Store: kv.NewMem("m"), badKeys: map[string]error{"bad": boom}}
+	err := kv.PutMulti(ctx, s, map[string][]byte{"a": []byte("1"), "bad": []byte("2"), "c": []byte("3")})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want first error %v", err, boom)
+	}
+}
+
+func TestPutMultiFallbackFansOut(t *testing.T) {
+	ctx := context.Background()
+	s := &slowStore{Store: kv.NewMem("m"), delay: 10 * time.Millisecond}
+	pairs := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		pairs[fmt.Sprintf("k%d", i)] = []byte{byte(i)}
+	}
+	start := time.Now()
+	if err := kv.PutMulti(ctx, s, pairs); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Millisecond {
+		t.Fatalf("PutMulti of 8 slow pairs took %v — not parallel", elapsed)
+	}
+	for k, want := range pairs {
+		if v, err := s.Store.Get(ctx, k); err != nil || !bytes.Equal(v, want) {
+			t.Fatalf("Get(%q) = %q, %v", k, v, err)
+		}
+	}
+}
+
+// versionedMem augments Mem with a trivially versioned read so the
+// GetMultiVersioned fallback-over-Versioned path is exercised.
+type versionedMem struct {
+	kv.Store
+	mu   sync.Mutex
+	vers map[string]kv.Version
+}
+
+func (s *versionedMem) GetVersioned(ctx context.Context, key string) ([]byte, kv.Version, error) {
+	v, err := s.Store.Get(ctx, key)
+	if err != nil {
+		return nil, kv.NoVersion, err
+	}
+	s.mu.Lock()
+	ver := s.vers[key]
+	s.mu.Unlock()
+	return v, ver, nil
+}
+
+func (s *versionedMem) GetIfModified(ctx context.Context, key string, since kv.Version) ([]byte, kv.Version, bool, error) {
+	v, ver, err := s.GetVersioned(ctx, key)
+	if err != nil {
+		return nil, kv.NoVersion, false, err
+	}
+	if ver == since {
+		return nil, since, false, nil
+	}
+	return v, ver, true, nil
+}
+
+func (s *versionedMem) PutVersioned(ctx context.Context, key string, value []byte) (kv.Version, error) {
+	if err := s.Store.Put(ctx, key, value); err != nil {
+		return kv.NoVersion, err
+	}
+	s.mu.Lock()
+	ver := kv.Version(fmt.Sprintf("v%d-%s", len(s.vers)+1, key))
+	s.vers[key] = ver
+	s.mu.Unlock()
+	return ver, nil
+}
+
+func TestGetMultiVersionedFallbacks(t *testing.T) {
+	ctx := context.Background()
+
+	// Plain store: values come back with NoVersion.
+	plain := kv.NewMem("plain")
+	_ = plain.Put(ctx, "a", []byte("1"))
+	got, err := kv.GetMultiVersioned(ctx, plain, []string{"a", "missing"})
+	if err != nil || len(got) != 1 || string(got["a"].Value) != "1" || got["a"].Version != kv.NoVersion {
+		t.Fatalf("plain GetMultiVersioned = %v, %v", got, err)
+	}
+
+	// Versioned store: per-key versions survive the fan-out.
+	vm := &versionedMem{Store: kv.NewMem("vm"), vers: map[string]kv.Version{}}
+	va, _ := vm.PutVersioned(ctx, "a", []byte("1"))
+	vb, _ := vm.PutVersioned(ctx, "b", []byte("2"))
+	got, err = kv.GetMultiVersioned(ctx, vm, []string{"a", "b", "missing"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("versioned GetMultiVersioned = %v, %v", got, err)
+	}
+	if got["a"].Version != va || got["b"].Version != vb {
+		t.Fatalf("versions = %q, %q; want %q, %q", got["a"].Version, got["b"].Version, va, vb)
 	}
 }

@@ -3,6 +3,7 @@ package kvtest
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -129,12 +130,17 @@ func requireExpiring(t *testing.T, s kv.Store) kv.Expiring {
 
 // RunBatch exercises the kv.Batch contract.
 func RunBatch(t *testing.T, f Factory) {
-	t.Run("RoundTrip", func(t *testing.T) {
-		s := open(t, f)
+	requireBatch := func(t *testing.T, s kv.Store) kv.Batch {
+		t.Helper()
 		bs, ok := s.(kv.Batch)
 		if !ok {
 			t.Fatalf("store %T does not implement kv.Batch", s)
 		}
+		return bs
+	}
+	t.Run("RoundTrip", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
 		ctx := context.Background()
 		pairs := map[string][]byte{"a": []byte("1"), "b": []byte("2"), "c": {0x00, 0xFF}}
 		if err := bs.PutMulti(ctx, pairs); err != nil {
@@ -163,6 +169,92 @@ func RunBatch(t *testing.T, f Factory) {
 		got, err = bs.GetMulti(ctx, []string{"d"})
 		if err != nil || string(got["d"]) != "4" {
 			t.Fatalf("GetMulti after Put = %v, %v", got, err)
+		}
+	})
+	t.Run("Empty", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
+		ctx := context.Background()
+		got, err := bs.GetMulti(ctx, nil)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("GetMulti(nil) = %v, %v; want empty map, nil", got, err)
+		}
+		if err := bs.PutMulti(ctx, nil); err != nil {
+			t.Fatalf("PutMulti(nil) = %v, want nil", err)
+		}
+	})
+	t.Run("AllMissing", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
+		got, err := bs.GetMulti(context.Background(), []string{"x", "y", "z"})
+		if err != nil || len(got) != 0 {
+			t.Fatalf("GetMulti of absent keys = %v, %v; want empty map, nil (absence is not an error)", got, err)
+		}
+	})
+	t.Run("EmptyKeyRejected", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
+		ctx := context.Background()
+		if err := bs.PutMulti(ctx, map[string][]byte{"ok": []byte("v"), "": []byte("v")}); err == nil {
+			t.Fatal("PutMulti with an empty key succeeded, want error")
+		}
+		if _, err := bs.GetMulti(ctx, []string{"ok", ""}); err == nil {
+			t.Fatal("GetMulti with an empty key succeeded, want error")
+		}
+	})
+	t.Run("Overwrite", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
+		ctx := context.Background()
+		if err := bs.PutMulti(ctx, map[string][]byte{"k": []byte("old")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.PutMulti(ctx, map[string][]byte{"k": []byte("new")}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := bs.GetMulti(ctx, []string{"k"})
+		if err != nil || string(got["k"]) != "new" {
+			t.Fatalf("GetMulti after batch overwrite = %v, %v", got, err)
+		}
+	})
+	t.Run("LargeBatch", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
+		ctx := context.Background()
+		const n = 100 // larger than any internal fan-out or chunking bound
+		pairs := make(map[string][]byte, n)
+		keys := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("bulk-%03d", i)
+			pairs[k] = []byte(fmt.Sprintf("value-%03d", i))
+			keys = append(keys, k)
+		}
+		if err := bs.PutMulti(ctx, pairs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := bs.GetMulti(ctx, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("GetMulti returned %d of %d keys", len(got), n)
+		}
+		for k, want := range pairs {
+			if !bytes.Equal(got[k], want) {
+				t.Fatalf("GetMulti[%q] = %q, want %q", k, got[k], want)
+			}
+		}
+	})
+	t.Run("DuplicateKeys", func(t *testing.T) {
+		s := open(t, f)
+		bs := requireBatch(t, s)
+		ctx := context.Background()
+		if err := bs.PutMulti(ctx, map[string][]byte{"dup": []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := bs.GetMulti(ctx, []string{"dup", "dup", "dup"})
+		if err != nil || len(got) != 1 || string(got["dup"]) != "v" {
+			t.Fatalf("GetMulti with duplicate keys = %v, %v", got, err)
 		}
 	})
 }

@@ -50,6 +50,14 @@ type ChaosOptions struct {
 // the retry policy. Torn writes and stale reads are deliberately not
 // injected here: no retry policy can mask them (kv/faulty's own tests
 // cover their observability).
+//
+// When the wrapped store implements kv.Batch the workload also issues
+// multi-key reads and writes. A successful GetMulti is a simultaneous
+// observation of every requested key (present keys collapse to the
+// returned value, missing keys to absent); a failed one only constrains
+// the keys whose values it actually returned. A failed PutMulti is
+// ambiguous per key — the resilience layer may have split the batch, so
+// each key independently may or may not hold its new value.
 func RunChaos(t *testing.T, f Factory, opts ChaosOptions) {
 	if opts.Workers == 0 {
 		opts.Workers = 4
@@ -151,11 +159,19 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 		keys = append(keys, k)
 	}
 
+	bs, hasBatch := s.(kv.Batch)
+
 	for op := 0; op < opts.OpsPerWorker; op++ {
+		draw := rng.Float64()
+		if !hasBatch {
+			// Map the batch share of the distribution back onto the
+			// single-key operations.
+			draw *= 0.82
+		}
 		k := keys[rng.Intn(len(keys))]
 		st := states[k]
-		switch draw := rng.Float64(); {
-		case draw < 0.45: // put
+		switch {
+		case draw < 0.40: // put
 			v := fmt.Sprintf("w%d-op%d", w, op)
 			err := s.Put(ctx, k, []byte(v))
 			switch {
@@ -169,7 +185,7 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 				return fmt.Errorf("worker %d op %d: Put(%q): %v", w, op, k, err)
 			}
 
-		case draw < 0.75: // get
+		case draw < 0.62: // get
 			v, err := s.Get(ctx, k)
 			switch {
 			case err == nil:
@@ -192,7 +208,7 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 				return fmt.Errorf("worker %d op %d: Get(%q): %v", w, op, k, err)
 			}
 
-		case draw < 0.9: // delete
+		case draw < 0.74: // delete
 			err := s.Delete(ctx, k)
 			switch {
 			case err == nil:
@@ -214,7 +230,7 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 				return fmt.Errorf("worker %d op %d: Delete(%q): %v", w, op, k, err)
 			}
 
-		default: // contains
+		case draw < 0.82: // contains
 			ok, err := s.Contains(ctx, k)
 			switch {
 			case err == nil && ok:
@@ -232,6 +248,75 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 			case errors.Is(err, faulty.ErrInjected):
 			default:
 				return fmt.Errorf("worker %d op %d: Contains(%q): %v", w, op, k, err)
+			}
+
+		case draw < 0.91: // getmulti
+			ks := sampleKeys(rng, keys, 1+rng.Intn(len(keys)))
+			m, err := bs.GetMulti(ctx, ks)
+			switch {
+			case err == nil:
+				// One simultaneous observation of every requested key.
+				for _, bk := range ks {
+					bst := states[bk]
+					if v, ok := m[bk]; ok {
+						if !bst.vals[string(v)] {
+							return fmt.Errorf("worker %d op %d: GetMulti(%q) = %q, not in possible set %v",
+								w, op, bk, v, possibleList(bst))
+						}
+						bst.vals = map[string]bool{string(v): true}
+						bst.absent = false
+					} else {
+						if !bst.absent {
+							return fmt.Errorf("worker %d op %d: GetMulti omitted %q, but key cannot be absent (possible %v)",
+								w, op, bk, possibleList(bst))
+						}
+						bst.vals = map[string]bool{}
+						bst.absent = true
+					}
+				}
+			case errors.Is(err, faulty.ErrInjected):
+				// Retries exhausted. Any values the partial result does carry
+				// are still real observations; keys it omits told us nothing
+				// (unread vs. read-and-absent is indistinguishable here).
+				for _, bk := range ks {
+					v, ok := m[bk]
+					if !ok {
+						continue
+					}
+					bst := states[bk]
+					if !bst.vals[string(v)] {
+						return fmt.Errorf("worker %d op %d: partial GetMulti(%q) = %q, not in possible set %v",
+							w, op, bk, v, possibleList(bst))
+					}
+					bst.vals = map[string]bool{string(v): true}
+					bst.absent = false
+				}
+			default:
+				return fmt.Errorf("worker %d op %d: GetMulti(%v): %v", w, op, ks, err)
+			}
+
+		default: // putmulti
+			ks := sampleKeys(rng, keys, 1+rng.Intn(len(keys)))
+			pairs := make(map[string][]byte, len(ks))
+			for _, bk := range ks {
+				pairs[bk] = []byte(fmt.Sprintf("w%d-op%d-%s", w, op, bk))
+			}
+			err := bs.PutMulti(ctx, pairs)
+			switch {
+			case err == nil:
+				for bk, v := range pairs {
+					states[bk].vals = map[string]bool{string(v): true}
+					states[bk].absent = false
+				}
+			case errors.Is(err, faulty.ErrInjected):
+				// Ambiguous per key: the resilience layer may have split the
+				// batch, so each write independently may or may not have
+				// applied.
+				for bk, v := range pairs {
+					states[bk].vals[string(v)] = true
+				}
+			default:
+				return fmt.Errorf("worker %d op %d: PutMulti(%v): %v", w, op, ks, err)
 			}
 		}
 	}
@@ -256,6 +341,18 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 		}
 	}
 	return nil
+}
+
+// sampleKeys draws n distinct keys from the worker's key space.
+func sampleKeys(rng *rand.Rand, keys []string, n int) []string {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	out := make([]string, n)
+	for i, j := range rng.Perm(len(keys))[:n] {
+		out[i] = keys[j]
+	}
+	return out
 }
 
 // possibleList renders a key's possibility set for error messages.

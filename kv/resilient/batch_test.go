@@ -1,0 +1,219 @@
+package resilient_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edsc/kv"
+	"edsc/kv/kvtest"
+	"edsc/kv/resilient"
+)
+
+// batchMem gives kv.Mem a native (and instrumented) kv.Batch implementation
+// so tests can tell the native path from the per-key split path.
+type batchMem struct {
+	*kv.Mem
+	getMultiCalls int
+	putMultiCalls int
+	getMultiErr   error // returned by GetMulti while failN > 0 or failN < 0
+	failN         int   // >0: fail that many calls; <0: fail forever
+}
+
+func (m *batchMem) fail() bool {
+	if m.failN < 0 {
+		return true
+	}
+	if m.failN > 0 {
+		m.failN--
+		return true
+	}
+	return false
+}
+
+func (m *batchMem) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	m.getMultiCalls++
+	if m.fail() {
+		return nil, m.getMultiErr
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := m.Get(ctx, k)
+		if kv.IsNotFound(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (m *batchMem) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	m.putMultiCalls++
+	if m.fail() {
+		return m.getMultiErr
+	}
+	for k, v := range pairs {
+		if err := m.Put(ctx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fastOpts() resilient.Options {
+	return resilient.Options{MaxRetries: 2, BaseBackoff: 100 * time.Microsecond, RetryWrites: true}
+}
+
+// TestWrapperOfBatchStoreIsBatch is the capability-audit regression: the
+// wrapper must satisfy kv.Batch and route multi-key calls through the inner
+// store's native batch methods, not per-key loops.
+func TestWrapperOfBatchStoreIsBatch(t *testing.T) {
+	ctx := context.Background()
+	inner := &batchMem{Mem: kv.NewMem("m")}
+	s := resilient.New(inner, fastOpts())
+
+	var iface kv.Store = s
+	if _, ok := iface.(kv.Batch); !ok {
+		t.Fatal("resilient wrapper of a kv.Batch store does not implement kv.Batch")
+	}
+
+	if err := s.PutMulti(ctx, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetMulti(ctx, []string{"a", "b", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got["a"]) != "1" || string(got["b"]) != "2" {
+		t.Fatalf("GetMulti = %v", got)
+	}
+	if inner.getMultiCalls != 1 || inner.putMultiCalls != 1 {
+		t.Fatalf("native batch calls = %d get / %d put, want 1/1",
+			inner.getMultiCalls, inner.putMultiCalls)
+	}
+	if st := s.Stats(); st.BatchSplits != 0 {
+		t.Fatalf("BatchSplits = %d on the happy path, want 0", st.BatchSplits)
+	}
+}
+
+// TestBatchRetryThenSplit: transient native failures are retried as a whole
+// batch; persistent ones degrade to per-key operations, which still succeed
+// because the per-key methods work.
+func TestBatchRetryThenSplit(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("boom")
+
+	// Transient: two native failures, then success — no split.
+	inner := &batchMem{Mem: kv.NewMem("m"), getMultiErr: boom, failN: 2}
+	s := resilient.New(inner, fastOpts())
+	if err := inner.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetMulti(ctx, []string{"k"})
+	if err != nil || string(got["k"]) != "v" {
+		t.Fatalf("GetMulti = %v, %v", got, err)
+	}
+	if st := s.Stats(); st.BatchSplits != 0 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 2 retries and no split", st)
+	}
+
+	// Persistent: the native path never recovers, the split path answers.
+	inner = &batchMem{Mem: kv.NewMem("m"), getMultiErr: boom, failN: -1}
+	s = resilient.New(inner, fastOpts())
+	if err := inner.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.GetMulti(ctx, []string{"k", "missing"})
+	if err != nil || len(got) != 1 || string(got["k"]) != "v" {
+		t.Fatalf("split GetMulti = %v, %v", got, err)
+	}
+	if err := s.PutMulti(ctx, map[string][]byte{"x": []byte("1")}); err != nil {
+		t.Fatalf("split PutMulti: %v", err)
+	}
+	if v, err := inner.Get(ctx, "x"); err != nil || string(v) != "1" {
+		t.Fatalf("inner after split PutMulti = %q, %v", v, err)
+	}
+	if st := s.Stats(); st.BatchSplits != 2 {
+		t.Fatalf("BatchSplits = %d, want 2", st.BatchSplits)
+	}
+}
+
+// TestBatchFallbackWithoutInnerBatch: wrapping a plain store still yields a
+// working kv.Batch via the wrapper's own retried per-key operations.
+func TestBatchFallbackWithoutInnerBatch(t *testing.T) {
+	ctx := context.Background()
+	s := resilient.New(kv.NewMem("m"), fastOpts())
+	if err := s.PutMulti(ctx, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetMulti(ctx, []string{"a", "b", "nope"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("GetMulti = %v, %v", got, err)
+	}
+}
+
+// expiringMem is a minimal kv.Expiring stub for forwarding tests.
+type expiringMem struct {
+	*kv.Mem
+	ttls map[string]int64
+}
+
+func (m *expiringMem) PutTTL(ctx context.Context, key string, value []byte, ttlNanos int64) error {
+	if err := m.Put(ctx, key, value); err != nil {
+		return err
+	}
+	m.ttls[key] = ttlNanos
+	return nil
+}
+
+func (m *expiringMem) TTL(ctx context.Context, key string) (int64, error) {
+	if _, err := m.Get(ctx, key); err != nil {
+		return 0, err
+	}
+	return m.ttls[key], nil
+}
+
+// TestCapabilityForwarding covers the Expiring and SQL audit: supported
+// capabilities pass through, unsupported ones fail with a StoreError instead
+// of being silently swallowed.
+func TestCapabilityForwarding(t *testing.T) {
+	ctx := context.Background()
+
+	exp := &expiringMem{Mem: kv.NewMem("m"), ttls: map[string]int64{}}
+	s := resilient.New(exp, fastOpts())
+	if err := s.PutTTL(ctx, "k", []byte("v"), int64(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := s.TTL(ctx, "k"); err != nil || d != int64(time.Minute) {
+		t.Fatalf("TTL = %d, %v", d, err)
+	}
+
+	// Inner without the capability: explicit, typed refusal.
+	plain := resilient.New(kv.NewMem("m"), fastOpts())
+	var se *kv.StoreError
+	if err := plain.PutTTL(ctx, "k", []byte("v"), 1); !errors.As(err, &se) {
+		t.Fatalf("PutTTL on non-expiring inner = %v, want *kv.StoreError", err)
+	}
+	if _, err := plain.TTL(ctx, "k"); !errors.As(err, &se) {
+		t.Fatalf("TTL on non-expiring inner = %v, want *kv.StoreError", err)
+	}
+	if _, err := plain.Exec(ctx, "DELETE FROM t"); !errors.As(err, &se) {
+		t.Fatalf("Exec on non-SQL inner = %v, want *kv.StoreError", err)
+	}
+	if _, err := plain.Query(ctx, "SELECT 1"); !errors.As(err, &se) {
+		t.Fatalf("Query on non-SQL inner = %v, want *kv.StoreError", err)
+	}
+}
+
+// TestBatchConformanceOverMem runs the shared batch conformance suite over
+// the wrapper in fallback mode (plain kv.Mem inner).
+func TestBatchConformanceOverMem(t *testing.T) {
+	kvtest.RunBatch(t, func(t *testing.T) (kv.Store, func()) {
+		s := resilient.New(kv.NewMem("m"), fastOpts())
+		return s, func() { s.Close() }
+	})
+}

@@ -92,6 +92,7 @@ type Stats struct {
 	Timeouts       int64 // attempts cut off by OpTimeout
 	BreakerTrips   int64 // closed->open (or failed probe) transitions
 	BreakerRejects int64 // operations rejected while open
+	BatchSplits    int64 // multi-key calls degraded to per-key operations
 }
 
 // Store is the resilience wrapper. It implements kv.Store and, when the
@@ -108,6 +109,7 @@ type Store struct {
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
 	timeouts  atomic.Int64
+	splits    atomic.Int64
 }
 
 var _ kv.Store = (*Store)(nil)
@@ -151,6 +153,7 @@ func (s *Store) Stats() Stats {
 		Timeouts:       s.timeouts.Load(),
 		BreakerTrips:   trips,
 		BreakerRejects: rejects,
+		BatchSplits:    s.splits.Load(),
 	}
 }
 
@@ -171,6 +174,7 @@ func (s *Store) RegisterMetrics(reg *monitor.Registry) {
 				"timeout":        st.Timeouts,
 				"breaker_trip":   st.BreakerTrips,
 				"breaker_reject": st.BreakerRejects,
+				"batch_split":    st.BatchSplits,
 			}
 		})
 }

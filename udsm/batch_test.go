@@ -1,0 +1,76 @@
+package udsm
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"edsc/kv"
+	"edsc/kv/kvtest"
+)
+
+func TestBatchMonitored(t *testing.T) {
+	m := newManager(t)
+	ds, _ := m.Register(NewMemStore("mem"))
+	ctx := context.Background()
+
+	pairs := make(map[string][]byte, 8)
+	keys := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("k%d", i)
+		pairs[k] = []byte(fmt.Sprintf("value-%d", i))
+		keys = append(keys, k)
+	}
+	if err := ds.PutMulti(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.GetMulti(ctx, append(keys, "missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 || string(got["k3"]) != "value-3" {
+		t.Fatalf("GetMulti = %v", got)
+	}
+
+	// The whole batch is one monitored operation per direction.
+	counts := map[string]int64{}
+	for _, op := range ds.Snapshot(false).Ops {
+		counts[op.Op] = op.Count
+	}
+	if counts["putmulti"] != 1 || counts["getmulti"] != 1 {
+		t.Fatalf("op counts = %v, want one putmulti and one getmulti", counts)
+	}
+	if counts["get"] != 0 || counts["put"] != 0 {
+		t.Fatalf("batch recorded as per-key ops: %v", counts)
+	}
+}
+
+func TestAsyncBatch(t *testing.T) {
+	m := newManager(t)
+	ds, _ := m.Register(NewMemStore("mem"))
+	async := ds.Async()
+	ctx := context.Background()
+
+	pairs := map[string][]byte{"a": []byte("1"), "b": []byte("2")}
+	if _, err := async.PutMulti(ctx, pairs).MustWait(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := async.GetMulti(ctx, []string{"a", "b", "c"}).MustWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got["a"]) != "1" || string(got["b"]) != "2" {
+		t.Fatalf("async GetMulti = %v", got)
+	}
+}
+
+func TestDataStoreBatchConformance(t *testing.T) {
+	kvtest.RunBatch(t, func(t *testing.T) (kv.Store, func()) {
+		m := New(Options{PoolSize: 2})
+		ds, err := m.Register(NewMemStore("mem"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds, func() { _ = m.Close() }
+	})
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"edsc/kv"
+)
+
+func TestRunBatchCompare(t *testing.T) {
+	ctx := context.Background()
+	rep, err := RunBatchCompare(ctx, kv.NewMem("m"), BatchConfig{
+		BatchSizes: []int{2, 4}, ValueSize: 64, Runs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Store != "m" || len(rep.Points) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, p := range rep.Points {
+		if p.BatchGet <= 0 || p.PerKeyGet <= 0 || p.BatchPut <= 0 || p.PerKeyPut <= 0 {
+			t.Fatalf("unmeasured point: %+v", p)
+		}
+	}
+	var sb strings.Builder
+	if _, err := rep.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# store: m") || !strings.Contains(out, "batch_size") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("want 2 header + 2 data lines:\n%s", out)
+	}
+}
