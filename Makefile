@@ -1,12 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch figures examples fuzz chaos metrics clean
+.PHONY: all build test race cover bench bench-batch figures examples fuzz chaos metrics clean lint-capabilities
 
-all: build test
+all: build lint-capabilities test
 
 build:
 	go build ./...
 	go vet ./...
+
+# Capability dispatch must go through kv.As so it survives wrapper stacks.
+# Direct assertions to the kv capability interfaces outside package kv (only
+# there is the qualified `kv.` form used) fail the build. `var _ kv.Batch`
+# implementation asserts and `case *kv.Batch:` Intercepts switches do not
+# match the pattern and stay legal.
+lint-capabilities:
+	@matches=$$(grep -rEn --include='*.go' \
+		'\.\(kv\.(Versioned|VersionedBatch|Batch|Expiring|SQL|CompareAndPut)\)' . || true); \
+	if [ -n "$$matches" ]; then \
+		echo "$$matches"; \
+		echo 'lint-capabilities: direct capability type assertions found; use kv.As[T] (see DESIGN.md "Middleware architecture")' >&2; \
+		exit 1; \
+	fi
 
 test:
 	go test ./...

@@ -594,3 +594,90 @@ func BenchmarkAblationSecondaryIndex(b *testing.B) {
 		})
 	}
 }
+
+// passthroughLayer is a do-nothing middleware stage: the pure cost of one
+// level of Stack indirection plus one step of the kv.As walk.
+type passthroughLayer struct{ kv.Store }
+
+func (p passthroughLayer) Unwrap() kv.Store { return p.Store }
+
+func noopLayer(s kv.Store) kv.Store { return passthroughLayer{s} }
+
+// BenchmarkStackOverhead pins the cost of the middleware model on the Get
+// hot path: a bare kv.Mem versus the same store under three transparent
+// layers, plus the kv.As capability walk itself. Compare get/bare with
+// get/stacked3 — the difference is three interface method hops and must
+// stay within noise of BenchmarkKVBaseline/get.
+func BenchmarkStackOverhead(b *testing.B) {
+	ctx := context.Background()
+	mem := kv.NewMem("mem")
+	data := payload(1024)
+	if err := mem.Put(ctx, "k", data); err != nil {
+		b.Fatal(err)
+	}
+	stacked := kv.Stack(mem, noopLayer, noopLayer, noopLayer)
+
+	b.Run("get/bare", func(b *testing.B) {
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := mem.Get(ctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get/stacked3", func(b *testing.B) {
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := stacked.Get(ctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("as/hit-at-base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := kv.As[kv.CompareAndPut](stacked); !ok {
+				b.Fatal("capability lost")
+			}
+		}
+	})
+	b.Run("as/miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := kv.As[kv.SQL](stacked); ok {
+				b.Fatal("capability invented")
+			}
+		}
+	})
+}
+
+// TestStackOverheadAllocs is the deterministic guard behind
+// BenchmarkStackOverhead: Stack indirection and the kv.As walk must not
+// allocate, so a stacked Get costs exactly the allocations of a bare Get.
+func TestStackOverheadAllocs(t *testing.T) {
+	ctx := context.Background()
+	mem := kv.NewMem("mem")
+	if err := mem.Put(ctx, "k", payload(1024)); err != nil {
+		t.Fatal(err)
+	}
+	stacked := kv.Stack(mem, noopLayer, noopLayer, noopLayer)
+
+	bare := testing.AllocsPerRun(200, func() {
+		if _, err := mem.Get(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	viaStack := testing.AllocsPerRun(200, func() {
+		if _, err := stacked.Get(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if viaStack > bare {
+		t.Errorf("stacked Get allocates %.1f, bare Get %.1f: middleware must add none", viaStack, bare)
+	}
+	if walk := testing.AllocsPerRun(200, func() {
+		if _, ok := kv.As[kv.CompareAndPut](stacked); !ok {
+			t.Fatal("capability lost")
+		}
+	}); walk != 0 {
+		t.Errorf("kv.As walk allocates %.1f per call, want 0", walk)
+	}
+}

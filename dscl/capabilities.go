@@ -1,0 +1,291 @@
+package dscl
+
+import (
+	"context"
+	"time"
+
+	"edsc/kv"
+	"edsc/monitor"
+)
+
+// Capability interception (see kv.As). The enhanced client cannot be
+// transparent to capabilities that move values or mutate keys: transforms
+// must re-encode them and the cache must stay coherent with them. So the
+// client implements each such capability itself and intercepts it whenever
+// the wrapped stack supports it (Intercepts in client.go); kv.SQL is the
+// one capability with neither values to re-encode nor keys the cache could
+// hold under the same name, and is the only one left to fall through
+// Unwrap.
+//
+// Coherence rules:
+//
+//   - Version-aware reads (GetVersioned, GetIfModified) have no cache side
+//     effects: installing a version-pinned read could reorder against
+//     concurrent writers, and callers using versions are doing their own
+//     coherence reasoning.
+//   - PutVersioned follows the configured write policy, like Put.
+//   - PutIfVersion always invalidates, never write-through: two racing CAS
+//     winners may complete out of order, and a write-through of the loser's
+//     value would pin a stale entry until TTL. Invalidation is always safe.
+//   - PutTTL caches through the write policy, but bounds the entry's
+//     expiration by the server-side TTL so the cache cannot serve a value
+//     the store has already expired.
+
+var (
+	_ kv.Versioned      = (*Client)(nil)
+	_ kv.VersionedBatch = (*Client)(nil)
+	_ kv.Expiring       = (*Client)(nil)
+	_ kv.CompareAndPut  = (*Client)(nil)
+)
+
+// GetVersioned implements kv.Versioned: a store read through the transform
+// pipeline, bypassing the cache in both directions.
+func (cl *Client) GetVersioned(ctx context.Context, key string) ([]byte, kv.Version, error) {
+	if err := cl.checkKey(ctx, key); err != nil {
+		return nil, kv.NoVersion, err
+	}
+	vs, err := cl.requireVersioned("getversioned", key)
+	if err != nil {
+		return nil, kv.NoVersion, err
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	cl.reads.Add(1)
+	raw, ver, err := vs.GetVersioned(ctx, key)
+	if err != nil {
+		return nil, kv.NoVersion, err
+	}
+	plain, err := cl.decode(raw)
+	if err != nil {
+		return nil, kv.NoVersion, err
+	}
+	return plain, ver, nil
+}
+
+// GetIfModified implements kv.Versioned. The unmodified answer carries no
+// value, so only the modified branch decodes.
+func (cl *Client) GetIfModified(ctx context.Context, key string, since kv.Version) ([]byte, kv.Version, bool, error) {
+	if err := cl.checkKey(ctx, key); err != nil {
+		return nil, kv.NoVersion, false, err
+	}
+	vs, err := cl.requireVersioned("getifmodified", key)
+	if err != nil {
+		return nil, kv.NoVersion, false, err
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	cl.reads.Add(1)
+	raw, ver, modified, err := vs.GetIfModified(ctx, key, since)
+	if err != nil {
+		return nil, kv.NoVersion, false, err
+	}
+	if !modified {
+		return nil, ver, false, nil
+	}
+	plain, err := cl.decode(raw)
+	if err != nil {
+		return nil, kv.NoVersion, false, err
+	}
+	return plain, ver, true, nil
+}
+
+// GetMultiVersioned implements kv.VersionedBatch (with GetMulti/PutMulti
+// from batch.go): one batched versioned read through the transform
+// pipeline. Like the other version-aware reads it has no cache side
+// effects — were this left to fall through to the store, a transform client
+// would hand callers undecoded bytes.
+func (cl *Client) GetMultiVersioned(ctx context.Context, keys []string) (map[string]kv.VersionedValue, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cl.closed.Load() {
+		return nil, kv.ErrClosed
+	}
+	if _, err := cl.requireVersioned("getmultiversioned", ""); err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if err := kv.CheckKey(k); err != nil {
+			return nil, err
+		}
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	cl.reads.Add(1) // one batched store read, whatever the key count
+	got, err := kv.GetMultiVersioned(ctx, cl.store, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]kv.VersionedValue, len(got))
+	for k, vv := range got {
+		plain, derr := cl.decode(vv.Value)
+		if derr != nil {
+			return out, derr
+		}
+		out[k] = kv.VersionedValue{Value: plain, Version: vv.Version}
+	}
+	return out, nil
+}
+
+// PutVersioned implements kv.Versioned: transform, write, then apply the
+// write policy with the returned version — the versioned twin of Put.
+func (cl *Client) PutVersioned(ctx context.Context, key string, value []byte) (kv.Version, error) {
+	if err := cl.checkKey(ctx, key); err != nil {
+		return kv.NoVersion, err
+	}
+	vs, err := cl.requireVersioned("putversioned", key)
+	if err != nil {
+		return kv.NoVersion, err
+	}
+	encoded, err := cl.encode(value)
+	if err != nil {
+		return kv.NoVersion, err
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	cl.writes.Add(1)
+	ver, err := vs.PutVersioned(ctx, key, encoded)
+	if err != nil {
+		return kv.NoVersion, err
+	}
+	cl.notifyWrite(key)
+	cl.applyWritePolicy(ctx, key, value, encoded, ver)
+	return ver, nil
+}
+
+// PutIfVersion implements kv.CompareAndPut: transform, conditional write,
+// and — win or lose — invalidate the cached entry (see the coherence rules
+// above).
+func (cl *Client) PutIfVersion(ctx context.Context, key string, value []byte, since kv.Version) (kv.Version, error) {
+	if err := cl.checkKey(ctx, key); err != nil {
+		return kv.NoVersion, err
+	}
+	cas, ok := kv.As[kv.CompareAndPut](cl.store)
+	if !ok || cl.chain != nil {
+		return kv.NoVersion, cl.unsupported("cas", key, "kv.CompareAndPut")
+	}
+	encoded, err := cl.encode(value)
+	if err != nil {
+		return kv.NoVersion, err
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	cl.writes.Add(1)
+	ver, casErr := cas.PutIfVersion(ctx, key, encoded, since)
+	// The write may have applied even when the race was lost upstream of a
+	// retrying layer; dropping the entry is correct in every outcome.
+	if cl.cache != nil {
+		if _, derr := cl.cache.Delete(ctx, key); derr != nil {
+			cl.cacheErrs.Add(1)
+		}
+	}
+	if casErr != nil {
+		return kv.NoVersion, casErr
+	}
+	cl.notifyWrite(key)
+	return ver, nil
+}
+
+// PutTTL implements kv.Expiring: transform, TTL write, then cache through
+// the write policy with the entry's expiration clamped to the server-side
+// TTL.
+func (cl *Client) PutTTL(ctx context.Context, key string, value []byte, ttlNanos int64) error {
+	if err := cl.checkKey(ctx, key); err != nil {
+		return err
+	}
+	es, err := cl.requireExpiring("putttl", key)
+	if err != nil {
+		return err
+	}
+	encoded, err := cl.encode(value)
+	if err != nil {
+		return err
+	}
+	ctx, _ = monitor.WithRequestID(ctx)
+	cl.writes.Add(1)
+	if err := es.PutTTL(ctx, key, encoded, ttlNanos); err != nil {
+		return err
+	}
+	cl.notifyWrite(key)
+	if cl.cache == nil {
+		return nil
+	}
+	switch cl.policy {
+	case WriteThrough:
+		plain := append([]byte(nil), value...)
+		exp := cl.expiry()
+		if ttlNanos > 0 {
+			serverExp := cl.clock().Add(time.Duration(ttlNanos))
+			if exp.IsZero() || serverExp.Before(exp) {
+				exp = serverExp
+			}
+		}
+		e := Entry{Value: cl.plainForCache(plain, encoded), Version: kv.NoVersion, ExpiresAt: exp}
+		if cerr := cl.cache.Put(ctx, key, e); cerr != nil {
+			cl.cacheErrs.Add(1)
+		}
+	case WriteInvalidate:
+		if _, derr := cl.cache.Delete(ctx, key); derr != nil {
+			cl.cacheErrs.Add(1)
+		}
+	case WriteAround:
+	}
+	return nil
+}
+
+// TTL implements kv.Expiring, delegated to the store: the cache's private
+// expiry is a revalidation lease, not the server-side TTL the caller asked
+// about.
+func (cl *Client) TTL(ctx context.Context, key string) (int64, error) {
+	if err := cl.checkKey(ctx, key); err != nil {
+		return 0, err
+	}
+	es, err := cl.requireExpiring("ttl", key)
+	if err != nil {
+		return 0, err
+	}
+	return es.TTL(ctx, key)
+}
+
+// applyWritePolicy mirrors Put's cache handling for a successful versioned
+// write.
+func (cl *Client) applyWritePolicy(ctx context.Context, key string, plain, encoded []byte, ver kv.Version) {
+	if cl.cache == nil {
+		return
+	}
+	switch cl.policy {
+	case WriteThrough:
+		// Cache a private copy: the caller may mutate its slice later.
+		buf := append([]byte(nil), plain...)
+		cl.cachePut(ctx, key, buf, encoded, ver)
+	case WriteInvalidate:
+		if _, err := cl.cache.Delete(ctx, key); err != nil {
+			cl.cacheErrs.Add(1)
+		}
+	case WriteAround:
+	}
+}
+
+func (cl *Client) requireVersioned(op, key string) (kv.Versioned, error) {
+	if cl.chain == nil {
+		if vs, ok := kv.As[kv.Versioned](cl.store); ok {
+			return vs, nil
+		}
+	}
+	return nil, cl.unsupported(op, key, "kv.Versioned")
+}
+
+func (cl *Client) requireExpiring(op, key string) (kv.Expiring, error) {
+	if cl.chain == nil {
+		if es, ok := kv.As[kv.Expiring](cl.store); ok {
+			return es, nil
+		}
+	}
+	return nil, cl.unsupported(op, key, "kv.Expiring")
+}
+
+func (cl *Client) unsupported(op, key, capability string) error {
+	return &kv.StoreError{Store: cl.Name(), Op: op, Key: key,
+		Err: errUnsupported(capability)}
+}
+
+type errUnsupported string
+
+func (e errUnsupported) Error() string {
+	return "dscl: wrapped store does not implement " + string(e)
+}

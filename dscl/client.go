@@ -151,9 +151,59 @@ func New(store kv.Store, opts ...Option) *Client {
 	return cl
 }
 
+// Layer adapts the enhanced client to the kv middleware model, so a DSCL
+// stage drops into a kv.Stack pipeline:
+//
+//	kv.Stack(base, resilient.Layer(ropts), dscl.Layer(dscl.WithCache(c)))
+func Layer(opts ...Option) kv.Layer {
+	return func(inner kv.Store) kv.Store { return New(inner, opts...) }
+}
+
 // Store returns the wrapped store (the native client, for operations beyond
 // the enhanced interface).
 func (cl *Client) Store() kv.Store { return cl.store }
+
+// Unwrap implements kv.Wrapper, so capabilities the client does not
+// intercept — kv.SQL above all — are discovered on the wrapped store by the
+// kv.As walk. A delta-encoded client returns nil: the chain owns the
+// physical layout, and reaching the raw store underneath it would read
+// chain records, not values.
+func (cl *Client) Unwrap() kv.Store {
+	if cl.chain != nil {
+		return nil
+	}
+	return cl.store
+}
+
+// Intercepts implements kv.Interceptor. The client's method set statically
+// covers every capability it must re-encode or keep cache-coherent
+// (Versioned, Expiring, CompareAndPut, Batch — see capabilities.go), but it
+// only claims the ones its wrapped stack can actually serve; for the rest
+// the kv.As walk continues past it. Delta-encoded clients decline them all:
+// version tracking and TTLs do not survive the chain layout.
+func (cl *Client) Intercepts(capability any) bool {
+	switch capability.(type) {
+	case *kv.Versioned, *kv.VersionedBatch:
+		if cl.chain != nil {
+			return false
+		}
+		_, ok := kv.As[kv.Versioned](cl.store)
+		return ok
+	case *kv.Expiring:
+		if cl.chain != nil {
+			return false
+		}
+		_, ok := kv.As[kv.Expiring](cl.store)
+		return ok
+	case *kv.CompareAndPut:
+		if cl.chain != nil {
+			return false
+		}
+		_, ok := kv.As[kv.CompareAndPut](cl.store)
+		return ok
+	}
+	return true
+}
 
 // Cache returns the attached cache (nil when none), giving applications the
 // explicit fine-grained control of caching approach 2 alongside the tight
@@ -280,7 +330,7 @@ func (cl *Client) Get(ctx context.Context, key string) ([]byte, error) {
 
 	// Revalidation path: ask the server whether our stale copy is current.
 	if staleEntry != nil && cl.reval && cl.chain == nil && staleEntry.Version != kv.NoVersion {
-		if vs, ok := cl.store.(kv.Versioned); ok {
+		if vs, ok := kv.As[kv.Versioned](cl.store); ok {
 			cl.revals.Add(1)
 			revalStart := time.Now()
 			data, ver, modified, err := vs.GetIfModified(ctx, key, staleEntry.Version)
@@ -335,7 +385,7 @@ func (cl *Client) fetch(ctx context.Context, key string) (plain, raw []byte, ver
 	defer func() { monitor.AddSpan(ctx, "dscl", "fetch", start, err != nil) }()
 	if cl.chain != nil {
 		raw, err = cl.chain.Get(ctx, key)
-	} else if vs, ok := cl.store.(kv.Versioned); ok {
+	} else if vs, ok := kv.As[kv.Versioned](cl.store); ok {
 		raw, ver, err = vs.GetVersioned(ctx, key)
 	} else {
 		raw, err = cl.store.Get(ctx, key)
@@ -380,7 +430,7 @@ func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
 			return err
 		}
 		cl.deltaSaved.Add(int64(len(encoded) - sent))
-	} else if vs, ok := cl.store.(kv.Versioned); ok {
+	} else if vs, ok := kv.As[kv.Versioned](cl.store); ok {
 		if ver, err = vs.PutVersioned(ctx, key, encoded); err != nil {
 			return err
 		}

@@ -72,7 +72,7 @@ func (cl *Client) serveStaleAndRefresh(key string, stale *Entry) ([]byte, bool) 
 			// Background refresh: detached from the caller's context.
 			ctx := context.Background()
 			if cl.reval && cl.chain == nil && stale.Version != kv.NoVersion {
-				if vs, ok := cl.store.(kv.Versioned); ok {
+				if vs, ok := kv.As[kv.Versioned](cl.store); ok {
 					cl.revals.Add(1)
 					_, ver, modified, err := vs.GetIfModified(ctx, key, stale.Version)
 					if err == nil && !modified {

@@ -108,7 +108,7 @@ func main() {
 	}
 	fmt.Println("explicitly invalidated session:ada in the cache")
 
-	if _, ok := store.(kv.Versioned); ok {
+	if _, ok := kv.As[kv.Versioned](store); ok {
 		fmt.Println("(revalidation used the store's ETag support — no server changes needed)")
 	}
 }

@@ -95,9 +95,14 @@ func main() {
 	fmt.Printf("typed map    -> user 1 is %s (age %d)\n", ada.Name, ada.Age)
 
 	// Native interfaces remain reachable when the KV view is not enough:
-	// here, SQL against the same database backing the "sql" store.
+	// here, SQL against the same database backing the "sql" store. kv.As
+	// walks the wrapper stack, so this works however many layers deep the
+	// native store sits.
 	sqlDS, _ := mgr.Store("sql")
-	native := sqlDS.Inner().(kv.SQL)
+	native, ok := kv.As[kv.SQL](sqlDS)
+	if !ok {
+		log.Fatal("sql store does not expose kv.SQL")
+	}
 	if _, err := native.Exec(ctx, `CREATE TABLE events (id INTEGER PRIMARY KEY, kind TEXT)`); err != nil {
 		log.Fatal(err)
 	}

@@ -142,9 +142,8 @@ func TestResilientUsesNativeMGET(t *testing.T) {
 	rs := resilient.New(st, resilient.Options{BaseBackoff: 100 * time.Microsecond})
 	ctx := context.Background()
 
-	var iface kv.Store = rs
-	if _, ok := iface.(kv.Batch); !ok {
-		t.Fatal("resilient(miniredis) does not implement kv.Batch")
+	if _, ok := kv.As[kv.Batch](rs); !ok {
+		t.Fatal("resilient(miniredis) does not provide kv.Batch")
 	}
 
 	keys := make([]string, 16)

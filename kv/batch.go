@@ -54,7 +54,7 @@ const BatchFanout = 8
 // that care only about completeness check err, callers that can use a
 // partial answer (a cache warming pass, for instance) may use both.
 func GetMulti(ctx context.Context, s Store, keys []string) (map[string][]byte, error) {
-	if b, ok := s.(Batch); ok {
+	if b, ok := As[Batch](s); ok {
 		return b.GetMulti(ctx, keys)
 	}
 	out := make(map[string][]byte, len(keys))
@@ -102,7 +102,7 @@ func GetMulti(ctx context.Context, s Store, keys []string) (map[string][]byte, e
 // first error is returned; pairs whose Put already succeeded stay written
 // (batch writes are not atomic — see Batch).
 func PutMulti(ctx context.Context, s Store, pairs map[string][]byte) error {
-	if b, ok := s.(Batch); ok {
+	if b, ok := As[Batch](s); ok {
 		return b.PutMulti(ctx, pairs)
 	}
 	if len(pairs) == 0 {
@@ -143,10 +143,10 @@ func PutMulti(ctx context.Context, s Store, pairs map[string][]byte) error {
 // Stores without kv.Versioned yield values with NoVersion. Fallback
 // semantics match GetMulti: partial result plus first error.
 func GetMultiVersioned(ctx context.Context, s Store, keys []string) (map[string]VersionedValue, error) {
-	if vb, ok := s.(VersionedBatch); ok {
+	if vb, ok := As[VersionedBatch](s); ok {
 		return vb.GetMultiVersioned(ctx, keys)
 	}
-	vs, versioned := s.(Versioned)
+	vs, versioned := As[Versioned](s)
 	if !versioned {
 		flat, err := GetMulti(ctx, s, keys)
 		out := make(map[string]VersionedValue, len(flat))

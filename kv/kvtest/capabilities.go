@@ -69,9 +69,9 @@ func RunVersioned(t *testing.T, f Factory) {
 
 func requireVersioned(t *testing.T, s kv.Store) kv.Versioned {
 	t.Helper()
-	vs, ok := s.(kv.Versioned)
+	vs, ok := kv.As[kv.Versioned](s)
 	if !ok {
-		t.Fatalf("store %T does not implement kv.Versioned", s)
+		t.Fatalf("store %T does not provide kv.Versioned", s)
 	}
 	return vs
 }
@@ -121,9 +121,9 @@ func RunExpiring(t *testing.T, f Factory) {
 
 func requireExpiring(t *testing.T, s kv.Store) kv.Expiring {
 	t.Helper()
-	es, ok := s.(kv.Expiring)
+	es, ok := kv.As[kv.Expiring](s)
 	if !ok {
-		t.Fatalf("store %T does not implement kv.Expiring", s)
+		t.Fatalf("store %T does not provide kv.Expiring", s)
 	}
 	return es
 }
@@ -132,9 +132,9 @@ func requireExpiring(t *testing.T, s kv.Store) kv.Expiring {
 func RunBatch(t *testing.T, f Factory) {
 	requireBatch := func(t *testing.T, s kv.Store) kv.Batch {
 		t.Helper()
-		bs, ok := s.(kv.Batch)
+		bs, ok := kv.As[kv.Batch](s)
 		if !ok {
-			t.Fatalf("store %T does not implement kv.Batch", s)
+			t.Fatalf("store %T does not provide kv.Batch", s)
 		}
 		return bs
 	}

@@ -118,9 +118,9 @@ func RunCompareAndPut(t *testing.T, f Factory) {
 
 func requireCAS(t *testing.T, s kv.Store) kv.CompareAndPut {
 	t.Helper()
-	cs, ok := s.(kv.CompareAndPut)
+	cs, ok := kv.As[kv.CompareAndPut](s)
 	if !ok {
-		t.Fatalf("store %T does not implement kv.CompareAndPut", s)
+		t.Fatalf("store %T does not provide kv.CompareAndPut", s)
 	}
 	return cs
 }

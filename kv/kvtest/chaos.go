@@ -159,7 +159,7 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 		keys = append(keys, k)
 	}
 
-	bs, hasBatch := s.(kv.Batch)
+	bs, hasBatch := kv.As[kv.Batch](s)
 
 	for op := 0; op < opts.OpsPerWorker; op++ {
 		draw := rng.Float64()

@@ -2,39 +2,36 @@ package resilient
 
 import (
 	"context"
-	"errors"
 
 	"edsc/kv"
 )
 
-// Batch passthrough. The wrapper always implements kv.Batch: when the inner
+// Batch interception. The wrapper always implements kv.Batch: when the inner
 // store does too, multi-key calls take its native one-round-trip path under
 // the usual retry policy; otherwise (or when the whole-batch path has
 // exhausted its retries) the batch is split into per-key operations, each
 // with its own retry/hedge budget, so one bad key cannot sink the rest.
 // Splits are counted in Stats and reported to the Recorder as "batch_split".
 //
-// Capability audit (see PutIfVersion for the precedent): kv.Expiring and
-// kv.SQL are forwarded with retries when the inner store supports them and
-// fail with a *kv.StoreError when it does not. There is no safe degraded
-// mode for either — dropping a TTL or refusing SQL silently would change
-// semantics, so the error is explicit.
+// Capabilities outside the kv data path (kv.Expiring, kv.SQL) are no longer
+// forwarded by hand: the wrapper exposes Unwrap and the kv.As walk discovers
+// them on the inner store directly. PR 3's forwarding shims and capability
+// audit are gone — the middleware model makes them unnecessary by
+// construction.
 
-var (
-	_ kv.Batch    = (*Store)(nil)
-	_ kv.Expiring = (*Store)(nil)
-	_ kv.SQL      = (*Store)(nil)
-)
+var _ kv.Batch = (*Store)(nil)
 
 // unbatched hides the wrapper's own batch methods so the kv fallback helpers
 // fan out over the wrapper's retried per-key Get/Put instead of recursing.
+// It deliberately does not expose Unwrap: the fan-out must go through the
+// wrapper, not around it.
 type unbatched struct{ kv.Store }
 
 // GetMulti implements kv.Batch. Partial-result semantics match kv.GetMulti:
 // absent keys are simply missing from the map, and on failure the partial
 // map is returned along with the first error.
 func (s *Store) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
-	if b, ok := s.inner.(kv.Batch); ok {
+	if b, ok := kv.As[kv.Batch](s.inner); ok {
 		var out map[string][]byte
 		err := s.do(ctx, "getmulti", s.readRetries(), func(actx context.Context) error {
 			m, err := b.GetMulti(actx, keys)
@@ -60,7 +57,7 @@ func (s *Store) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 // PutMulti implements kv.Batch. The native batch write is a blind write and
 // follows the RetryWrites policy, as does each per-key Put on the split path.
 func (s *Store) PutMulti(ctx context.Context, pairs map[string][]byte) error {
-	if b, ok := s.inner.(kv.Batch); ok {
+	if b, ok := kv.As[kv.Batch](s.inner); ok {
 		err := s.do(ctx, "putmulti", s.writeRetries(), func(actx context.Context) error {
 			return b.PutMulti(actx, pairs)
 		})
@@ -71,83 +68,4 @@ func (s *Store) PutMulti(ctx context.Context, pairs map[string][]byte) error {
 		s.record("batch_split", 0, false)
 	}
 	return kv.PutMulti(ctx, unbatched{s}, pairs)
-}
-
-// PutTTL forwards kv.Expiring with the write-retry policy.
-func (s *Store) PutTTL(ctx context.Context, key string, value []byte, ttlNanos int64) error {
-	exp, ok := s.inner.(kv.Expiring)
-	if !ok {
-		return &kv.StoreError{Store: s.Name(), Op: "putttl", Key: key,
-			Err: errors.New("resilient: inner store does not implement kv.Expiring")}
-	}
-	return s.do(ctx, "putttl", s.writeRetries(), func(actx context.Context) error {
-		return exp.PutTTL(actx, key, value, ttlNanos)
-	})
-}
-
-// TTL forwards kv.Expiring with the read-retry policy.
-func (s *Store) TTL(ctx context.Context, key string) (int64, error) {
-	exp, ok := s.inner.(kv.Expiring)
-	if !ok {
-		return 0, &kv.StoreError{Store: s.Name(), Op: "ttl", Key: key,
-			Err: errors.New("resilient: inner store does not implement kv.Expiring")}
-	}
-	var out int64
-	err := s.do(ctx, "ttl", s.readRetries(), func(actx context.Context) error {
-		d, err := exp.TTL(actx, key)
-		if err != nil {
-			return err
-		}
-		out = d
-		return nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	return out, nil
-}
-
-// Exec forwards kv.SQL. Arbitrary statements are not known to be idempotent,
-// so Exec follows the blind-write retry policy.
-func (s *Store) Exec(ctx context.Context, query string) (int, error) {
-	sq, ok := s.inner.(kv.SQL)
-	if !ok {
-		return 0, &kv.StoreError{Store: s.Name(), Op: "exec",
-			Err: errors.New("resilient: inner store does not implement kv.SQL")}
-	}
-	var out int
-	err := s.do(ctx, "exec", s.writeRetries(), func(actx context.Context) error {
-		n, err := sq.Exec(actx, query)
-		if err != nil {
-			return err
-		}
-		out = n
-		return nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	return out, nil
-}
-
-// Query forwards kv.SQL with the read-retry policy.
-func (s *Store) Query(ctx context.Context, query string) (*kv.Rows, error) {
-	sq, ok := s.inner.(kv.SQL)
-	if !ok {
-		return nil, &kv.StoreError{Store: s.Name(), Op: "query",
-			Err: errors.New("resilient: inner store does not implement kv.SQL")}
-	}
-	var out *kv.Rows
-	err := s.do(ctx, "query", s.readRetries(), func(actx context.Context) error {
-		r, err := sq.Query(actx, query)
-		if err != nil {
-			return err
-		}
-		out = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }

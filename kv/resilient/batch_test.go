@@ -76,9 +76,8 @@ func TestWrapperOfBatchStoreIsBatch(t *testing.T) {
 	inner := &batchMem{Mem: kv.NewMem("m")}
 	s := resilient.New(inner, fastOpts())
 
-	var iface kv.Store = s
-	if _, ok := iface.(kv.Batch); !ok {
-		t.Fatal("resilient wrapper of a kv.Batch store does not implement kv.Batch")
+	if _, ok := kv.As[kv.Batch](s); !ok {
+		t.Fatal("resilient wrapper of a kv.Batch store does not provide kv.Batch")
 	}
 
 	if err := s.PutMulti(ctx, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
@@ -177,35 +176,66 @@ func (m *expiringMem) TTL(ctx context.Context, key string) (int64, error) {
 	return m.ttls[key], nil
 }
 
-// TestCapabilityForwarding covers the Expiring and SQL audit: supported
-// capabilities pass through, unsupported ones fail with a StoreError instead
-// of being silently swallowed.
-func TestCapabilityForwarding(t *testing.T) {
+// TestCapabilityDiscovery replaces PR 3's hand-written forwarding audit:
+// capabilities the wrapper does not intercept (Expiring, SQL) are found on
+// the inner store through the kv.As walk, intercepted ones (Versioned, CAS)
+// resolve to the wrapper itself exactly when the inner stack supports them,
+// and nothing is ever invented for an inner store that lacks it.
+func TestCapabilityDiscovery(t *testing.T) {
 	ctx := context.Background()
 
 	exp := &expiringMem{Mem: kv.NewMem("m"), ttls: map[string]int64{}}
 	s := resilient.New(exp, fastOpts())
-	if err := s.PutTTL(ctx, "k", []byte("v"), int64(time.Minute)); err != nil {
+	es, ok := kv.As[kv.Expiring](s)
+	if !ok {
+		t.Fatal("kv.Expiring not discovered through the wrapper")
+	}
+	if err := es.PutTTL(ctx, "k", []byte("v"), int64(time.Minute)); err != nil {
 		t.Fatal(err)
 	}
-	if d, err := s.TTL(ctx, "k"); err != nil || d != int64(time.Minute) {
+	if d, err := es.TTL(ctx, "k"); err != nil || d != int64(time.Minute) {
 		t.Fatalf("TTL = %d, %v", d, err)
 	}
+	// TTL writes are visible through the wrapper's data path and vice versa.
+	if v, err := s.Get(ctx, "k"); err != nil || string(v) != "v" {
+		t.Fatalf("Get after PutTTL = %q, %v", v, err)
+	}
 
-	// Inner without the capability: explicit, typed refusal.
+	// Inner without the capability: the walk finds nothing.
 	plain := resilient.New(kv.NewMem("m"), fastOpts())
+	if _, ok := kv.As[kv.Expiring](plain); ok {
+		t.Fatal("kv.Expiring invented over a plain kv.Mem")
+	}
+	if _, ok := kv.As[kv.SQL](plain); ok {
+		t.Fatal("kv.SQL invented over a plain kv.Mem")
+	}
+	if _, ok := kv.As[kv.Versioned](plain); ok {
+		t.Fatal("kv.Versioned invented over a plain kv.Mem")
+	}
+	if _, ok := kv.As[kv.VersionedBatch](plain); ok {
+		t.Fatal("kv.VersionedBatch invented over a plain kv.Mem")
+	}
+
+	// Intercepted capability: kv.Mem supports CAS, so the walk must resolve
+	// to the wrapper (retried CAS), not the bare store.
+	cas, ok := kv.As[kv.CompareAndPut](plain)
+	if !ok {
+		t.Fatal("kv.CompareAndPut not discovered over kv.Mem")
+	}
+	if _, isWrapper := cas.(*resilient.Store); !isWrapper {
+		t.Fatalf("CAS resolved to %T, want the resilient wrapper to intercept it", cas)
+	}
+	if _, err := cas.PutIfVersion(ctx, "c", []byte("v"), kv.NoVersion); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct calls on an unsupported wrapper still refuse explicitly.
 	var se *kv.StoreError
-	if err := plain.PutTTL(ctx, "k", []byte("v"), 1); !errors.As(err, &se) {
-		t.Fatalf("PutTTL on non-expiring inner = %v, want *kv.StoreError", err)
+	if _, _, err := plain.GetVersioned(ctx, "k"); !errors.As(err, &se) {
+		t.Fatalf("GetVersioned on non-versioned inner = %v, want *kv.StoreError", err)
 	}
-	if _, err := plain.TTL(ctx, "k"); !errors.As(err, &se) {
-		t.Fatalf("TTL on non-expiring inner = %v, want *kv.StoreError", err)
-	}
-	if _, err := plain.Exec(ctx, "DELETE FROM t"); !errors.As(err, &se) {
-		t.Fatalf("Exec on non-SQL inner = %v, want *kv.StoreError", err)
-	}
-	if _, err := plain.Query(ctx, "SELECT 1"); !errors.As(err, &se) {
-		t.Fatalf("Query on non-SQL inner = %v, want *kv.StoreError", err)
+	if _, err := plain.GetMultiVersioned(ctx, []string{"k"}); !errors.As(err, &se) {
+		t.Fatalf("GetMultiVersioned on non-versioned inner = %v, want *kv.StoreError", err)
 	}
 }
 

@@ -95,8 +95,11 @@ type Stats struct {
 	BatchSplits    int64 // multi-key calls degraded to per-key operations
 }
 
-// Store is the resilience wrapper. It implements kv.Store and, when the
-// inner store supports it, forwards kv.CompareAndPut with retries.
+// Store is the resilience wrapper. It implements kv.Store and intercepts
+// the whole kv data path — kv.Batch, kv.Versioned, kv.VersionedBatch, and
+// kv.CompareAndPut — with retries whenever the inner stack supports the
+// capability (see Intercepts). Capabilities it does not intercept are
+// discovered through Unwrap by the kv.As walk.
 type Store struct {
 	inner   kv.Store
 	opts    Options
@@ -140,8 +143,41 @@ func New(inner kv.Store, opts Options) *Store {
 	}
 }
 
+// Layer adapts the wrapper to the kv middleware model, so a resilient stage
+// drops into a kv.Stack pipeline:
+//
+//	kv.Stack(base, resilient.Layer(opts), dscl.Layer(...))
+func Layer(opts Options) kv.Layer {
+	return func(inner kv.Store) kv.Store { return New(inner, opts) }
+}
+
 // Inner returns the wrapped store (for native capabilities beyond kv.Store).
 func (s *Store) Inner() kv.Store { return s.inner }
+
+// Unwrap implements kv.Wrapper: capabilities the wrapper does not intercept
+// (kv.Expiring, kv.SQL — native escape hatches with no degraded mode worth
+// adding retries to by default) are discovered through the kv.As walk.
+func (s *Store) Unwrap() kv.Store { return s.inner }
+
+// Intercepts implements kv.Interceptor. The wrapper's method set statically
+// covers the whole kv data path (Batch, Versioned, VersionedBatch,
+// CompareAndPut) so that retries and the breaker guard every data operation,
+// but a capability is only claimed when the inner stack can actually serve
+// it — otherwise the kv.As walk keeps looking (and finds nothing, exactly as
+// if the wrapper were not there).
+func (s *Store) Intercepts(capability any) bool {
+	switch capability.(type) {
+	case *kv.Batch:
+		return true // native pass-through or retried per-key fan-out
+	case *kv.Versioned, *kv.VersionedBatch:
+		_, ok := kv.As[kv.Versioned](s.inner)
+		return ok
+	case *kv.CompareAndPut:
+		_, ok := kv.As[kv.CompareAndPut](s.inner)
+		return ok
+	}
+	return true
+}
 
 // Stats returns a snapshot of the recovery counters.
 func (s *Store) Stats() Stats {
@@ -385,7 +421,7 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 // check prevents duplicate effects). It fails when the inner store does not
 // support conditional writes.
 func (s *Store) PutIfVersion(ctx context.Context, key string, value []byte, since kv.Version) (kv.Version, error) {
-	cas, ok := s.inner.(kv.CompareAndPut)
+	cas, ok := kv.As[kv.CompareAndPut](s.inner)
 	if !ok {
 		return kv.NoVersion, &kv.StoreError{Store: s.Name(), Op: "cas", Key: key,
 			Err: errors.New("resilient: inner store does not implement kv.CompareAndPut")}

@@ -1,0 +1,178 @@
+package kv_test
+
+import (
+	"context"
+	"testing"
+
+	"edsc/kv"
+)
+
+// transparent is a do-nothing layer: no capabilities of its own, exposes
+// Unwrap so the As walk falls through.
+type transparent struct{ kv.Store }
+
+func (w transparent) Unwrap() kv.Store { return w.Store }
+
+// opaque wraps without exposing Unwrap: the walk must stop at it.
+type opaque struct{ kv.Store }
+
+// sealing exposes Unwrap but returns nil: the walk must stop *and* find
+// nothing below.
+type sealing struct{ kv.Store }
+
+func (w sealing) Unwrap() kv.Store { return nil }
+
+// gatedCAS statically implements kv.CompareAndPut but only intercepts it
+// when armed — the Interceptor pattern for conditionally-supported
+// capabilities.
+type gatedCAS struct {
+	kv.Store
+	armed bool
+	hits  int
+}
+
+func (w *gatedCAS) Unwrap() kv.Store { return w.Store }
+
+func (w *gatedCAS) Intercepts(capability any) bool {
+	if _, ok := capability.(*kv.CompareAndPut); ok {
+		return w.armed
+	}
+	return true
+}
+
+func (w *gatedCAS) PutIfVersion(ctx context.Context, key string, value []byte, since kv.Version) (kv.Version, error) {
+	w.hits++
+	cas, ok := kv.As[kv.CompareAndPut](w.Store)
+	if !ok {
+		return kv.NoVersion, kv.ErrNotFound
+	}
+	return cas.PutIfVersion(ctx, key, value, since)
+}
+
+func TestAsFindsBaseCapability(t *testing.T) {
+	mem := kv.NewMem("m")
+	s := kv.Store(transparent{transparent{mem}})
+	cas, ok := kv.As[kv.CompareAndPut](s)
+	if !ok {
+		t.Fatal("CompareAndPut not discovered through two transparent layers")
+	}
+	v, err := cas.PutIfVersion(context.Background(), "k", []byte("v"), kv.NoVersion)
+	if err != nil || v == kv.NoVersion {
+		t.Fatalf("PutIfVersion through walk = %q, %v", v, err)
+	}
+	if _, ok := kv.As[kv.Versioned](s); ok {
+		t.Fatal("kv.Mem does not implement Versioned, yet As found it")
+	}
+}
+
+func TestAsStopsAtOpaqueWrapper(t *testing.T) {
+	s := kv.Store(opaque{kv.NewMem("m")})
+	if _, ok := kv.As[kv.CompareAndPut](s); ok {
+		t.Fatal("As walked through a wrapper with no Unwrap")
+	}
+}
+
+func TestAsStopsAtNilUnwrap(t *testing.T) {
+	s := kv.Store(sealing{kv.NewMem("m")})
+	if _, ok := kv.As[kv.CompareAndPut](s); ok {
+		t.Fatal("As walked past an Unwrap that returned nil")
+	}
+}
+
+func TestAsRespectsInterceptor(t *testing.T) {
+	mem := kv.NewMem("m")
+	g := &gatedCAS{Store: mem, armed: false}
+
+	// Disarmed: the walk must skip the wrapper's static method and find the
+	// base store's CAS directly.
+	cas, ok := kv.As[kv.CompareAndPut](kv.Store(g))
+	if !ok {
+		t.Fatal("CAS not found through disarmed interceptor")
+	}
+	if _, err := cas.PutIfVersion(context.Background(), "k", []byte("v"), kv.NoVersion); err != nil {
+		t.Fatal(err)
+	}
+	if g.hits != 0 {
+		t.Fatalf("disarmed wrapper intercepted %d CAS calls, want 0", g.hits)
+	}
+
+	// Armed: the wrapper wins.
+	g.armed = true
+	cas, ok = kv.As[kv.CompareAndPut](kv.Store(g))
+	if !ok {
+		t.Fatal("CAS not found through armed interceptor")
+	}
+	if _, err := cas.PutIfVersion(context.Background(), "k", []byte("v2"), kv.NoVersion); err == nil {
+		// Second blind create must fail with a mismatch; either way the
+		// wrapper must have seen the call.
+		t.Fatal("blind CAS create over existing key succeeded")
+	}
+	if g.hits != 1 {
+		t.Fatalf("armed wrapper intercepted %d CAS calls, want 1", g.hits)
+	}
+}
+
+func TestAsIdentity(t *testing.T) {
+	mem := kv.NewMem("m")
+	s, ok := kv.As[kv.Store](kv.Store(transparent{mem}))
+	if !ok {
+		t.Fatal("As[kv.Store] failed")
+	}
+	if _, isWrap := s.(transparent); !isWrap {
+		t.Fatalf("As[kv.Store] = %T, want the outermost store", s)
+	}
+}
+
+func TestAsNilStore(t *testing.T) {
+	if _, ok := kv.As[kv.Batch](nil); ok {
+		t.Fatal("As(nil) reported a capability")
+	}
+}
+
+func TestAsCyclicChainTerminates(t *testing.T) {
+	// A self-wrapping store must not hang the walk.
+	c := &cyclic{}
+	c.next = c
+	if _, ok := kv.As[kv.Batch](c); ok {
+		t.Fatal("cyclic chain reported a capability")
+	}
+}
+
+type cyclic struct {
+	kv.Store
+	next kv.Store
+}
+
+func (c *cyclic) Unwrap() kv.Store { return c.next }
+
+func TestStackOrder(t *testing.T) {
+	var order []string
+	tag := func(name string) kv.Layer {
+		return func(s kv.Store) kv.Store {
+			order = append(order, name)
+			return transparent{s}
+		}
+	}
+	base := kv.NewMem("m")
+	s := kv.Stack(base, tag("inner"), nil, tag("outer"))
+	if len(order) != 2 || order[0] != "inner" || order[1] != "outer" {
+		t.Fatalf("layer application order = %v, want [inner outer]", order)
+	}
+	// The stacked store still works and still reaches the base.
+	if err := s.Put(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := base.Get(context.Background(), "k"); err != nil || string(v) != "v" {
+		t.Fatalf("write did not reach the base store: %q, %v", v, err)
+	}
+	if _, ok := kv.As[kv.CompareAndPut](s); !ok {
+		t.Fatal("base capability lost through Stack")
+	}
+}
+
+func TestStackNoLayers(t *testing.T) {
+	base := kv.NewMem("m")
+	if s := kv.Stack(base); s != kv.Store(base) {
+		t.Fatalf("Stack with no layers = %T, want the base store", s)
+	}
+}

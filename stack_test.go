@@ -1,0 +1,73 @@
+package edsc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edsc/dscl"
+	"edsc/kv"
+	"edsc/kv/kvtest"
+	"edsc/kv/resilient"
+	"edsc/udsm"
+)
+
+// TestStackConformance wires the middleware-composition suite
+// (kvtest.RunStack) over real base stores: every permutation of the
+// transform, resilience, and cache layers — plus each alone — must preserve
+// and correctly serve each base store's capabilities (CAS on the in-memory
+// store, SQL on minisql, versions and batches on cloudsim, TTLs and batches
+// on miniredis).
+func TestStackConformance(t *testing.T) {
+	layers := []kvtest.StackLayer{
+		{Name: "transform", Layer: dscl.Layer(
+			dscl.WithTransform(dscl.EncryptionFromPassphrase("stack-suite")))},
+		{Name: "resilient", Layer: resilient.Layer(
+			resilient.Options{MaxRetries: 2, BaseBackoff: 100 * time.Microsecond, RetryWrites: true})},
+		{Name: "cache", Layer: dscl.Layer(
+			dscl.WithCache(dscl.NewInProcessCache(dscl.InProcessOptions{CopyOnCache: true})))},
+	}
+
+	t.Run("mem", func(t *testing.T) {
+		kvtest.RunStack(t, func(t *testing.T) (kv.Store, func()) {
+			return kv.NewMem("mem"), nil
+		}, layers...)
+	})
+
+	t.Run("minisql", func(t *testing.T) {
+		kvtest.RunStack(t, func(t *testing.T) (kv.Store, func()) {
+			st, err := udsm.OpenSQLStore("sql", udsm.SQLStoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st, nil
+		}, layers...)
+	})
+
+	t.Run("cloudsim", func(t *testing.T) {
+		cloud, err := udsm.StartCloudSim(udsm.ProfileLocal, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = cloud.Close() })
+		var n atomic.Int64
+		kvtest.RunStack(t, func(t *testing.T) (kv.Store, func()) {
+			bucket := fmt.Sprintf("stack%d", n.Add(1))
+			return udsm.OpenCloudStore("cloud", cloud.URL(), bucket), nil
+		}, layers...)
+	})
+
+	t.Run("miniredis", func(t *testing.T) {
+		redis, err := udsm.StartMiniRedis(udsm.MiniRedisOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = redis.Close() })
+		var n atomic.Int64
+		kvtest.RunStack(t, func(t *testing.T) (kv.Store, func()) {
+			prefix := fmt.Sprintf("stack%d:", n.Add(1))
+			return udsm.OpenMiniRedis("redis", redis.Addr(), prefix), nil
+		}, layers...)
+	})
+}

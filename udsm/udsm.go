@@ -218,8 +218,13 @@ type DataStore struct {
 var _ kv.Store = (*DataStore)(nil)
 
 // Inner returns the wrapped store for access to native features beyond the
-// key-value interface (type-assert to kv.SQL, kv.Versioned, ...).
+// key-value interface (prefer kv.As over direct type assertions).
 func (ds *DataStore) Inner() kv.Store { return ds.inner }
+
+// Unwrap implements kv.Wrapper: monitoring intercepts only the operations
+// it implements (the kv.Store methods and kv.Batch); every other capability
+// is discovered on the wrapped stack through the kv.As walk.
+func (ds *DataStore) Unwrap() kv.Store { return ds.inner }
 
 // Monitor returns the store's latency recorder.
 func (ds *DataStore) Monitor() *monitor.Recorder { return ds.recorder }

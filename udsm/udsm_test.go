@@ -316,16 +316,16 @@ func TestAllStoreKindsThroughOneManager(t *testing.T) {
 	}
 }
 
-func TestNativeInterfacesReachableThroughInner(t *testing.T) {
+func TestNativeInterfacesReachableThroughAs(t *testing.T) {
 	m := newManager(t)
 	sqlStore, err := OpenSQLStore("sql", SQLStoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ds, _ := m.Register(sqlStore)
-	native, ok := ds.Inner().(kv.SQL)
+	native, ok := kv.As[kv.SQL](ds)
 	if !ok {
-		t.Fatal("SQL store does not expose kv.SQL")
+		t.Fatal("SQL store does not expose kv.SQL through the monitored wrapper")
 	}
 	ctx := context.Background()
 	if _, err := native.Exec(ctx, "CREATE TABLE t (id INTEGER PRIMARY KEY)"); err != nil {
