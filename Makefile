@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch figures examples fuzz chaos metrics clean lint-capabilities
+.PHONY: all build test race cover bench bench-batch bench-json bench-check figures examples fuzz chaos metrics clean lint-capabilities
 
 all: build lint-capabilities test
 
@@ -43,6 +43,16 @@ chaos:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Regenerate the machine-readable allocation baseline (BENCH_PR5.json):
+# ns/op, B/op and allocs/op for every hot path. Commit the result.
+bench-json:
+	go run ./cmd/udsm-bench -json BENCH_PR5.json
+
+# Re-measure and fail if any guarded path's allocs/op regressed >20% vs the
+# committed baseline — the same gate CI runs.
+bench-check:
+	go run ./cmd/udsm-bench -json /tmp/edsc-bench-current.json -baseline BENCH_PR5.json
 
 # Batched multi-key ablation (one bulk round trip vs a per-key loop) plus
 # the per-store speedup sweep into results/ext_batch_speedup.dat.

@@ -681,3 +681,70 @@ func TestStackOverheadAllocs(t *testing.T) {
 		t.Errorf("kv.As walk allocates %.1f per call, want 0", walk)
 	}
 }
+
+// BenchmarkTransformRoundTrip is the PR's headline before/after: one 4 KiB
+// value through the compress+encrypt pipeline and back. "legacy" is the
+// slice-returning path every caller used before the append-style APIs
+// existed (fresh output per stage); "append" chains pooled scratch through
+// the pipeline and reuses destination buffers. The acceptance bar is a >= 50%
+// reduction in allocs/op and B/op, recorded in BENCH_PR5.json.
+func BenchmarkTransformRoundTrip(b *testing.B) {
+	value := bytes.Repeat([]byte("abcdefgh"), 512) // 4 KiB, compressible
+	tr := dscl.Chain(
+		dscl.Compression(dscl.CompressionOptions{}),
+		dscl.EncryptionFromPassphrase("bench"),
+	)
+
+	b.Run("legacy", func(b *testing.B) {
+		// Per-stage slice-returning calls, as the pre-append pipeline ran
+		// them: every stage allocates its output.
+		pc := pack.New()
+		sc := secure.NewCipherFromPassphrase("bench")
+		b.ReportAllocs()
+		b.SetBytes(int64(len(value)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comp, err := pc.Compress(value)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env, err := sc.Seal(comp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ct, err := sc.Open(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := pc.Decompress(ct)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != len(value) {
+				b.Fatal("round trip corrupted payload")
+			}
+		}
+	})
+
+	b.Run("append", func(b *testing.B) {
+		at := tr.(dscl.AppendTransform)
+		var enc, dec []byte
+		b.ReportAllocs()
+		b.SetBytes(int64(len(value)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			enc, err = at.EncodeTo(enc[:0], value)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec, err = at.DecodeTo(dec[:0], enc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(dec) != len(value) {
+				b.Fatal("round trip corrupted payload")
+			}
+		}
+	})
+}

@@ -38,15 +38,81 @@ func main() {
 		ops     = flag.Int("ops", 2, "operations per run per point")
 		maxSz   = flag.Int("maxsize", 1<<20, "largest object size in bytes")
 		tmpDir  = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
-		metrics = flag.String("metrics", "", "observability listen address serving the manager's /metrics and /debug/pprof/ while the bench runs (empty = off)")
-		batch   = flag.Int("batch", 0, `largest keys-per-batch for the batched multi-key comparison (0 = off; "-fig batch" enables it with the default of 64)`)
+		metrics  = flag.String("metrics", "", "observability listen address serving the manager's /metrics and /debug/pprof/ while the bench runs (empty = off)")
+		batch    = flag.Int("batch", 0, `largest keys-per-batch for the batched multi-key comparison (0 = off; "-fig batch" enables it with the default of 64)`)
+		jsonOut  = flag.String("json", "", "run the allocation-profile experiment and write the machine-readable report to this path (standalone mode; skips the figures)")
+		baseline = flag.String("baseline", "", "compare the allocation report against this committed baseline and exit 1 when a guarded path's allocs/op regresses >20% (requires -json)")
+		payload  = flag.Int("payload", 4<<10, "object size for the allocation-profile experiment")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runAlloc(*jsonOut, *baseline, *payload); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *baseline != "" {
+		fmt.Fprintln(os.Stderr, "udsm-bench: -baseline requires -json")
+		os.Exit(1)
+	}
 
 	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runAlloc is the -json mode: measure the hot paths, write the report, and
+// optionally gate against a committed baseline (the CI regression check).
+func runAlloc(outPath, baselinePath string, payload int) error {
+	fmt.Printf("running allocation-profile experiment (payload %d bytes) ...\n", payload)
+	rep, err := benchkit.RunAlloc(payload)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		mark := " "
+		if r.Guarded {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-28s %10.0f ns/op %8d B/op %6d allocs/op\n",
+			mark, r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("report written to %s (* = guarded against baseline)\n", outPath)
+
+	if baselinePath == "" {
+		return nil
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := benchkit.LoadAllocReport(bf)
+	if err != nil {
+		return fmt.Errorf("loading baseline %s: %w", baselinePath, err)
+	}
+	if regs := benchkit.CompareAlloc(base, rep, 0.20); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "allocation regression:", r)
+		}
+		return fmt.Errorf("%d guarded path(s) regressed vs %s", len(regs), baselinePath)
+	}
+	fmt.Printf("no allocation regressions vs %s\n", baselinePath)
+	return nil
 }
 
 func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metricsAddr string, batch int) error {

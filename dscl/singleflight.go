@@ -12,8 +12,21 @@ import (
 // concurrent misses for one key share a single store fetch; the followers
 // wait for the leader's result instead of dialing the server.
 
-// flightGroup deduplicates concurrent fetches per key.
+// flightShards is the number of lock stripes in a flightGroup (power of
+// two). Registration is a short critical section, but under high miss
+// concurrency a single mutex serializes every miss in the process; striping
+// by key hash lets misses for unrelated keys register in parallel, the same
+// scheme internal/cache uses for its shards.
+const flightShards = 16
+
+// flightGroup deduplicates concurrent fetches per key. The per-key state
+// lives in one of flightShards stripes selected by FNV-1a hash, so goroutines
+// missing on different keys rarely contend on the same lock.
 type flightGroup struct {
+	shards [flightShards]flightShard
+}
+
+type flightShard struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
@@ -24,15 +37,31 @@ type flightCall struct {
 	err  error
 }
 
+// flightHash is FNV-1a over the key, matching internal/cache's shard
+// selection (allocation-free; no []byte conversion).
+func flightHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (g *flightGroup) shardFor(key string) *flightShard {
+	return &g.shards[flightHash(key)&(flightShards-1)]
+}
+
 // do runs fetch once per key among concurrent callers. leader reports
 // whether this caller performed the fetch.
 func (g *flightGroup) do(ctx context.Context, key string, fetch func() ([]byte, error)) (val []byte, leader bool, err error) {
-	g.mu.Lock()
-	if g.calls == nil {
-		g.calls = make(map[string]*flightCall)
+	s := g.shardFor(key)
+	s.mu.Lock()
+	if s.calls == nil {
+		s.calls = make(map[string]*flightCall)
 	}
-	if c, ok := g.calls[key]; ok {
-		g.mu.Unlock()
+	if c, ok := s.calls[key]; ok {
+		s.mu.Unlock()
 		select {
 		case <-c.done:
 			return c.val, false, c.err
@@ -43,15 +72,15 @@ func (g *flightGroup) do(ctx context.Context, key string, fetch func() ([]byte, 
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
+	s.calls[key] = c
+	s.mu.Unlock()
 
 	c.val, c.err = fetch()
 	close(c.done)
 
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
+	s.mu.Lock()
+	delete(s.calls, key)
+	s.mu.Unlock()
 	return c.val, true, c.err
 }
 

@@ -3,6 +3,7 @@ package dscl
 import (
 	"fmt"
 
+	"edsc/internal/bufpool"
 	"edsc/internal/pack"
 	"edsc/internal/secure"
 )
@@ -16,6 +17,44 @@ type Transform interface {
 	Name() string
 	Encode(value []byte) ([]byte, error)
 	Decode(data []byte) ([]byte, error)
+}
+
+// AppendTransform is the optional append-style fast path of a Transform.
+// EncodeTo and DecodeTo append their output to dst (which may be nil, and
+// must not overlap the input) and return the extended slice; only the
+// returned slice is valid, since appending may reallocate. The built-in
+// compression and encryption transforms implement it, and Chain pipelines
+// route intermediate stages through pooled scratch when they do — a
+// compress+encrypt write then allocates only the final output.
+type AppendTransform interface {
+	Transform
+	EncodeTo(dst, value []byte) ([]byte, error)
+	DecodeTo(dst, data []byte) ([]byte, error)
+}
+
+// encodeTo runs one stage in append style, falling back to the allocating
+// API for transforms that implement only Transform.
+func encodeTo(t Transform, dst, value []byte) ([]byte, error) {
+	if at, ok := t.(AppendTransform); ok {
+		return at.EncodeTo(dst, value)
+	}
+	out, err := t.Encode(value)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
+}
+
+// decodeTo is encodeTo's inverse.
+func decodeTo(t Transform, dst, data []byte) ([]byte, error) {
+	if at, ok := t.(AppendTransform); ok {
+		return at.DecodeTo(dst, data)
+	}
+	out, err := t.Decode(data)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
 }
 
 // --- compression ---
@@ -48,9 +87,21 @@ func Compression(opts CompressionOptions) Transform {
 	return compression{c: pack.New(pos...)}
 }
 
+var _ AppendTransform = compression{}
+
 func (compression) Name() string                          { return "gzip" }
 func (t compression) Encode(value []byte) ([]byte, error) { return t.c.Compress(value) }
 func (t compression) Decode(data []byte) ([]byte, error)  { return t.c.Decompress(data) }
+
+// EncodeTo implements AppendTransform.
+func (t compression) EncodeTo(dst, value []byte) ([]byte, error) {
+	return t.c.CompressTo(dst, value)
+}
+
+// DecodeTo implements AppendTransform.
+func (t compression) DecodeTo(dst, data []byte) ([]byte, error) {
+	return t.c.DecompressTo(dst, data)
+}
 
 // --- encryption ---
 
@@ -71,9 +122,21 @@ func EncryptionFromPassphrase(passphrase string) Transform {
 	return encryption{c: secure.NewCipherFromPassphrase(passphrase)}
 }
 
+var _ AppendTransform = encryption{}
+
 func (encryption) Name() string                          { return "aes128" }
 func (t encryption) Encode(value []byte) ([]byte, error) { return t.c.Seal(value) }
 func (t encryption) Decode(data []byte) ([]byte, error)  { return t.c.Open(data) }
+
+// EncodeTo implements AppendTransform.
+func (t encryption) EncodeTo(dst, value []byte) ([]byte, error) {
+	return t.c.SealTo(dst, value)
+}
+
+// DecodeTo implements AppendTransform.
+func (t encryption) DecodeTo(dst, data []byte) ([]byte, error) {
+	return t.c.OpenTo(dst, data)
+}
 
 // KeySize is the AES key length Encryption expects.
 const KeySize = secure.KeySize
@@ -115,28 +178,110 @@ func (p pipeline) Name() string {
 	return name
 }
 
+var _ AppendTransform = pipeline(nil)
+
 func (p pipeline) Encode(value []byte) ([]byte, error) {
-	cur := value
-	for _, t := range p {
-		next, err := t.Encode(cur)
-		if err != nil {
-			return nil, fmt.Errorf("dscl: %s encode: %w", t.Name(), err)
-		}
-		cur = next
+	if len(p) == 0 {
+		return value, nil
 	}
-	return cur, nil
+	out, err := p.EncodeTo(nil, value)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (p pipeline) Decode(data []byte) ([]byte, error) {
+	if len(p) == 0 {
+		return data, nil
+	}
+	out, err := p.DecodeTo(nil, data)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scratchPair is the pipeline's ping-pong scratch: intermediate stage outputs
+// alternate between two pooled buffers (stage i reads one and writes the
+// other, so the no-overlap rule of the *To APIs holds), and only the final
+// stage writes into the caller's dst.
+type scratchPair struct{ a, b *bufpool.Buf }
+
+func (s *scratchPair) at(i int, sizeHint int) *bufpool.Buf {
+	tgt := &s.a
+	if i%2 == 1 {
+		tgt = &s.b
+	}
+	if *tgt == nil {
+		*tgt = bufpool.Get(sizeHint)
+	}
+	return *tgt
+}
+
+func (s *scratchPair) release() {
+	if s.a != nil {
+		s.a.Release()
+	}
+	if s.b != nil {
+		s.b.Release()
+	}
+}
+
+// EncodeTo implements AppendTransform: intermediate stages chain through
+// pooled scratch, so a multi-stage pipeline costs the same steady-state
+// allocations as its final stage alone.
+func (p pipeline) EncodeTo(dst, value []byte) ([]byte, error) {
+	if len(p) == 0 {
+		return append(dst, value...), nil
+	}
+	var scratch scratchPair
+	defer scratch.release()
+	cur := value
+	for i, t := range p {
+		if i == len(p)-1 {
+			out, err := encodeTo(t, dst, cur)
+			if err != nil {
+				return dst, fmt.Errorf("dscl: %s encode: %w", t.Name(), err)
+			}
+			return out, nil
+		}
+		tgt := scratch.at(i, len(cur)+64)
+		out, err := encodeTo(t, tgt.B[:0], cur)
+		if err != nil {
+			return dst, fmt.Errorf("dscl: %s encode: %w", t.Name(), err)
+		}
+		tgt.B = out
+		cur = out
+	}
+	return dst, nil // unreachable: the loop returns at the final stage
+}
+
+// DecodeTo implements AppendTransform, running stages last-to-first.
+func (p pipeline) DecodeTo(dst, data []byte) ([]byte, error) {
+	if len(p) == 0 {
+		return append(dst, data...), nil
+	}
+	var scratch scratchPair
+	defer scratch.release()
 	cur := data
 	for i := len(p) - 1; i >= 0; i-- {
-		next, err := p[i].Decode(cur)
-		if err != nil {
-			return nil, fmt.Errorf("dscl: %s decode: %w", p[i].Name(), err)
+		if i == 0 {
+			out, err := decodeTo(p[i], dst, cur)
+			if err != nil {
+				return dst, fmt.Errorf("dscl: %s decode: %w", p[i].Name(), err)
+			}
+			return out, nil
 		}
-		cur = next
+		tgt := scratch.at(i, len(cur)+64)
+		out, err := decodeTo(p[i], tgt.B[:0], cur)
+		if err != nil {
+			return dst, fmt.Errorf("dscl: %s decode: %w", p[i].Name(), err)
+		}
+		tgt.B = out
+		cur = out
 	}
-	return cur, nil
+	return dst, nil // unreachable: the loop returns at stage 0
 }
 
 // FuncTransform adapts a pair of functions into a Transform.

@@ -1,0 +1,150 @@
+package dscl
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"edsc/internal/raceflag"
+)
+
+// TestPipelineAppendRoundTrip pins the AppendTransform contract on a chained
+// pipeline: dst prefixes survive and the payload round-trips.
+func TestPipelineAppendRoundTrip(t *testing.T) {
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("to-test"))
+	at, ok := tr.(AppendTransform)
+	if !ok {
+		t.Fatal("chained pipeline does not implement AppendTransform")
+	}
+	value := bytes.Repeat([]byte("payload-"), 512)
+	enc, err := at.EncodeTo([]byte("e:"), value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(enc, []byte("e:")) {
+		t.Fatalf("encode dst prefix clobbered: %q", enc[:2])
+	}
+	dec, err := at.DecodeTo([]byte("d:"), enc[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(dec, []byte("d:")) || !bytes.Equal(dec[2:], value) {
+		t.Fatal("pipeline append round trip corrupted payload")
+	}
+}
+
+// TestPipelineFallbackTransform: a pipeline mixing append-aware stages with a
+// plain Transform still works — the plain stage routes through the allocating
+// fallback, the rest stay pooled.
+func TestPipelineFallbackTransform(t *testing.T) {
+	rot := FuncTransform{
+		TransformName: "rot1",
+		EncodeFunc: func(b []byte) ([]byte, error) {
+			out := make([]byte, len(b))
+			for i, c := range b {
+				out[i] = c + 1
+			}
+			return out, nil
+		},
+		DecodeFunc: func(b []byte) ([]byte, error) {
+			out := make([]byte, len(b))
+			for i, c := range b {
+				out[i] = c - 1
+			}
+			return out, nil
+		},
+	}
+	tr := Chain(rot, Compression(CompressionOptions{}), EncryptionFromPassphrase("mix"))
+	value := bytes.Repeat([]byte("mixed-stage "), 300)
+	enc, err := tr.Encode(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tr.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, value) {
+		t.Fatal("mixed pipeline round trip corrupted payload")
+	}
+}
+
+// TestPipelineDecodeToErrorLeavesDst: a failing stage returns dst with its
+// original length.
+func TestPipelineDecodeToErrorLeavesDst(t *testing.T) {
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("err")).(AppendTransform)
+	dst := []byte("keep")
+	out, err := tr.DecodeTo(dst, []byte("definitely not an envelope, far too implausible"))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if string(out) != "keep" {
+		t.Fatalf("dst modified on error: %q", out)
+	}
+}
+
+// TestTransformAllocsGuard pins the chained compress+encrypt round trip at
+// its steady-state floor when driven through reused destination buffers: the
+// only per-op allocations left are the two cipher.NewCTR streams (one per
+// direction); everything else — gzip state, HMAC state, intermediate stage
+// buffers — is pooled.
+func TestTransformAllocsGuard(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("guard")).(AppendTransform)
+	value := bytes.Repeat([]byte("abcdefgh"), 512)
+	var encBuf, decBuf []byte
+	roundTrip := func() {
+		enc, err := tr.EncodeTo(encBuf[:0], value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encBuf = enc
+		dec, err := tr.DecodeTo(decBuf[:0], enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decBuf = dec
+		if !bytes.Equal(dec, value) {
+			t.Fatal("round trip corrupted payload")
+		}
+	}
+	roundTrip() // warm pools and buffers
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs > 2 {
+		t.Fatalf("transform round trip allocated %.1f times per op, want <= 2 (the CTR streams)", allocs)
+	}
+}
+
+// TestPipelineConcurrent drives one shared pipeline from many goroutines;
+// under -race it proves the pooled intermediate buffers never cross streams.
+func TestPipelineConcurrent(t *testing.T) {
+	tr := Chain(Compression(CompressionOptions{}), EncryptionFromPassphrase("par")).(AppendTransform)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			value := bytes.Repeat([]byte{byte('a' + g), 'z'}, 700+g)
+			var enc, dec []byte
+			for i := 0; i < 100; i++ {
+				var err error
+				enc, err = tr.EncodeTo(enc[:0], value)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dec, err = tr.DecodeTo(dec[:0], enc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(dec, value) {
+					t.Errorf("goroutine %d: round trip corrupted", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,254 @@
+// Allocation-profile experiment: machine-readable before/after numbers for
+// the zero-allocation hot-path work. Unlike the figure experiments (which
+// measure end-to-end latency against simulated stores), this one measures
+// ns/op, B/op and allocs/op of the in-process hot paths themselves, via
+// testing.Benchmark, and serializes the result as JSON so CI can diff a run
+// against a committed baseline (BENCH_PR5.json) and fail on regression.
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"edsc/dscl"
+	"edsc/internal/cache"
+	"edsc/internal/delta"
+	"edsc/internal/pack"
+	"edsc/internal/resp"
+	"edsc/internal/secure"
+)
+
+// AllocResult is one measured hot path.
+type AllocResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Guarded marks paths whose allocs/op CI compares against the committed
+	// baseline; unguarded entries are informational (latency varies too much
+	// across machines to gate on, allocation counts do not).
+	Guarded bool `json:"guarded"`
+}
+
+// AllocReport is the serialized experiment.
+type AllocReport struct {
+	// Payload is the object size the transform paths run at.
+	Payload int           `json:"payload_bytes"`
+	Results []AllocResult `json:"results"`
+}
+
+// RunAlloc measures every hot path. payload <= 0 defaults to 4 KiB, the
+// mid-range object size of the paper's evaluation.
+func RunAlloc(payload int) (*AllocReport, error) {
+	if payload <= 0 {
+		payload = 4 << 10
+	}
+	value := bytes.Repeat([]byte("abcdefgh"), (payload+7)/8)[:payload]
+	rep := &AllocReport{Payload: payload}
+
+	add := func(name string, guarded bool, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Results = append(rep.Results, AllocResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Guarded:     guarded,
+		})
+	}
+
+	// Transform pipeline round trip, legacy (slice-returning, per-stage
+	// fresh output) vs append (pooled intermediates, reused destinations).
+	pc := pack.New()
+	sc := secure.NewCipherFromPassphrase("bench")
+	add("transform_roundtrip_legacy", false, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			comp, _ := pc.Compress(value)
+			env, _ := sc.Seal(comp)
+			ct, err := sc.Open(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pc.Decompress(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	at := dscl.Chain(
+		dscl.Compression(dscl.CompressionOptions{}),
+		dscl.EncryptionFromPassphrase("bench"),
+	).(dscl.AppendTransform)
+	add("transform_roundtrip_append", true, func(b *testing.B) {
+		var enc, dec []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if enc, err = at.EncodeTo(enc[:0], value); err != nil {
+				b.Fatal(err)
+			}
+			if dec, err = at.DecodeTo(dec[:0], enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// In-process cache hit: the paper's headline free operation.
+	c := cache.New(cache.Config{})
+	c.Put("hot", value)
+	add("cache_hit", true, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Get("hot"); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+
+	// RESP echo round trip through the reusing reader (the server's mode).
+	add("resp_echo_reuse", true, func(b *testing.B) {
+		var buf bytes.Buffer
+		w := resp.NewWriter(&buf)
+		r := resp.NewReader(&buf).ReuseBulk(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := w.Write(resp.Bulk(value)); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Read(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Individual append-style transform legs.
+	add("seal_to", true, func(b *testing.B) {
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if out, err = sc.SealTo(out[:0], value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	env0, err := sc.Seal(value)
+	if err != nil {
+		return nil, err
+	}
+	add("open_to", true, func(b *testing.B) {
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if out, err = sc.OpenTo(out[:0], env0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("compress_to", true, func(b *testing.B) {
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if out, err = pc.CompressTo(out[:0], value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	comp0, err := pc.Compress(value)
+	if err != nil {
+		return nil, err
+	}
+	add("decompress_to", true, func(b *testing.B) {
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if out, err = pc.DecompressTo(out[:0], comp0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Delta encode/apply with the pooled window index.
+	enc := delta.NewEncoder(delta.DefaultWindowSize)
+	newV := append(append([]byte{}, value...), []byte("tail-change")...)
+	add("delta_encode_to", true, func(b *testing.B) {
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = enc.EncodeTo(out[:0], value, newV)
+		}
+	})
+	d0 := enc.Encode(value, newV)
+	add("delta_apply_to", true, func(b *testing.B) {
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if out, err = delta.ApplyTo(out[:0], value, d0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return rep, nil
+}
+
+// WriteTo serializes the report as indented JSON (it implements io.WriterTo
+// so cmd/udsm-bench's save path can reuse it).
+func (r *AllocReport) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// LoadAllocReport reads a report written by WriteTo.
+func LoadAllocReport(rd io.Reader) (*AllocReport, error) {
+	var r AllocReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CompareAlloc checks current against baseline: every guarded path's
+// allocs/op may grow by at most tolerance (fractional, e.g. 0.20) over the
+// baseline. A zero-alloc baseline therefore tolerates no allocation at all —
+// exactly the guarantee the guard tests pin. It returns a human-readable
+// line per regression (empty slice = pass). Paths present in only one report
+// are ignored: the comparison gates known paths, it does not pin the
+// experiment list.
+func CompareAlloc(baseline, current *AllocReport, tolerance float64) []string {
+	base := make(map[string]AllocResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range current.Results {
+		if !cur.Guarded {
+			continue
+		}
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		limit := float64(b.AllocsPerOp) * (1 + tolerance)
+		if float64(cur.AllocsPerOp) > limit && cur.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %d -> %d (limit %.1f)", cur.Name, b.AllocsPerOp, cur.AllocsPerOp, limit))
+		}
+	}
+	return regressions
+}

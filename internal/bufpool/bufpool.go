@@ -1,0 +1,108 @@
+// Package bufpool provides size-classed, sync.Pool-backed scratch buffers
+// for the hot transform and wire paths (secure, pack, delta, resp, cloudsim,
+// dscl). The paper's evaluation (§V) shows cache hits are allocation-free by
+// construction; misses and writes, however, cross several transform layers
+// that would each allocate a fresh output slice. Routing those intermediates
+// through this pool makes the steady-state cost amortized-zero.
+//
+// Ownership rules (see DESIGN.md "Buffer ownership for the *To APIs"):
+//
+//   - Get returns a *Buf whose B field has length 0. Callers append into B
+//     (typically by passing buf.B as the dst of a *To API) and must store the
+//     returned slice back into B, since append may reallocate.
+//   - Release returns the buffer to the pool. After Release the caller must
+//     not touch B or any slice aliasing it. Never Release a buffer whose
+//     bytes were handed to code that may retain them (kv.Store.Put is safe —
+//     the Store contract forbids retention; a cache put by reference is not).
+//   - Buffers larger than MaxPooled are not recycled, so a single huge value
+//     cannot pin memory in the pool forever.
+package bufpool
+
+import "sync"
+
+// MinPooled and MaxPooled bound the capacities the pool recycles. Requests
+// outside the range still work; the buffers just aren't pooled.
+const (
+	MinPooled = 1 << 6  // 64 B
+	MaxPooled = 1 << 22 // 4 MiB
+)
+
+// Buf is a reusable byte buffer. The wrapper (rather than a bare []byte)
+// keeps Get/Release allocation-free: storing a slice in a sync.Pool would box
+// the slice header on every Put.
+type Buf struct {
+	B []byte
+}
+
+// size classes: powers of two from MinPooled to MaxPooled inclusive.
+var pools [17]sync.Pool // 1<<6 .. 1<<22
+
+func classFor(n int) int {
+	c, size := 0, MinPooled
+	for size < n && size < MaxPooled {
+		size <<= 1
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer with len(B) == 0 and cap(B) >= n. n <= 0 yields the
+// smallest class. Requests beyond MaxPooled are served with a fresh
+// exact-size buffer that will not be pooled on Release. The steady-state
+// cost is zero allocations: the *Buf and its backing array both recycle.
+func Get(n int) *Buf {
+	if n > MaxPooled {
+		return &Buf{B: make([]byte, 0, n)}
+	}
+	c := classFor(n)
+	if b, _ := pools[c].Get().(*Buf); b != nil {
+		b.B = b.B[:0]
+		return b
+	}
+	return &Buf{B: make([]byte, 0, MinPooled<<c)}
+}
+
+// Release returns b to the pool. b must not be used afterwards.
+func Release(b *Buf) {
+	if b == nil || cap(b.B) < MinPooled || cap(b.B) > MaxPooled {
+		return
+	}
+	// File under the class the capacity fully covers, so a Get(n) never
+	// receives a buffer with cap < n.
+	c := classFor(cap(b.B))
+	if MinPooled<<c > cap(b.B) {
+		c--
+	}
+	b.B = b.B[:0]
+	pools[c].Put(b)
+}
+
+// Release is also available as a method for call sites that prefer
+// buf-centric spelling.
+func (b *Buf) Release() { Release(b) }
+
+// Grow extends b by n bytes, reallocating only when the spare capacity is
+// insufficient, and returns the extended slice. The new bytes are NOT
+// zeroed — callers are expected to overwrite them immediately (every *To
+// transform does). This is the append-space primitive the *To APIs build on.
+func Grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, growCap(len(b)+n))
+	copy(nb, b)
+	return nb
+}
+
+// growCap rounds a requested capacity up, amortizing repeated Grow calls the
+// same way append does.
+func growCap(n int) int {
+	c := MinPooled
+	for c < n {
+		c <<= 1
+		if c <= 0 { // overflow guard
+			return n
+		}
+	}
+	return c
+}

@@ -1,0 +1,108 @@
+package bufpool
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"edsc/internal/raceflag"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096, MaxPooled, MaxPooled + 1} {
+		b := Get(n)
+		if len(b.B) != 0 {
+			t.Fatalf("Get(%d): len = %d, want 0", n, len(b.B))
+		}
+		if cap(b.B) < n {
+			t.Fatalf("Get(%d): cap = %d, want >= %d", n, cap(b.B), n)
+		}
+		Release(b)
+	}
+}
+
+func TestRecycleRespectsRequestedSize(t *testing.T) {
+	// A released big buffer must never satisfy a Get from a class it does
+	// not fully cover, and a small Get must not receive a giant buffer's
+	// class either way — Get(n) just needs cap >= n.
+	b := Get(100)
+	b.B = append(b.B, make([]byte, 100)...)
+	Release(b)
+	g := Get(100)
+	if cap(g.B) < 100 {
+		t.Fatalf("recycled buffer too small: cap %d", cap(g.B))
+	}
+	Release(g)
+}
+
+func TestGrow(t *testing.T) {
+	b := []byte("abc")
+	g := Grow(b, 5)
+	if len(g) != 8 {
+		t.Fatalf("Grow len = %d, want 8", len(g))
+	}
+	if !bytes.Equal(g[:3], []byte("abc")) {
+		t.Fatalf("Grow lost prefix: %q", g[:3])
+	}
+	copy(g[3:], "defgh")
+	// Growing within capacity must not reallocate.
+	big := make([]byte, 4, 128)
+	g2 := Grow(big, 64)
+	if &g2[0] != &big[0] {
+		t.Fatal("Grow reallocated despite spare capacity")
+	}
+}
+
+func TestReleaseOversizedIsDropped(t *testing.T) {
+	huge := &Buf{B: make([]byte, 0, MaxPooled*2)}
+	Release(huge) // must not panic, must not pool
+	small := &Buf{B: make([]byte, 0, MinPooled/2)}
+	Release(small)
+}
+
+// TestAllocsGuard pins the pool's reason to exist: steady-state Get/Release
+// cycles allocate nothing.
+func TestAllocsGuard(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	// Warm the class.
+	Release(Get(4096))
+	allocs := testing.AllocsPerRun(100, func() {
+		b := Get(4096)
+		b.B = Grow(b.B, 4096)
+		Release(b)
+	})
+	if allocs > 0 {
+		t.Fatalf("Get/Grow/Release allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestConcurrent exercises the pool under the race detector: concurrent
+// goroutines writing distinct patterns must never observe each other's bytes
+// in a buffer they own.
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pat := byte('a' + g)
+			for i := 0; i < 500; i++ {
+				b := Get(256)
+				b.B = Grow(b.B, 256)
+				for j := range b.B {
+					b.B[j] = pat
+				}
+				for j := range b.B {
+					if b.B[j] != pat {
+						t.Errorf("buffer shared while owned: got %q want %q", b.B[j], pat)
+						return
+					}
+				}
+				Release(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

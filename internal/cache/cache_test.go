@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"edsc/internal/raceflag"
 )
 
 // fakeClock is a controllable clock for expiration tests.
@@ -435,5 +437,27 @@ func TestShardDistribution(t *testing.T) {
 	}
 	if empty > 0 {
 		t.Fatalf("%d of %d shards empty after 1000 inserts", empty, len(c.shards))
+	}
+}
+
+// TestAllocsGuardHit pins the paper's headline property (§V: in-process cache
+// hits cost no data movement) at the allocation level: a cache hit performs
+// zero allocations — the value is returned by reference, and neither the
+// shard lookup nor the LRU bookkeeping allocates.
+func TestAllocsGuardHit(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	c := New(Config{})
+	c.Put("hot", []byte("cached value"))
+	hit := func() {
+		v, ok := c.Get("hot")
+		if !ok || len(v) == 0 {
+			t.Fatal("hit missed")
+		}
+	}
+	hit()
+	if allocs := testing.AllocsPerRun(200, hit); allocs > 0 {
+		t.Fatalf("cache hit allocated %.1f times per op, want 0", allocs)
 	}
 }

@@ -71,12 +71,24 @@ func (c *Client) check(ctx context.Context, key string) error {
 
 func (c *Client) do(ctx context.Context, method, u string, body []byte, hdr map[string]string) (*http.Response, error) {
 	var rd io.Reader
+	var br *bytes.Reader
 	if body != nil {
-		rd = bytes.NewReader(body)
+		br = bytes.NewReader(body)
+		rd = br
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, err
+	}
+	if br != nil {
+		// Retransmits (redirects, connection-loss replays) rewind the one
+		// reader over the caller's bytes instead of snapshotting a copy of
+		// the payload per attempt. The transport closes the previous body
+		// before asking for a new one, so sequential reuse is safe.
+		req.GetBody = func() (io.ReadCloser, error) {
+			br.Reset(body)
+			return io.NopCloser(br), nil
+		}
 	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
@@ -99,6 +111,25 @@ func drainClose(resp *http.Response) {
 	_ = resp.Body.Close()
 }
 
+// maxPresizedBody bounds how much the declared Content-Length is trusted for
+// up-front allocation. Larger (or absent) lengths fall back to incremental
+// reading, so a lying header cannot commit memory the body never delivers.
+const maxPresizedBody = 64 << 20
+
+// readBody reads a response body in one exact-size read when the server
+// declared a credible Content-Length, avoiding io.ReadAll's grow-and-copy
+// churn (ReadAll reallocates ~log2(n) times and overshoots by up to 2x).
+func readBody(resp *http.Response) ([]byte, error) {
+	if n := resp.ContentLength; n >= 0 && n <= maxPresizedBody {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Get implements kv.Store.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	v, _, err := c.GetVersioned(ctx, key)
@@ -117,7 +148,7 @@ func (c *Client) GetVersioned(ctx context.Context, key string) ([]byte, kv.Versi
 	defer drainClose(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
-		data, err := io.ReadAll(resp.Body)
+		data, err := readBody(resp)
 		if err != nil {
 			return nil, kv.NoVersion, kv.WrapErr(c.name, "get", key, err)
 		}
@@ -147,7 +178,7 @@ func (c *Client) GetIfModified(ctx context.Context, key string, since kv.Version
 	case http.StatusNotModified:
 		return nil, since, false, nil
 	case http.StatusOK:
-		data, err := io.ReadAll(resp.Body)
+		data, err := readBody(resp)
 		if err != nil {
 			return nil, kv.NoVersion, false, kv.WrapErr(c.name, "get", key, err)
 		}

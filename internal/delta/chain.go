@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"edsc/internal/bufpool"
 	"edsc/kv"
 )
 
@@ -91,20 +92,30 @@ func (c *Chain) Put(ctx context.Context, key string, value []byte) (sent int, er
 				return 0, err
 			}
 		}
-		d := c.enc.Encode(prev, value)
+		// Encode into a pooled scratch buffer: the store contract (kv.Store)
+		// forbids retaining the Put slice, so the buffer is safe to recycle
+		// as soon as the writes return.
+		buf := bufpool.Get(len(value)/4 + 64)
+		d := c.enc.EncodeTo(buf.B, prev, value)
+		buf.B = d
 		if len(d) < len(value) && count < c.maxDeltas {
 			// Send the delta.
 			if err := c.store.Put(ctx, deltaKey(key, count+1), d); err != nil {
+				buf.Release()
 				return 0, err
 			}
 			if err := c.store.Put(ctx, metaKey(key), encodeMeta(count+1)); err != nil {
+				buf.Release()
 				return 0, err
 			}
+			sent := len(d)
+			buf.Release()
 			c.shadow[key] = append([]byte(nil), value...)
-			c.bytesSent += int64(len(d))
+			c.bytesSent += int64(sent)
 			c.bytesFull += int64(len(value))
-			return len(d), nil
+			return sent, nil
 		}
+		buf.Release()
 	}
 
 	// Consolidate: write the complete object, then delete old deltas (§IV:
@@ -155,18 +166,33 @@ func (c *Chain) getLocked(ctx context.Context, key string) ([]byte, error) {
 	} else if !kv.IsNotFound(err) {
 		return nil, err
 	}
+	if count == 0 {
+		return base, nil
+	}
+	// Replay the chain through two pooled scratch buffers (ping-pong), so a
+	// k-delta chain costs zero intermediate allocations; the final value is
+	// copied out before both buffers are released.
+	a, b := bufpool.Get(len(base)), bufpool.Get(len(base))
+	defer a.Release()
+	defer b.Release()
 	cur := base
 	for i := 1; i <= count; i++ {
 		d, err := c.store.Get(ctx, deltaKey(key, i))
 		if err != nil {
 			return nil, fmt.Errorf("delta: chain for %q broken at delta %d: %w", key, i, err)
 		}
-		cur, err = Apply(cur, d)
+		tgt := a
+		if i%2 == 0 {
+			tgt = b
+		}
+		out, err := ApplyTo(tgt.B[:0], cur, d)
 		if err != nil {
 			return nil, fmt.Errorf("delta: applying delta %d for %q: %w", i, key, err)
 		}
+		tgt.B = out
+		cur = out
 	}
-	return cur, nil
+	return append([]byte(nil), cur...), nil
 }
 
 // Delete removes key, its metadata, and any deltas.

@@ -26,6 +26,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+
+	"edsc/internal/bufpool"
 )
 
 // DefaultWindowSize is the minimum match length, the paper's suggested
@@ -102,12 +105,69 @@ func checksum(b []byte) uint64 {
 	return h
 }
 
+// encIndex is the window index: a chained hash over the base object's
+// windows (head[bucket] and prev[offset] hold offset+1; 0 terminates the
+// chain), the structure flate uses for its LZ77 dictionary. Recycled through
+// a sync.Pool so steady-state encoding allocates nothing — the map of slices
+// it replaces cost ~40 allocations per call on a 4 KiB object.
+type encIndex struct {
+	head []int32
+	prev []int32
+}
+
+var indexPool = sync.Pool{New: func() any { return new(encIndex) }}
+
+// maxPooledIndexOffsets caps how large an index the pool retains, so one
+// huge object cannot pin its index arrays forever.
+const maxPooledIndexOffsets = 1 << 22
+
+func getIndex(buckets, offsets int) *encIndex {
+	x := indexPool.Get().(*encIndex)
+	if cap(x.head) < buckets {
+		x.head = make([]int32, buckets)
+	} else {
+		x.head = x.head[:buckets]
+		for i := range x.head { // compiles to memclr
+			x.head[i] = 0
+		}
+	}
+	if cap(x.prev) < offsets {
+		x.prev = make([]int32, offsets)
+	} else {
+		// prev needs no clearing: prev[i] is written before any chain walk
+		// can reach offset i.
+		x.prev = x.prev[:offsets]
+	}
+	return x
+}
+
+func putIndex(x *encIndex) {
+	if len(x.prev) > maxPooledIndexOffsets {
+		return
+	}
+	indexPool.Put(x)
+}
+
+// bucketFor folds a 64-bit window hash into a bucket index (Fibonacci
+// hashing). Different hashes may share a bucket; the verify step already
+// filters collisions, so this only adds candidates, never wrong matches.
+func bucketFor(h uint64, bits uint) uint32 {
+	return uint32((h * 0x9E3779B97F4A7C15) >> (64 - bits))
+}
+
 // Encode produces a delta that transforms old into new. It always succeeds;
 // in the worst case the delta is one ADD of the entire new version plus the
 // fixed header.
 func (e *Encoder) Encode(old, new []byte) []byte {
+	return e.EncodeTo(make([]byte, 0, len(new)/4+32), old, new)
+}
+
+// EncodeTo appends the delta to dst and returns the extended slice
+// (append-style; dst may be nil or a reused scratch buffer and must not
+// overlap old or new).
+func (e *Encoder) EncodeTo(dst, old, new []byte) []byte {
 	w := e.window
-	out := make([]byte, 0, len(new)/4+32)
+	out := dst
 	out = append(out, magic...)
 	out = binary.AppendUvarint(out, uint64(len(old)))
 	out = binary.AppendUvarint(out, checksum(old))
@@ -123,16 +183,31 @@ func (e *Encoder) Encode(old, new []byte) []byte {
 		return out
 	}
 
-	// Index every window of old by rolling hash.
-	table := make(map[uint64][]int32, len(old)-w+1)
+	// Index every window of old by rolling hash. Bucket count: next power of
+	// two covering the window count, kept within [256, 128Ki] so tiny inputs
+	// don't pay a large memclr and huge ones don't explode the table.
+	windows := len(old) - w + 1
+	bits := uint(8)
+	for 1<<bits < windows && bits < 17 {
+		bits++
+	}
+	idx := getIndex(1<<bits, windows)
+	defer putIndex(idx)
 	pow := powBase(w)
+	// Two passes: stage each window's bucket in prev (buckets fit in int32,
+	// bits <= 17), then insert back-to-front so every chain lists offsets in
+	// ascending order — the earliest occurrence expands to the longest match,
+	// so it must be reachable within the maxCandidates walk.
 	h := hashWindow(old, 0, w)
-	table[h] = append(table[h], 0)
-	for i := 1; i+w <= len(old); i++ {
+	idx.prev[0] = int32(bucketFor(h, bits))
+	for i := 1; i < windows; i++ {
 		h = (h-uint64(old[i-1])*pow)*hashBase + uint64(old[i+w-1])
-		if cands := table[h]; len(cands) < maxCandidates {
-			table[h] = append(table[h], int32(i))
-		}
+		idx.prev[i] = int32(bucketFor(h, bits))
+	}
+	for i := windows - 1; i >= 0; i-- {
+		b := idx.prev[i]
+		idx.prev[i] = idx.head[b]
+		idx.head[b] = int32(i + 1)
 	}
 
 	var litStart int // start of the pending unmatched literal run
@@ -148,9 +223,11 @@ func (e *Encoder) Encode(old, new []byte) []byte {
 	h = hashWindow(new, 0, w)
 	for i+w <= len(new) {
 		bestOff, bestLen := -1, 0
-		for _, cand := range table[h] {
-			o := int(cand)
-			// Verify the window actually matches (hash collisions).
+		tried := 0
+		for j := idx.head[bucketFor(h, bits)]; j != 0 && tried < maxCandidates; j = idx.prev[j-1] {
+			o := int(j - 1)
+			tried++
+			// Verify the window actually matches (bucket and hash collisions).
 			if !bytesEqual(old[o:o+w], new[i:i+w]) {
 				continue
 			}
@@ -205,37 +282,53 @@ func IsDelta(data []byte) bool {
 // Apply reconstructs the new version from the base object and a delta
 // produced by Encode.
 func Apply(old, delta []byte) ([]byte, error) {
+	out, err := ApplyTo(nil, old, delta)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyTo reconstructs the new version, appending it to dst, and returns the
+// extended slice. dst must not overlap old or delta. On error dst is
+// returned unmodified in length (its spare capacity may hold partial
+// output).
+func ApplyTo(dst, old, delta []byte) ([]byte, error) {
 	if !IsDelta(delta) {
-		return nil, ErrBadDelta
+		return dst, ErrBadDelta
 	}
 	p := delta[len(magic):]
 	oldLen, n := binary.Uvarint(p)
 	if n <= 0 {
-		return nil, ErrBadDelta
+		return dst, ErrBadDelta
 	}
 	p = p[n:]
 	oldSum, n := binary.Uvarint(p)
 	if n <= 0 {
-		return nil, ErrBadDelta
+		return dst, ErrBadDelta
 	}
 	p = p[n:]
 	newLen, n := binary.Uvarint(p)
 	if n <= 0 {
-		return nil, ErrBadDelta
+		return dst, ErrBadDelta
 	}
 	p = p[n:]
 
 	if uint64(len(old)) != oldLen || checksum(old) != oldSum {
-		return nil, ErrWrongBase
+		return dst, ErrWrongBase
 	}
 
 	// newLen comes from the wire: validate against it at the end, but never
 	// trust it for allocation (a corrupt delta could claim 2^60 bytes).
+	base := len(dst)
 	capHint := newLen
 	if capHint > uint64(len(old)+len(delta)+1024) {
 		capHint = uint64(len(old) + len(delta) + 1024)
 	}
-	out := make([]byte, 0, capHint)
+	out := dst
+	if spare := cap(out) - len(out); uint64(spare) < capHint {
+		out = bufpool.Grow(out, int(capHint))[:len(out)]
+	}
 	for len(p) > 0 {
 		op := p[0]
 		p = p[1:]
@@ -243,39 +336,39 @@ func Apply(old, delta []byte) ([]byte, error) {
 		case opCopy:
 			off, n := binary.Uvarint(p)
 			if n <= 0 {
-				return nil, ErrBadDelta
+				return dst, ErrBadDelta
 			}
 			p = p[n:]
 			length, n := binary.Uvarint(p)
 			if n <= 0 {
-				return nil, ErrBadDelta
+				return dst, ErrBadDelta
 			}
 			p = p[n:]
 			end := off + length
 			if end < off || end > uint64(len(old)) {
-				return nil, fmt.Errorf("%w: copy [%d,%d) out of base bounds %d", ErrBadDelta, off, end, len(old))
+				return dst, fmt.Errorf("%w: copy [%d,%d) out of base bounds %d", ErrBadDelta, off, end, len(old))
 			}
 			out = append(out, old[off:end]...)
 		case opAdd:
 			length, n := binary.Uvarint(p)
 			if n <= 0 {
-				return nil, ErrBadDelta
+				return dst, ErrBadDelta
 			}
 			p = p[n:]
 			if length > uint64(len(p)) {
-				return nil, fmt.Errorf("%w: literal of %d bytes exceeds remaining %d", ErrBadDelta, length, len(p))
+				return dst, fmt.Errorf("%w: literal of %d bytes exceeds remaining %d", ErrBadDelta, length, len(p))
 			}
 			out = append(out, p[:length]...)
 			p = p[length:]
 		default:
-			return nil, fmt.Errorf("%w: unknown op %#x", ErrBadDelta, op)
+			return dst, fmt.Errorf("%w: unknown op %#x", ErrBadDelta, op)
 		}
-		if uint64(len(out)) > newLen {
-			return nil, fmt.Errorf("%w: output exceeds declared size %d", ErrBadDelta, newLen)
+		if uint64(len(out)-base) > newLen {
+			return dst, fmt.Errorf("%w: output exceeds declared size %d", ErrBadDelta, newLen)
 		}
 	}
-	if uint64(len(out)) != newLen {
-		return nil, fmt.Errorf("%w: reconstructed %d bytes, header says %d", ErrBadDelta, len(out), newLen)
+	if uint64(len(out)-base) != newLen {
+		return dst, fmt.Errorf("%w: reconstructed %d bytes, header says %d", ErrBadDelta, len(out)-base, newLen)
 	}
 	return out, nil
 }

@@ -1,0 +1,113 @@
+package delta
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"edsc/internal/raceflag"
+)
+
+// TestEncodeToApplyToAppendSemantics pins the append contract on both sides.
+func TestEncodeToApplyToAppendSemantics(t *testing.T) {
+	e := NewEncoder(DefaultWindowSize)
+	old := bytes.Repeat([]byte("0123456789"), 100)
+	new := append(append([]byte{}, old[:500]...), []byte("CHANGED")...)
+	new = append(new, old[500:]...)
+
+	d := e.EncodeTo([]byte("pfx:"), old, new)
+	if !bytes.HasPrefix(d, []byte("pfx:")) {
+		t.Fatalf("dst prefix clobbered: %q", d[:4])
+	}
+	out, err := ApplyTo([]byte("out:"), old, d[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, []byte("out:")) || !bytes.Equal(out[4:], new) {
+		t.Fatal("append round trip corrupted the reconstruction")
+	}
+}
+
+// TestApplyToErrorLeavesDst: every Apply failure mode must return dst with
+// its original length, so pooled scratch reuse cannot leak partial output.
+func TestApplyToErrorLeavesDst(t *testing.T) {
+	e := NewEncoder(DefaultWindowSize)
+	old := bytes.Repeat([]byte("abcdefgh"), 64)
+	d := e.Encode(old, append([]byte("x"), old...))
+	dst := []byte("keep")
+	for _, tc := range []struct {
+		name  string
+		base  []byte
+		delta []byte
+	}{
+		{"garbage", old, []byte("not a delta at all")},
+		{"wrong base", append([]byte("y"), old...), d},
+		{"truncated", old, d[:len(d)-3]},
+	} {
+		out, err := ApplyTo(dst, tc.base, tc.delta)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if string(out) != "keep" {
+			t.Fatalf("%s: dst modified on error: %q", tc.name, out)
+		}
+	}
+}
+
+// TestAllocsGuard pins steady-state encode and apply at zero allocations:
+// the window index recycles through its pool and output lands in reused
+// destination buffers.
+func TestAllocsGuard(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := NewEncoder(DefaultWindowSize)
+	old := bytes.Repeat([]byte("abcdefgh"), 512)
+	new := append(append([]byte{}, old...), []byte("tail-change")...)
+	var eBuf, aBuf []byte
+	enc := func() { eBuf = e.EncodeTo(eBuf[:0], old, new) }
+	enc() // warm the index pool and buffers
+	if allocs := testing.AllocsPerRun(200, enc); allocs > 0 {
+		t.Fatalf("EncodeTo allocated %.1f times per op, want 0", allocs)
+	}
+	app := func() {
+		out, err := ApplyTo(aBuf[:0], old, eBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aBuf = out
+	}
+	app()
+	if allocs := testing.AllocsPerRun(200, app); allocs > 0 {
+		t.Fatalf("ApplyTo allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestConcurrentEncode drives the pooled window index from many goroutines;
+// under -race it proves the pool never shares an index between encoders.
+func TestConcurrentEncode(t *testing.T) {
+	e := NewEncoder(DefaultWindowSize)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			old := bytes.Repeat([]byte{byte('a' + g), 'x', 'y', 'z', '0', '1'}, 200+g)
+			new := append(append([]byte{}, old[:50]...), old...)
+			var d []byte
+			for i := 0; i < 100; i++ {
+				d = e.EncodeTo(d[:0], old, new)
+				out, err := Apply(old, d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(out, new) {
+					t.Errorf("goroutine %d: round trip corrupted", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

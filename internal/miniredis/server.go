@@ -203,7 +203,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	r := resp.NewReader(conn)
+	// ReuseBulk: each command's argument payloads land in one per-connection
+	// buffer recycled across commands. Safe because every retention point
+	// (db set/hset, the MULTI queue) deep-copies, and the reply is flushed
+	// before the next ReadCommand overwrites the buffer.
+	r := resp.NewReader(conn).ReuseBulk(true)
 	w := resp.NewWriter(conn)
 	var (
 		inTxn bool

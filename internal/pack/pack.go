@@ -9,6 +9,11 @@
 // trade-off §III closes with.
 //
 // Frame layout: tag(1) | payload. Tag 0x00 = stored raw, 0x01 = gzip.
+//
+// Hot-path note: CompressTo and DecompressTo are append-style — they write
+// into a caller-supplied destination and recycle the gzip writer/reader state
+// through per-codec pools, so steady-state use allocates nothing beyond what
+// the destination needs to grow. Compress and Decompress are thin wrappers.
 package pack
 
 import (
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"edsc/internal/bufpool"
 )
 
 const (
@@ -36,8 +43,25 @@ type Codec struct {
 	// it the value is stored raw.
 	minRatio float64
 
-	writers sync.Pool
-	readers sync.Pool
+	writers sync.Pool // of *gzip.Writer
+	readers sync.Pool // of *gzReader
+	sinks   sync.Pool // of *sliceWriter
+}
+
+// sliceWriter adapts an append-destination to io.Writer for the gzip writer.
+// Pooled so the interface value and struct survive across operations.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// gzReader bundles a gzip.Reader with the bytes.Reader it decodes from, so a
+// pooled decompression resurrects both without allocating either.
+type gzReader struct {
+	br bytes.Reader
+	zr *gzip.Reader
 }
 
 // Option configures a Codec.
@@ -62,70 +86,128 @@ func New(opts ...Option) *Codec {
 
 // Compress frames value, gzipping it when that shrinks it enough.
 func (c *Codec) Compress(value []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Grow(len(value)/2 + 16)
-	buf.WriteByte(tagGzip)
+	return c.CompressTo(nil, value)
+}
+
+// CompressTo appends a frame for value to dst and returns the extended
+// slice. dst may be nil or a reused scratch buffer; it must not overlap
+// value. Only the returned slice is valid afterwards.
+func (c *Codec) CompressTo(dst, value []byte) ([]byte, error) {
+	off := len(dst)
+	sw, _ := c.sinks.Get().(*sliceWriter)
+	if sw == nil {
+		sw = &sliceWriter{}
+	}
+	sw.b = append(dst, tagGzip)
 
 	zw, _ := c.writers.Get().(*gzip.Writer)
 	if zw == nil {
 		var err error
-		zw, err = gzip.NewWriterLevel(&buf, c.level)
+		zw, err = gzip.NewWriterLevel(sw, c.level)
 		if err != nil {
+			sw.b = nil
+			c.sinks.Put(sw)
 			return nil, err
 		}
 	} else {
-		zw.Reset(&buf)
+		zw.Reset(sw)
 	}
 	if _, err := zw.Write(value); err != nil {
+		sw.b = nil
+		c.sinks.Put(sw)
 		return nil, fmt.Errorf("pack: compressing: %w", err)
 	}
 	if err := zw.Close(); err != nil {
+		sw.b = nil
+		c.sinks.Put(sw)
 		return nil, fmt.Errorf("pack: finishing stream: %w", err)
 	}
 	c.writers.Put(zw)
+	out := sw.b
+	sw.b = nil
+	c.sinks.Put(sw)
 
 	if c.minRatio > 0 && len(value) > 0 {
-		ratio := float64(buf.Len()-1) / float64(len(value))
+		ratio := float64(len(out)-off-1) / float64(len(value))
 		if ratio > c.minRatio {
-			out := make([]byte, 1+len(value))
-			out[0] = tagStored
-			copy(out[1:], value)
+			// Store raw instead: rewrite the frame over the same region.
+			// The gzip bytes past off are dead; out already has the
+			// capacity when gzip expanded the data.
+			out = append(out[:off], tagStored)
+			out = append(out, value...)
 			return out, nil
 		}
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // Decompress unframes data produced by Compress.
 func (c *Codec) Decompress(data []byte) ([]byte, error) {
+	return c.DecompressTo(nil, data)
+}
+
+// DecompressTo appends the unframed payload of data to dst and returns the
+// extended slice. dst must not overlap data. On error dst is returned
+// unmodified (possibly reallocated for partially-written gzip output).
+func (c *Codec) DecompressTo(dst, data []byte) ([]byte, error) {
 	if len(data) == 0 {
-		return nil, ErrNotFramed
+		return dst, ErrNotFramed
 	}
 	switch data[0] {
 	case tagStored:
-		return append([]byte(nil), data[1:]...), nil
+		return append(dst, data[1:]...), nil
 	case tagGzip:
-		zr, _ := c.readers.Get().(*gzip.Reader)
-		if zr == nil {
-			var err error
-			zr, err = gzip.NewReader(bytes.NewReader(data[1:]))
+		gz, _ := c.readers.Get().(*gzReader)
+		if gz == nil {
+			gz = &gzReader{}
+		}
+		gz.br.Reset(data[1:])
+		if gz.zr == nil {
+			zr, err := gzip.NewReader(&gz.br)
 			if err != nil {
-				return nil, fmt.Errorf("pack: opening stream: %w", err)
+				c.readers.Put(gz)
+				return dst, fmt.Errorf("pack: opening stream: %w", err)
 			}
-		} else if err := zr.Reset(bytes.NewReader(data[1:])); err != nil {
-			return nil, fmt.Errorf("pack: opening stream: %w", err)
+			gz.zr = zr
+		} else if err := gz.zr.Reset(&gz.br); err != nil {
+			c.readers.Put(gz)
+			return dst, fmt.Errorf("pack: opening stream: %w", err)
 		}
-		out, err := io.ReadAll(zr)
+		out, err := readAppend(gz.zr, dst)
 		if err != nil {
-			return nil, fmt.Errorf("pack: decompressing: %w", err)
+			c.readers.Put(gz)
+			return dst, fmt.Errorf("pack: decompressing: %w", err)
 		}
-		if err := zr.Close(); err != nil {
-			return nil, fmt.Errorf("pack: closing stream: %w", err)
+		if err := gz.zr.Close(); err != nil {
+			c.readers.Put(gz)
+			return dst, fmt.Errorf("pack: closing stream: %w", err)
 		}
-		c.readers.Put(zr)
+		c.readers.Put(gz)
 		return out, nil
 	default:
-		return nil, ErrNotFramed
+		return dst, ErrNotFramed
+	}
+}
+
+// readAppend drains r appending onto b, growing the spare capacity
+// geometrically instead of allocating per read the way io.ReadAll does.
+func readAppend(r io.Reader, b []byte) ([]byte, error) {
+	for {
+		if cap(b)-len(b) < 512 {
+			n := cap(b)
+			if n < 512 {
+				n = 512
+			}
+			b = bufpool.Grow(b, n)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, err
+		}
 	}
 }
 

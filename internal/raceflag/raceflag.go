@@ -1,0 +1,5 @@
+// Package raceflag reports at runtime whether the race detector is compiled
+// in. The allocation-guard tests (TestAllocsGuard across cache, resp, secure,
+// pack, delta, dscl) use it to skip exact testing.AllocsPerRun assertions
+// under -race, where the detector's own bookkeeping inflates counts.
+package raceflag

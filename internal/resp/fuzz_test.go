@@ -38,6 +38,18 @@ func FuzzRead(f *testing.F) {
 		"*1\r\n$536870912\r\nx\r\n",
 		"*2147483648\r\n",
 		"$-2\r\n",
+		// Lying lengths INSIDE the accepted bounds: headers the limit check
+		// passes but whose payload never arrives. The chunked-read path must
+		// fail on the missing bytes without committing the claimed size.
+		"$419430400\r\nhello",
+		"$1048576\r\n",
+		"*1048576\r\n$1\r\na\r\n",
+		"*3\r\n$3\r\nSET\r\n$419430400\r\nk\r\n",
+		// Overflow-adjacent integer headers for the hand-rolled parseInt.
+		"$9223372036854775807\r\n",
+		"$99999999999999999999\r\n",
+		":9223372036854775807\r\n",
+		":-9223372036854775808\r\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

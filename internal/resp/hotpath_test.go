@@ -1,0 +1,230 @@
+package resp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"edsc/internal/raceflag"
+)
+
+// TestLyingBulkHeaderDoesNotPreallocate is the regression test for the
+// header-length attack: a 20-byte frame claiming a near-limit payload must
+// fail on the missing bytes without ever committing the claimed size. The
+// proof is allocation accounting — parsing the hostile frame must allocate
+// far less than the claimed length.
+func TestLyingBulkHeaderDoesNotPreallocate(t *testing.T) {
+	// 400 MiB claimed (inside MaxBulkLen, so the length check alone does
+	// not reject it), 5 bytes delivered.
+	hostile := []byte("$419430400\r\nhello")
+	var ms1, ms2 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	v, err := NewReader(bytes.NewReader(hostile)).Read()
+	runtime.ReadMemStats(&ms2)
+	if err == nil {
+		t.Fatalf("hostile frame accepted: %+v", v)
+	}
+	if grew := int64(ms2.TotalAlloc) - int64(ms1.TotalAlloc); grew > 8<<20 {
+		t.Fatalf("parsing a lying 400 MiB header allocated %d bytes; want well under one chunk", grew)
+	}
+}
+
+func TestLyingArrayHeaderRejected(t *testing.T) {
+	for _, in := range []string{
+		fmt.Sprintf("*%d\r\n", MaxArrayLen+1),
+		"*2147483648\r\n",
+		fmt.Sprintf("$%d\r\n", MaxBulkLen+1),
+		"$99999999999999999999\r\n", // overflows int64 parsing
+	} {
+		if _, err := NewReader(strings.NewReader(in)).Read(); err == nil {
+			t.Fatalf("oversized header %q accepted", in)
+		}
+	}
+}
+
+func TestChunkedBulkCrossesChunkBoundary(t *testing.T) {
+	// A genuine payload larger than one read chunk must still round-trip.
+	payload := bytes.Repeat([]byte("x"), readChunk+12345)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Bulk(payload)); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	v, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Bulk, payload) {
+		t.Fatal("chunked bulk payload corrupted")
+	}
+}
+
+func TestReuseBulkAliasing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Bulk([]byte("first")))
+	_ = w.Write(Bulk([]byte("second")))
+	_ = w.Flush()
+	r := NewReader(&buf).ReuseBulk(true)
+	v1, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1 := string(v1.Bulk) // copy before the buffer is overwritten
+	v2, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != "first" || string(v2.Bulk) != "second" {
+		t.Fatalf("reuse reader corrupted payloads: %q, %q", got1, v2.Bulk)
+	}
+	// The documented hazard: v1.Bulk now aliases the overwritten buffer.
+	// (Not asserted — the content is unspecified — but it must not panic.)
+	_ = v1.Bulk
+}
+
+func TestReuseReadCommand(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WriteCommand([]byte("SET"), []byte("key"), []byte("value-1"))
+	_ = w.WriteCommand([]byte("GET"), []byte("key"))
+	r := NewReader(&buf).ReuseBulk(true)
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || string(args[0]) != "SET" || string(args[2]) != "value-1" {
+		t.Fatalf("bad command: %q", args)
+	}
+	args2, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args2) != 2 || string(args2[0]) != "GET" || string(args2[1]) != "key" {
+		t.Fatalf("bad second command: %q", args2)
+	}
+}
+
+// TestReuseReadCommandSurvivesGrowth pins the offset-then-alias design: a
+// command whose later arguments force the shared buffer to reallocate must
+// not corrupt the earlier arguments.
+func TestReuseReadCommandSurvivesGrowth(t *testing.T) {
+	big := bytes.Repeat([]byte("z"), 1<<16)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WriteCommand([]byte("SET"), []byte("small-key"), big)
+	r := NewReader(&buf).ReuseBulk(true)
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(args[0]) != "SET" || string(args[1]) != "small-key" || !bytes.Equal(args[2], big) {
+		t.Fatal("argument corrupted by mid-command buffer growth")
+	}
+}
+
+func TestLongLineSpill(t *testing.T) {
+	// A simple string longer than the bufio buffer must still parse.
+	long := strings.Repeat("e", 8192)
+	in := "+" + long + "\r\n"
+	v, err := NewReader(strings.NewReader(in)).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Str != long {
+		t.Fatalf("long line truncated: %d bytes", len(v.Str))
+	}
+}
+
+// echoConn is an in-memory full-duplex hop for the alloc guard: writes become
+// subsequent reads.
+type echoConn struct{ buf bytes.Buffer }
+
+func (e *echoConn) Read(p []byte) (int, error)  { return e.buf.Read(p) }
+func (e *echoConn) Write(p []byte) (int, error) { return e.buf.Write(p) }
+
+// TestAllocsGuard pins the steady-state echo round trip — write a bulk value,
+// read it back with a reusing reader — at zero allocations per operation.
+func TestAllocsGuard(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	conn := &echoConn{}
+	w := NewWriter(conn)
+	r := NewReader(conn).ReuseBulk(true)
+	payload := bytes.Repeat([]byte("p"), 1024)
+	roundTrip := func() {
+		if err := w.Write(Bulk(payload)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		v, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Bulk) != len(payload) {
+			t.Fatal("payload truncated")
+		}
+	}
+	roundTrip() // warm the reuse buffer
+	if allocs := testing.AllocsPerRun(200, roundTrip); allocs > 0 {
+		t.Fatalf("echo round trip allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestAllocsGuardCommand pins ReadCommand reuse at zero steady-state allocs.
+func TestAllocsGuardCommand(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	conn := &echoConn{}
+	w := NewWriter(conn)
+	r := NewReader(conn).ReuseBulk(true)
+	set, key, val := []byte("SET"), []byte("alloc:key"), bytes.Repeat([]byte("v"), 512)
+	roundTrip := func() {
+		if err := w.WriteCommand(set, key, val); err != nil {
+			t.Fatal(err)
+		}
+		args, err := r.ReadCommand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(args) != 3 {
+			t.Fatal("arity lost")
+		}
+	}
+	roundTrip()
+	if allocs := testing.AllocsPerRun(200, roundTrip); allocs > 0 {
+		t.Fatalf("command round trip allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEchoRoundTrip(b *testing.B) {
+	for _, reuse := range []bool{false, true} {
+		name := "alloc"
+		if reuse {
+			name = "reuse"
+		}
+		b.Run(name, func(b *testing.B) {
+			conn := &echoConn{}
+			w := NewWriter(conn)
+			r := NewReader(conn).ReuseBulk(reuse)
+			payload := bytes.Repeat([]byte("p"), 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = w.Write(Bulk(payload))
+				_ = w.Flush()
+				if _, err := r.Read(); err != nil && err != io.EOF {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,11 @@
 //
 // The MAC covers magic..ciphertext, so truncation, bit flips, and version
 // confusion are all detected before any plaintext is released.
+//
+// Hot-path note: SealTo and OpenTo are the append-style primitives — they
+// write into a caller-supplied destination and reuse the cipher's pooled
+// HMAC state, so a steady-state transform pipeline allocates only the CTR
+// stream. Seal and Open are thin wrappers that allocate a fresh slice.
 package secure
 
 import (
@@ -21,7 +26,11 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
+
+	"edsc/internal/bufpool"
 )
 
 // KeySize is the AES key size in bytes (128-bit keys, as in the paper).
@@ -45,11 +54,20 @@ var (
 	ErrTampered    = errors.New("secure: envelope failed authentication")
 )
 
+// macState is the pooled per-operation HMAC machinery: the keyed hash plus a
+// fixed sum scratch, so verification never allocates.
+type macState struct {
+	h   hash.Hash
+	sum [macSize]byte
+}
+
 // Cipher encrypts and decrypts byte slices. It is safe for concurrent use.
 type Cipher struct {
 	encKey [KeySize]byte
 	macKey [sha256.Size]byte
+	block  cipher.Block // AES key schedule, computed once
 	randR  io.Reader
+	macs   sync.Pool // of *macState
 }
 
 // NewCipher builds a Cipher from a 16-byte key. The encryption and MAC keys
@@ -63,6 +81,11 @@ func NewCipher(key []byte) (*Cipher, error) {
 	enc := sha256.Sum256(append([]byte("edsc-enc:"), key...))
 	copy(c.encKey[:], enc[:KeySize])
 	c.macKey = sha256.Sum256(append([]byte("edsc-mac:"), key...))
+	block, err := aes.NewCipher(c.encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	c.block = block
 	return c, nil
 }
 
@@ -78,50 +101,76 @@ func NewCipherFromPassphrase(passphrase string) *Cipher {
 	return c
 }
 
+func (c *Cipher) getMAC() *macState {
+	if m, _ := c.macs.Get().(*macState); m != nil {
+		m.h.Reset()
+		return m
+	}
+	return &macState{h: hmac.New(sha256.New, c.macKey[:])}
+}
+
+func (c *Cipher) putMAC(m *macState) { c.macs.Put(m) }
+
 // Seal encrypts plaintext into a fresh envelope.
 func (c *Cipher) Seal(plaintext []byte) ([]byte, error) {
-	out := make([]byte, 3+ivSize+len(plaintext)+macSize)
-	out[0], out[1], out[2] = magic0, magic1, version
-	iv := out[3 : 3+ivSize]
-	if _, err := io.ReadFull(c.randR, iv); err != nil {
-		return nil, fmt.Errorf("secure: generating IV: %w", err)
-	}
-	block, err := aes.NewCipher(c.encKey[:])
-	if err != nil {
-		return nil, err
-	}
-	cipher.NewCTR(block, iv).XORKeyStream(out[3+ivSize:3+ivSize+len(plaintext)], plaintext)
+	return c.SealTo(nil, plaintext)
+}
 
-	mac := hmac.New(sha256.New, c.macKey[:])
-	mac.Write(out[:3+ivSize+len(plaintext)])
-	mac.Sum(out[:3+ivSize+len(plaintext)])
+// SealTo appends an envelope for plaintext to dst and returns the extended
+// slice (append-style, like strconv.AppendInt). dst may be nil, or a pooled
+// scratch buffer being reused across operations; it must not overlap
+// plaintext. Only the returned slice is valid — dst's backing array is
+// reallocated when its spare capacity is insufficient.
+func (c *Cipher) SealTo(dst, plaintext []byte) ([]byte, error) {
+	off := len(dst)
+	out := bufpool.Grow(dst, 3+ivSize+len(plaintext)+macSize)
+	env := out[off:]
+	env[0], env[1], env[2] = magic0, magic1, version
+	iv := env[3 : 3+ivSize]
+	if _, err := io.ReadFull(c.randR, iv); err != nil {
+		return dst, fmt.Errorf("secure: generating IV: %w", err)
+	}
+	cipher.NewCTR(c.block, iv).XORKeyStream(env[3+ivSize:3+ivSize+len(plaintext)], plaintext)
+
+	m := c.getMAC()
+	m.h.Write(env[:3+ivSize+len(plaintext)])
+	// Sum appends into env's tail, which Grow already sized — no allocation.
+	m.h.Sum(env[:3+ivSize+len(plaintext)])
+	c.putMAC(m)
 	return out, nil
 }
 
 // Open authenticates and decrypts an envelope produced by Seal.
 func (c *Cipher) Open(envelope []byte) ([]byte, error) {
+	return c.OpenTo(nil, envelope)
+}
+
+// OpenTo authenticates envelope and appends the plaintext to dst, returning
+// the extended slice. dst must not overlap envelope. On error dst is
+// returned unmodified.
+func (c *Cipher) OpenTo(dst, envelope []byte) ([]byte, error) {
 	if len(envelope) < Overhead || envelope[0] != magic0 || envelope[1] != magic1 {
-		return nil, ErrNotEnvelope
+		return dst, ErrNotEnvelope
 	}
 	if envelope[2] != version {
-		return nil, fmt.Errorf("secure: unsupported envelope version %d", envelope[2])
+		return dst, fmt.Errorf("secure: unsupported envelope version %d", envelope[2])
 	}
 	body := envelope[:len(envelope)-macSize]
 	gotMAC := envelope[len(envelope)-macSize:]
-	mac := hmac.New(sha256.New, c.macKey[:])
-	mac.Write(body)
-	if !hmac.Equal(mac.Sum(nil), gotMAC) {
-		return nil, ErrTampered
+	m := c.getMAC()
+	m.h.Write(body)
+	computed := m.h.Sum(m.sum[:0])
+	ok := hmac.Equal(computed, gotMAC)
+	c.putMAC(m)
+	if !ok {
+		return dst, ErrTampered
 	}
 	iv := envelope[3 : 3+ivSize]
 	ct := envelope[3+ivSize : len(envelope)-macSize]
-	block, err := aes.NewCipher(c.encKey[:])
-	if err != nil {
-		return nil, err
-	}
-	pt := make([]byte, len(ct))
-	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
-	return pt, nil
+	off := len(dst)
+	out := bufpool.Grow(dst, len(ct))
+	cipher.NewCTR(c.block, iv).XORKeyStream(out[off:], ct)
+	return out, nil
 }
 
 // IsEnvelope reports whether data begins with the envelope header, letting
