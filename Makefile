@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch bench-json bench-check figures examples fuzz chaos metrics clean lint-capabilities
+.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
 
 all: build lint-capabilities test
 
@@ -41,6 +41,13 @@ fuzz:
 chaos:
 	EDSC_CHAOS=aggressive go test -race -run 'Chaos' ./...
 
+# The node-kill chaos suite: whole backend nodes die and restart under the
+# replicated cluster tier while the linearizability checker watches, plus
+# the cluster conformance (quorum loss, hinted handoff, read repair,
+# membership change under load) — race detector on.
+chaos-cluster:
+	EDSC_CHAOS=aggressive go test -race -run 'TestClusterChaos|TestClusterSuite' -v ./kv/cluster
+
 bench:
 	go test -bench=. -benchmem .
 
@@ -59,6 +66,11 @@ bench-check:
 bench-batch:
 	go test -bench=BenchmarkAblationBatch -benchmem .
 	go run ./cmd/udsm-bench -fig batch -out results -scale 0.05
+
+# Cluster-tier scaling sweep (miniredis-backed nodes at N=1,3,5) into
+# results/ext_cluster_scaling.dat.
+bench-cluster:
+	go run ./cmd/udsm-bench -fig cluster -out results
 
 # Regenerate every figure's data series into results/ (see EXPERIMENTS.md).
 figures:

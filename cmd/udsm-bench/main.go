@@ -26,23 +26,25 @@ import (
 
 	"edsc/internal/benchkit"
 	"edsc/monitor"
+	"edsc/udsm"
 	"edsc/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", `figure to regenerate: 8..21, "all", or "mixed" (throughput extension)`)
-		out     = flag.String("out", "results", "output directory for .dat files")
-		scale   = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = paper magnitude)")
-		runs    = flag.Int("runs", 4, "runs averaged per data point")
-		ops     = flag.Int("ops", 2, "operations per run per point")
-		maxSz   = flag.Int("maxsize", 1<<20, "largest object size in bytes")
-		tmpDir  = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
+		fig      = flag.String("fig", "all", `figure to regenerate: 8..21, "all", or "mixed" (throughput extension)`)
+		out      = flag.String("out", "results", "output directory for .dat files")
+		scale    = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = paper magnitude)")
+		runs     = flag.Int("runs", 4, "runs averaged per data point")
+		ops      = flag.Int("ops", 2, "operations per run per point")
+		maxSz    = flag.Int("maxsize", 1<<20, "largest object size in bytes")
+		tmpDir   = flag.String("workdir", "", "working directory for the file/SQL stores (default: a temp dir)")
 		metrics  = flag.String("metrics", "", "observability listen address serving the manager's /metrics and /debug/pprof/ while the bench runs (empty = off)")
 		batch    = flag.Int("batch", 0, `largest keys-per-batch for the batched multi-key comparison (0 = off; "-fig batch" enables it with the default of 64)`)
 		jsonOut  = flag.String("json", "", "run the allocation-profile experiment and write the machine-readable report to this path (standalone mode; skips the figures)")
 		baseline = flag.String("baseline", "", "compare the allocation report against this committed baseline and exit 1 when a guarded path's allocs/op regresses >20% (requires -json)")
 		payload  = flag.Int("payload", 4<<10, "object size for the allocation-profile experiment")
+		clusterN = flag.Int("cluster", 0, `largest node count for the cluster scaling sweep over miniredis-backed clusters (0 = off; "-fig cluster" enables it with the default of 5)`)
 	)
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics, *batch); err != nil {
+	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics, *batch, *clusterN); err != nil {
 		fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 		os.Exit(1)
 	}
@@ -115,7 +117,7 @@ func runAlloc(outPath, baselinePath string, payload int) error {
 	return nil
 }
 
-func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metricsAddr string, batch int) error {
+func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metricsAddr string, batch, clusterN int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -248,7 +250,74 @@ func run(fig, out string, scale float64, runs, ops, maxSize int, workdir, metric
 			return err
 		}
 	}
+	if clusterN > 0 || fig == "cluster" {
+		if clusterN <= 0 {
+			clusterN = 5
+		}
+		fmt.Printf("running cluster scaling sweep (miniredis nodes, up to N=%d) ...\n", clusterN)
+		if err := runCluster(ctx, out, clusterN); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("done; data files in %s\n", out)
+	return nil
+}
+
+// runCluster measures mixed-workload throughput of the replicated cluster
+// tier as the node count grows. Nodes are miniredis servers, so every
+// replica access crosses a real TCP connection; replication is capped at 3
+// with majority quorums, matching the chaos suite's geometry. The N=1 row
+// is the unreplicated baseline — the cost of quorum replication is the gap
+// between it and N>=3.
+func runCluster(ctx context.Context, out string, maxNodes int) error {
+	f, err := os.Create(filepath.Join(out, "ext_cluster_scaling.dat"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# extension: cluster tier scaling, mixed workload (90% reads, 8 clients, 1 KiB), miniredis nodes")
+	fmt.Fprintln(f, "# columns: nodes replication read_quorum write_quorum ops_per_sec read_p99_ms write_p99_ms")
+	for _, n := range []int{1, 3, 5} {
+		if n > maxNodes {
+			break
+		}
+		if err := runClusterPoint(ctx, f, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runClusterPoint(ctx context.Context, f io.Writer, n int) error {
+	nodes := make([]udsm.ClusterNode, n)
+	for i := range nodes {
+		srv, err := udsm.StartMiniRedis(udsm.MiniRedisOptions{})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		id := fmt.Sprintf("node%d", i)
+		store := udsm.OpenMiniRedis(id, srv.Addr(), "")
+		defer store.Close()
+		nodes[i] = udsm.ClusterNode{ID: id, Store: store}
+	}
+	c, err := udsm.NewClusterStore(fmt.Sprintf("cluster%d", n), nodes, udsm.ClusterOptions{})
+	if err != nil {
+		return err
+	}
+	opts := c.Options()
+	rep, err := workload.RunMixed(ctx, c, workload.MixedConfig{
+		Clients: 8, Ops: 2000, ReadFraction: 0.9, Keys: 64, Size: 1 << 10,
+		Seed: 7, KeyPrefix: fmt.Sprintf("clu%d:", n),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  N=%d (R=%d W=%d of %d): %s\n",
+		n, opts.ReadQuorum, opts.WriteQuorum, opts.Replication, rep)
+	fmt.Fprintf(f, "%d %d %d %d %.0f %.4f %.4f\n",
+		n, opts.Replication, opts.ReadQuorum, opts.WriteQuorum, rep.Throughput,
+		float64(rep.ReadLatency.P99)/1e6, float64(rep.WriteLatency.P99)/1e6)
 	return nil
 }
 

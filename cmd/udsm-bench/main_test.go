@@ -8,7 +8,7 @@ import (
 
 func TestRunSingleFigure(t *testing.T) {
 	out := t.TempDir()
-	if err := run("20", out, 0.001, 1, 1, 4096, t.TempDir(), "", 0); err != nil {
+	if err := run("20", out, 0.001, 1, 1, 4096, t.TempDir(), "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "fig20_encryption.dat"))
@@ -22,10 +22,10 @@ func TestRunSingleFigure(t *testing.T) {
 
 func TestRunCachedFigureAndDelta(t *testing.T) {
 	out := t.TempDir()
-	if err := run("17", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0); err != nil {
+	if err := run("17", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("8", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0); err != nil {
+	if err := run("8", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig17_filesystem_inprocess.dat", "fig08_delta.dat"} {
@@ -37,7 +37,7 @@ func TestRunCachedFigureAndDelta(t *testing.T) {
 
 func TestRunMixedMode(t *testing.T) {
 	out := t.TempDir()
-	if err := run("mixed", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0); err != nil {
+	if err := run("mixed", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "ext_mixed_throughput.dat")); err != nil {
@@ -47,7 +47,7 @@ func TestRunMixedMode(t *testing.T) {
 
 func TestRunBatchMode(t *testing.T) {
 	out := t.TempDir()
-	if err := run("batch", out, 0.001, 1, 1, 1024, t.TempDir(), "", 8); err != nil {
+	if err := run("batch", out, 0.001, 1, 1, 1024, t.TempDir(), "", 8, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "ext_batch_speedup.dat"))
@@ -56,5 +56,21 @@ func TestRunBatchMode(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Fatal("empty batch data file")
+	}
+}
+
+func TestRunClusterMode(t *testing.T) {
+	out := t.TempDir()
+	// N capped at 1: the smoke test only needs the sweep wiring, not the
+	// full 5-node run.
+	if err := run("cluster", out, 0.001, 1, 1, 1024, t.TempDir(), "", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "ext_cluster_scaling.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty cluster data file")
 	}
 }

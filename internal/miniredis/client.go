@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"edsc/internal/resp"
+	"edsc/kv"
 )
 
 // Client is a pooled miniredis client (the Jedis analogue). Connections are
@@ -43,7 +44,11 @@ var ErrClientClosed = errors.New("miniredis: client is closed")
 // the ambiguity — e.g. a version-checked write, or a retry policy the
 // application opted into — may retry; the exchange itself is retryable,
 // just not blindly replayable.
-var ErrAmbiguousExchange = errors.New("miniredis: connection lost after a non-idempotent command may have executed")
+//
+// It wraps kv.ErrAmbiguous, the store-layer marker for "may have applied",
+// so retry policies above the store boundary (kv/resilient's idempotency
+// gate) recognize the ambiguity without knowing about this package.
+var ErrAmbiguousExchange = fmt.Errorf("miniredis: connection lost after a non-idempotent command may have executed: %w", kv.ErrAmbiguous)
 
 // replayable is the idempotency allowlist for automatic retry: commands a
 // second execution leaves with the same state *and* the same reply, so a

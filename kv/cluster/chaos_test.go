@@ -1,0 +1,82 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"edsc/kv"
+	"edsc/kv/cluster"
+	"edsc/kv/faulty"
+	"edsc/kv/kvtest"
+)
+
+// TestClusterChaos is the node-kill chaos suite: a background killer takes
+// whole backend nodes down and up while the chaos workload runs, and every
+// observation is checked against the delayed-visibility possibility model.
+// One node is dead at a time, so a 3-replica R=W=2 cluster always keeps
+// quorum: the store must ride through every kill (hinted handoff catches
+// the missed writes, read repair converges recovered replicas), and any
+// model violation is a real consistency bug.
+//
+// Runs against 3-node and 5-node clusters; on the 5-node ring each key
+// still has 3 replicas, so kills hit a shifting subset of the key space.
+func TestClusterChaos(t *testing.T) {
+	for _, nNodes := range []int{3, 5} {
+		t.Run(fmt.Sprintf("%dNodes", nNodes), func(t *testing.T) {
+			killer := &kvtest.NodeKiller{}
+			var c *cluster.Cluster
+			factory := func(t *testing.T) (kv.Store, func()) {
+				killer.Nodes = nil
+				nodes := make([]cluster.Node, nNodes)
+				for i := range nodes {
+					id := fmt.Sprintf("node%d", i)
+					sw := faulty.New(kv.NewMem(id), faulty.Options{})
+					killer.Nodes = append(killer.Nodes, sw)
+					nodes[i] = cluster.Node{ID: id, Store: sw}
+				}
+				var err error
+				c, err = cluster.New("chaos-cluster", nodes, cluster.Options{
+					Replication: 3,
+					ReadQuorum:  2,
+					WriteQuorum: 2,
+					// Kills fail fast (no timeouts involved), so the only
+					// job of the node timeout is to be far above any real
+					// in-memory operation.
+					NodeTimeout: 500 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatalf("cluster.New: %v", err)
+				}
+				return c, func() {}
+			}
+
+			kvtest.RunChaos(t, factory, kvtest.ChaosOptions{
+				Seed:         int64(100 + nNodes),
+				OpsPerWorker: 300,
+				NodeKiller:   killer,
+				// Quorum failures during a kill window are chaos, not bugs.
+				AmbiguousErrs: []error{cluster.ErrNoQuorum},
+				PostCheck: func(t *testing.T, s kv.Store) {
+					// With every node restored, hinted handoff must drain
+					// completely...
+					remaining, err := c.FlushHints(context.Background())
+					if err != nil {
+						t.Fatalf("FlushHints after chaos: %v", err)
+					}
+					if remaining != 0 {
+						t.Fatalf("%d hints still pending with every node up", remaining)
+					}
+					// ...and the suite must actually have exercised the
+					// degraded paths it exists to test.
+					st := c.Stats()
+					if st.DegradedWrites == 0 && st.HintsQueued == 0 && st.ReadRepairs == 0 {
+						t.Fatalf("chaos run never degraded a write, queued a hint, or repaired a replica: %+v (kills=%d)",
+							st, killer.Kills())
+					}
+				},
+			})
+		})
+	}
+}

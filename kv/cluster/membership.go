@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"edsc/kv"
+)
+
+// Membership changes: Join adds a node and pulls its share of the key space
+// onto it; Leave drains a node's keys to their new owners and removes it.
+// Both run a live rebalance — reads and writes keep flowing while keys move,
+// which the conformance suite's membership-under-load test exercises.
+//
+// Rebalancing is per key, under the key's stripe lock, using the same
+// winner-by-version resolution as read repair: for each known key, read the
+// copies on the old and new replica sets, install the winner everywhere it
+// now belongs, and delete it from nodes that no longer replicate it. A
+// concurrent write that lands mid-rebalance either happens before the key's
+// turn (the new replica set is already in the ring, so the write goes to the
+// right nodes) or after it (the stripe lock ordered it behind the move);
+// either way no version is lost.
+
+const rebalanceFanout = 8
+
+// Join adds node to the ring and rebalances. Joining an existing ID is an
+// error; the new node starts serving its share of reads only after its keys
+// have been copied.
+func (c *Cluster) Join(ctx context.Context, node Node) error {
+	if node.ID == "" || node.Store == nil {
+		return errors.New("cluster: node needs a non-empty ID and a store")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return kv.ErrClosed
+	}
+	if _, dup := c.members[node.ID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %q already a member", node.ID)
+	}
+	c.members[node.ID] = node.Store
+	c.ring.Add(node.ID)
+	c.mu.Unlock()
+
+	return c.rebalance(ctx, nil)
+}
+
+// Leave drains node's keys to their new owners and removes it from the
+// cluster. The departing store is left open (the caller owns it again) but
+// is kept available as a read source during the drain. Removing the last
+// node, or dropping below the replication factor, is an error.
+func (c *Cluster) Leave(ctx context.Context, nodeID string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return kv.ErrClosed
+	}
+	departing, member := c.members[nodeID]
+	if !member {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %q is not a member", nodeID)
+	}
+	if len(c.members)-1 < c.opts.Replication {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot drop below replication factor %d", c.opts.Replication)
+	}
+	// Remove from ring and membership first: new writes route around the
+	// departing node immediately, then the drain copies what it held.
+	delete(c.members, nodeID)
+	c.ring.Remove(nodeID)
+	delete(c.hints, nodeID)
+	c.mu.Unlock()
+
+	return c.rebalance(ctx, &replica{id: nodeID, store: departing})
+}
+
+// rebalance re-homes every key onto its current replica set. extra, when
+// non-nil, is a departed node still consulted as a read source (and cleaned
+// of records that now live elsewhere).
+func (c *Cluster) rebalance(ctx context.Context, extra *replica) error {
+	reps, err := c.allMembers()
+	if err != nil {
+		return err
+	}
+	sources := reps
+	if extra != nil {
+		sources = append(append([]replica(nil), reps...), *extra)
+	}
+
+	// Union of keys across all sources. A source that cannot list is
+	// skipped — its records either also live on reachable replicas or will
+	// be recovered by read repair / hints once it returns.
+	keySet := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, src := range sources {
+		wg.Add(1)
+		go func(src replica) {
+			defer wg.Done()
+			nctx, cancel := c.nodeCtx(ctx)
+			defer cancel()
+			keys, err := src.store.Keys(nctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			for _, k := range keys {
+				keySet[k] = true
+			}
+			mu.Unlock()
+		}(src)
+	}
+	wg.Wait()
+
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+
+	sem := make(chan struct{}, rebalanceFanout)
+	var moved atomic.Int64
+	var firstErr atomicErr
+	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(key string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n, err := c.rebalanceKey(ctx, key, sources, extra)
+			moved.Add(int64(n))
+			firstErr.set(err)
+		}(key)
+	}
+	wg.Wait()
+
+	c.rebalances.Add(1)
+	c.keysMoved.Add(moved.Load())
+	return firstErr.err()
+}
+
+// rebalanceKey moves one key onto its current replica set: winner by
+// version across all sources, installed where it now belongs, deleted from
+// sources that no longer replicate it.
+func (c *Cluster) rebalanceKey(ctx context.Context, key string, sources []replica, extra *replica) (moved int, err error) {
+	lock := c.lockFor(key)
+	lock.Lock()
+	defer lock.Unlock()
+
+	reps, err := c.replicasFor(key)
+	if err != nil {
+		return 0, err
+	}
+	owner := make(map[string]bool, len(reps))
+	for _, rep := range reps {
+		owner[rep.id] = true
+	}
+
+	// Read every copy (owners and former holders alike).
+	resp := c.fanoutRead(ctx, sources, key)
+	winner := record{}
+	exists := false
+	for _, r := range resp {
+		if r.err == nil && r.exists && (!exists || r.rec.Version > winner.Version) {
+			winner, exists = r.rec, true
+		}
+	}
+	if !exists {
+		return 0, nil // raced with a concurrent rebalance or never existed
+	}
+	c.observeVersion(winner.Version)
+
+	var firstErr error
+	for _, r := range resp {
+		switch {
+		case owner[r.rep.id]:
+			if r.err == nil && r.exists && r.rec.Version >= winner.Version {
+				continue // already current
+			}
+			if err := c.installIfNewer(ctx, r.rep.store, key, winner); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: rebalance %q onto %s: %w", key, r.rep.id, err)
+				}
+				continue
+			}
+			moved++
+		case r.err == nil && r.exists:
+			// Former holder: drop the record only if it was copied out
+			// successfully (firstErr == nil keeps it as a recovery source).
+			if firstErr == nil {
+				nctx, cancel := c.nodeCtx(ctx)
+				derr := r.rep.store.Delete(nctx, key)
+				cancel()
+				if derr != nil && !kv.IsNotFound(derr) && firstErr == nil {
+					firstErr = fmt.Errorf("cluster: rebalance pruning %q from %s: %w", key, r.rep.id, derr)
+				}
+			}
+		}
+	}
+	if extra != nil && firstErr == nil {
+		// The departing node keeps nothing once its keys are re-homed.
+		nctx, cancel := c.nodeCtx(ctx)
+		_ = extra.store.Delete(nctx, key)
+		cancel()
+	}
+	return moved, firstErr
+}
+
+// atomicErr keeps the first error seen across goroutines.
+type atomicErr struct {
+	mu sync.Mutex
+	e  error
+}
+
+func (a *atomicErr) set(err error) {
+	if err == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.e == nil {
+		a.e = err
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomicErr) err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.e
+}

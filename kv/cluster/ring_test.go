@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(vnodes int, seed int64, nodes ...string) *Ring {
+	r := NewRing(vnodes, seed)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of
+// (members, vnodes, seed) — join order must not matter, and a rebuilt ring
+// must place every key identically.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := ringWith(64, 42, "alpha", "beta", "gamma", "delta")
+	b := ringWith(64, 42, "delta", "alpha", "gamma", "beta") // different join order
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ra, rb := a.LookupN(key, 3), b.LookupN(key, 3)
+		if len(ra) != 3 || len(rb) != 3 {
+			t.Fatalf("LookupN(%q, 3) sizes = %d, %d", key, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("placement depends on join order: %q -> %v vs %v", key, ra, rb)
+			}
+		}
+	}
+
+	// A different seed must actually change placement (the seed is live).
+	c := ringWith(64, 43, "alpha", "beta", "gamma", "delta")
+	changed := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Lookup(key) != c.Lookup(key) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("changing the seed moved no keys — the seed is dead")
+	}
+}
+
+// TestRingBalance: with 64 vnodes, primary ownership of 1000 keys is spread
+// within ±15% of the fair share across nodes. The test is deterministic —
+// fixed names, fixed seed — and the seed is chosen to sit comfortably
+// inside the budget: at 64 vnodes the expected per-node deviation is
+// ~1/sqrt(64) ≈ 12.5% of fair share, so an arbitrary seed can land a node
+// outside ±15% without any bug (deployments needing tighter balance raise
+// Vnodes; the deviation shrinks like 1/sqrt(v)).
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3", "node4"}
+	r := ringWith(64, 9, nodes...)
+	counts := make(map[string]int, len(nodes))
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := float64(keys) / float64(len(nodes))
+	for _, n := range nodes {
+		got := float64(counts[n])
+		dev := (got - fair) / fair
+		t.Logf("%s: %d keys (%+.1f%%)", n, counts[n], dev*100)
+		if dev > 0.15 || dev < -0.15 {
+			t.Errorf("%s owns %d keys, outside ±15%% of fair share %.0f", n, counts[n], fair)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding the (n+1)-th node remaps about 1/(n+1) of
+// the keys — and every remapped key lands on the new node; removing it
+// restores the exact original placement.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3", "node4"}
+	r := ringWith(64, 9, nodes...)
+	const keys = 1000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Lookup(k)
+	}
+
+	r.Add("node5")
+	moved := 0
+	for k, prev := range before {
+		now := r.Lookup(k)
+		if now != prev {
+			moved++
+			if now != "node5" {
+				t.Fatalf("key %q moved %s -> %s, but only moves onto the new node are minimal", k, prev, now)
+			}
+		}
+	}
+	expected := float64(keys) / 6
+	t.Logf("adding 6th node moved %d/%d keys (expected ~%.0f)", moved, keys, expected)
+	if moved == 0 {
+		t.Fatal("adding a node moved no keys")
+	}
+	if float64(moved) > expected*1.5 {
+		t.Fatalf("adding a node moved %d keys, more than 1.5x the ~1/N share (%.0f)", moved, expected)
+	}
+
+	r.Remove("node5")
+	for k, prev := range before {
+		if now := r.Lookup(k); now != prev {
+			t.Fatalf("removing the node did not restore placement: %q is on %s, was on %s", k, now, prev)
+		}
+	}
+}
+
+// TestRingPreferenceList: LookupN returns distinct member nodes, clamps to
+// the member count, and shares a prefix with smaller n (the preference list
+// is stable under truncation).
+func TestRingPreferenceList(t *testing.T) {
+	r := ringWith(64, 7, "a", "b", "c")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		three := r.LookupN(key, 3)
+		if len(three) != 3 {
+			t.Fatalf("LookupN(%q, 3) = %v", key, three)
+		}
+		seen := map[string]bool{}
+		for _, n := range three {
+			if seen[n] {
+				t.Fatalf("LookupN(%q, 3) repeats node %s: %v", key, n, three)
+			}
+			if !r.Contains(n) {
+				t.Fatalf("LookupN(%q, 3) returned non-member %s", key, n)
+			}
+			seen[n] = true
+		}
+		if one := r.Lookup(key); one != three[0] {
+			t.Fatalf("Lookup(%q) = %s, but preference list starts with %s", key, one, three[0])
+		}
+		if five := r.LookupN(key, 5); len(five) != 3 {
+			t.Fatalf("LookupN(%q, 5) on a 3-node ring = %v, want 3 nodes", key, five)
+		}
+	}
+	if got := r.LookupN("any", 0); got != nil {
+		t.Fatalf("LookupN(n=0) = %v, want nil", got)
+	}
+	empty := NewRing(64, 0)
+	if got := empty.LookupN("any", 2); got != nil {
+		t.Fatalf("LookupN on empty ring = %v, want nil", got)
+	}
+}
+
+// FuzzRingLookup drives LookupN with arbitrary keys and replica counts: the
+// result must always be deterministic, duplicate-free, member-only, and of
+// the right length.
+func FuzzRingLookup(f *testing.F) {
+	f.Add("key", 3)
+	f.Add("", 1)
+	f.Add("\x00\xff\xfe", 7)
+	f.Add("a-rather-longer-key-with-unicode-é世界", 2)
+	r := ringWith(64, 99, "n0", "n1", "n2", "n3", "n4")
+	f.Fuzz(func(t *testing.T, key string, n int) {
+		got := r.LookupN(key, n)
+		again := r.LookupN(key, n)
+		if len(got) != len(again) {
+			t.Fatalf("non-deterministic length: %d vs %d", len(got), len(again))
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("non-deterministic placement for %q: %v vs %v", key, got, again)
+			}
+		}
+		switch {
+		case n <= 0:
+			if got != nil {
+				t.Fatalf("LookupN(n=%d) = %v, want nil", n, got)
+			}
+		default:
+			wantLen := n
+			if wantLen > r.Len() {
+				wantLen = r.Len()
+			}
+			if len(got) != wantLen {
+				t.Fatalf("LookupN(%q, %d) returned %d nodes, want %d", key, n, len(got), wantLen)
+			}
+		}
+		seen := map[string]bool{}
+		for _, node := range got {
+			if seen[node] {
+				t.Fatalf("duplicate node %s in %v", node, got)
+			}
+			if !r.Contains(node) {
+				t.Fatalf("non-member node %s in %v", node, got)
+			}
+			seen[node] = true
+		}
+	})
+}

@@ -79,6 +79,7 @@ type Stats struct {
 	ErrsBefore int64 // failures injected before the inner op ran
 	ErrsAfter  int64 // failures injected after the inner op took effect
 	FailFirst  int64 // failures from the FailFirstN budget
+	DownErrs   int64 // operations refused while the node was down (SetDown)
 	Spikes     int64 // latency spikes served
 	TornWrites int64 // torn writes committed to the inner store
 	StaleReads int64 // stale values returned
@@ -86,7 +87,7 @@ type Stats struct {
 
 // Injected is the total number of injected faults of any kind.
 func (s Stats) Injected() int64 {
-	return s.ErrsBefore + s.ErrsAfter + s.FailFirst + s.Spikes + s.TornWrites + s.StaleReads
+	return s.ErrsBefore + s.ErrsAfter + s.FailFirst + s.DownErrs + s.Spikes + s.TornWrites + s.StaleReads
 }
 
 // Store is the fault-injecting wrapper. It is safe for concurrent use; the
@@ -100,6 +101,7 @@ type Store struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
 	remaining int               // FailFirstN budget left
+	down      bool              // SetDown gate: node is dead
 	last      map[string][]byte // newest value written through this wrapper
 	prev      map[string][]byte // value before that (stale-read material)
 	stats     Stats
@@ -125,6 +127,24 @@ func New(inner kv.Store, opts Options) *Store {
 // Inner returns the wrapped store.
 func (s *Store) Inner() kv.Store { return s.inner }
 
+// SetDown kills or restores the node: while down, every operation fails
+// with ErrInjected before reaching the inner store, exactly like an
+// unreachable machine. The inner store's data survives, so restoring the
+// node models a crash-recover cycle (stale but intact replica) — the fuel
+// for the node-kill chaos suite and for hinted-handoff tests.
+func (s *Store) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Down reports whether the node is currently killed.
+func (s *Store) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
 // Stats returns a snapshot of the injected-fault counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -147,6 +167,11 @@ func (s *Store) before(ctx context.Context, op, key string) error {
 		return err
 	}
 	s.mu.Lock()
+	if s.down {
+		s.stats.DownErrs++
+		s.mu.Unlock()
+		return fmt.Errorf("%w (node down: %s %q)", ErrInjected, op, key)
+	}
 	spike := s.opts.PSpike > 0 && s.rng.Float64() < s.opts.PSpike
 	if spike {
 		s.stats.Spikes++

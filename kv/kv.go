@@ -131,6 +131,14 @@ var (
 
 	// ErrEmptyKey reports a Put/Get/Delete with an empty key.
 	ErrEmptyKey = errors.New("kv: empty key")
+
+	// ErrAmbiguous marks a write whose outcome is unknown: it may have
+	// applied, partially applied, or not applied at all (a quorum write that
+	// lost its coordinator mid-flight, a pipelined exchange cut off between
+	// send and reply). Layers that retry writes must treat an error wrapping
+	// ErrAmbiguous as non-idempotent territory: blind replay is only safe
+	// when the caller has opted in (kv/resilient's RetryWrites).
+	ErrAmbiguous = errors.New("kv: ambiguous write outcome")
 )
 
 // IsNotFound reports whether err indicates an absent key.

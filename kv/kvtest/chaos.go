@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -31,25 +32,124 @@ type ChaosOptions struct {
 	// Seed drives both the fault injection and the operation mix.
 	Seed int64
 	// ErrBefore, ErrAfter, PSpike override the injected fault rates
-	// (defaults 0.15, 0.10, 0.05).
+	// (defaults 0.15, 0.10, 0.05). Ignored under NodeKiller, where whole-node
+	// kills are the fault model.
 	ErrBefore, ErrAfter, PSpike float64
+
+	// NodeKiller switches the suite to whole-node fault mode: instead of
+	// sandwiching the store in a per-operation fault injector, a background
+	// goroutine kills and restores entire backend nodes mid-workload. The
+	// store under test (a kv/cluster over faulty-wrapped nodes) is expected
+	// to keep answering through the kills; the possibility model switches to
+	// delayed-visibility semantics (see keyState) because a replicated store
+	// may legally surface a previously-failed write later via read repair.
+	NodeKiller *NodeKiller
+	// AmbiguousErrs extends the set of errors the model treats as "the
+	// operation failed but may have (partially) applied". faulty.ErrInjected
+	// and kv.ErrAmbiguous are always included; cluster tests add their
+	// quorum sentinel so reads that die mid-kill are recognized.
+	AmbiguousErrs []error
+	// PostCheck, when set, runs after the workload and final sweep with the
+	// store still open — the hook for cluster tests to flush hints and
+	// assert per-node convergence.
+	PostCheck func(t *testing.T, s kv.Store)
 }
 
-// RunChaos is the chaos conformance suite: it sandwiches the store under
-// test between a fault injector below (kv/faulty with before-apply errors,
-// lost-ack after-apply errors, and latency spikes) and the resilience
-// wrapper above (kv/resilient with retries, hedged reads, write retries
-// opted in), then drives concurrent per-key workloads and checks every
-// observation against a per-key possibility model.
+// NodeSwitch is the kill switch one chaos-controlled node exposes;
+// *faulty.Store implements it (SetDown fails every operation with
+// ErrInjected while down, preserving the node's data — a crash, not a wipe).
+type NodeSwitch interface{ SetDown(bool) }
+
+// NodeKiller kills and restores whole nodes on a seeded schedule. At most
+// one node is down at a time, so a cluster with R=W=2, N=3 always keeps
+// quorum — every violation the model then finds is a real consistency bug,
+// not an artifact of an impossible configuration.
+type NodeKiller struct {
+	// Nodes are the kill switches, one per backend node.
+	Nodes []NodeSwitch
+	// DownTime is how long a killed node stays dead (default 600µs — a few
+	// hundred in-memory quorum operations).
+	DownTime time.Duration
+	// UpTime is the all-nodes-healthy gap between kills (default 300µs).
+	UpTime time.Duration
+
+	kills atomic.Int64
+}
+
+// Kills reports how many node kills the killer has performed.
+func (k *NodeKiller) Kills() int64 { return k.kills.Load() }
+
+// start launches the kill loop. The returned stop function halts it,
+// restores every node, and blocks until the loop has exited.
+func (k *NodeKiller) start(seed int64) (stop func()) {
+	if k.DownTime <= 0 {
+		k.DownTime = 600 * time.Microsecond
+	}
+	if k.UpTime <= 0 {
+		k.UpTime = 300 * time.Microsecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		rng := rand.New(rand.NewSource(seed ^ 0x6b696c6c65720a))
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			i := rng.Intn(len(k.Nodes))
+			k.Nodes[i].SetDown(true)
+			k.kills.Add(1)
+			select {
+			case <-done:
+				k.Nodes[i].SetDown(false)
+				return
+			case <-time.After(k.DownTime):
+			}
+			k.Nodes[i].SetDown(false)
+			select {
+			case <-done:
+				return
+			case <-time.After(k.UpTime):
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		for _, n := range k.Nodes {
+			n.SetDown(false)
+		}
+	}
+}
+
+// RunChaos is the chaos conformance suite: it drives concurrent per-key
+// workloads against the store under test while faults fire, and checks
+// every observation against a per-key possibility model.
 //
-// The model is exact for this workload: each worker owns its keys, so
-// operations on a key are sequential, and an ambiguous failure (an error
-// from a write that may have applied) simply widens the set of values the
-// next read may legally return. Any observation outside that set is a
-// linearizability violation — a real bug in the store, the injector, or
-// the retry policy. Torn writes and stale reads are deliberately not
-// injected here: no retry policy can mask them (kv/faulty's own tests
-// cover their observability).
+// In the default mode the store is sandwiched between a fault injector
+// below (kv/faulty with before-apply errors, lost-ack after-apply errors,
+// and latency spikes) and the resilience wrapper above (kv/resilient with
+// retries, hedged reads, write retries opted in). The model is exact for
+// this workload: each worker owns its keys, so operations on a key are
+// sequential, and an ambiguous failure (an error from a write that may have
+// applied) simply widens the set of values the next read may legally
+// return. Any observation outside that set is a linearizability violation —
+// a real bug in the store, the injector, or the retry policy. Torn writes
+// and stale reads are deliberately not injected here: no retry policy can
+// mask them (kv/faulty's own tests cover their observability).
+//
+// With ChaosOptions.NodeKiller set, whole backend nodes die and recover
+// mid-workload instead, and the model loosens to delayed-visibility
+// semantics: a write that failed ambiguously stays possible even after an
+// older value is observed, because a quorum store may legally complete it
+// later via read repair or hinted handoff. Monotonicity per key is still
+// enforced — once a value is observed, every older write and older delete
+// is impossible forever — so lost updates, resurrections, and backward
+// reads all still fail the suite. The killer stops (and every node is
+// restored) before the final sweep, which then must explain every key.
 //
 // When the wrapped store implements kv.Batch the workload also issues
 // multi-key reads and writes. A successful GetMulti is a simultaneous
@@ -91,14 +191,19 @@ func RunChaos(t *testing.T, f Factory, opts ChaosOptions) {
 
 	t.Run("Chaos", func(t *testing.T) {
 		inner := open(t, f)
-		inj := faulty.New(inner, faulty.Options{
-			Seed:      opts.Seed,
-			ErrBefore: opts.ErrBefore,
-			ErrAfter:  opts.ErrAfter,
-			PSpike:    opts.PSpike,
-			Spike:     200 * time.Microsecond,
-		})
-		res := resilient.New(inj, resilient.Options{
+		var inj *faulty.Store
+		under := inner
+		if opts.NodeKiller == nil {
+			inj = faulty.New(inner, faulty.Options{
+				Seed:      opts.Seed,
+				ErrBefore: opts.ErrBefore,
+				ErrAfter:  opts.ErrAfter,
+				PSpike:    opts.PSpike,
+				Spike:     200 * time.Microsecond,
+			})
+			under = inj
+		}
+		res := resilient.New(under, resilient.Options{
 			RetryWrites: true,
 			MaxRetries:  retries,
 			BaseBackoff: 100 * time.Microsecond,
@@ -107,18 +212,36 @@ func RunChaos(t *testing.T, f Factory, opts ChaosOptions) {
 			Seed:        opts.Seed,
 		})
 
+		var stopKiller func()
+		if k := opts.NodeKiller; k != nil {
+			if len(k.Nodes) == 0 {
+				t.Fatal("NodeKiller configured with no nodes")
+			}
+			stopKiller = k.start(opts.Seed)
+		}
+
 		var wg sync.WaitGroup
 		errs := make(chan error, opts.Workers)
+		workerStates := make([]map[string]*keyState, opts.Workers)
 		for w := 0; w < opts.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				if err := chaosWorker(res, w, opts); err != nil {
+				states, err := chaosWorker(res, w, opts)
+				workerStates[w] = states
+				if err != nil {
 					errs <- err
 				}
 			}(w)
 		}
 		wg.Wait()
+
+		// Every node is healthy again before the final sweep: with the
+		// killer stopped the sweep must fully explain every key.
+		if stopKiller != nil {
+			stopKiller()
+		}
+
 		close(errs)
 		for err := range errs {
 			t.Error(err)
@@ -126,33 +249,219 @@ func RunChaos(t *testing.T, f Factory, opts ChaosOptions) {
 		if t.Failed() {
 			t.FailNow()
 		}
-		if inj.Stats().Injected() == 0 {
-			t.Fatal("chaos run injected no faults — the suite tested nothing")
+
+		for w, states := range workerStates {
+			if err := chaosSweep(res, w, states, opts); err != nil {
+				t.Error(err)
+			}
 		}
-		if st := res.Stats(); st.Retries == 0 {
-			t.Fatalf("faults were injected but nothing was retried: %+v", st)
+		if t.Failed() {
+			t.FailNow()
+		}
+
+		if k := opts.NodeKiller; k != nil {
+			if k.Kills() == 0 {
+				t.Fatal("chaos run killed no nodes — the suite tested nothing")
+			}
+		} else {
+			if inj.Stats().Injected() == 0 {
+				t.Fatal("chaos run injected no faults — the suite tested nothing")
+			}
+			if st := res.Stats(); st.Retries == 0 {
+				t.Fatalf("faults were injected but nothing was retried: %+v", st)
+			}
+		}
+		if opts.PostCheck != nil {
+			opts.PostCheck(t, res)
 		}
 	})
 }
 
-// keyState is the set of values a key may legally hold, given the writes
-// issued and which of them failed ambiguously.
+// chaosAmbiguous reports whether err is a fault the chaos run injected (or
+// an ambiguity the store surfaced) rather than a real bug. faulty.ErrInjected
+// covers both sandwich-mode injections and killed-node refusals;
+// kv.ErrAmbiguous covers stores that mark may-have-applied failures.
+func chaosAmbiguous(err error, opts ChaosOptions) bool {
+	if errors.Is(err, faulty.ErrInjected) || errors.Is(err, kv.ErrAmbiguous) {
+		return true
+	}
+	for _, e := range opts.AmbiguousErrs {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyState is the set of states a key may legally be in, given the writes
+// issued so far and which of them failed ambiguously. Every write (put or
+// delete) gets a per-key monotonically increasing index; vals maps each
+// possibly-present value to its write index and absents holds the indexes
+// of possibly-winning deletes (index 0 is the key's initial absence).
+//
+// In strict mode (the sandwich injector) an observation collapses the set:
+// a read that returns v makes v the only possible value, and a read that
+// returns absent makes absence certain. In delayed mode (NodeKiller) an
+// observation only establishes a floor: observing the value written at
+// index i erases every value and delete older than i — they lost — but
+// writes issued after i that failed ambiguously remain possible, because a
+// replicated store may complete them later via read repair or hinted
+// handoff. Both modes agree that observations are monotone per key; delayed
+// mode merely declines to rule out the still-pending future.
 type keyState struct {
-	vals   map[string]bool // possible present values
-	absent bool            // whether "absent" is possible
+	delayed bool
+	nextIdx int
+	vals    map[string]int // possibly-present value -> write index
+	absents map[int]bool   // write indexes of possibly-winning deletes
 }
 
-func newKeyState() *keyState {
-	return &keyState{vals: make(map[string]bool), absent: true}
+func newKeyState(delayed bool) *keyState {
+	return &keyState{
+		delayed: delayed,
+		nextIdx: 1,
+		vals:    make(map[string]int),
+		absents: map[int]bool{0: true}, // initially absent
+	}
 }
 
-// chaosWorker drives one key space and checks every observation.
-func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
+func (st *keyState) next() int {
+	i := st.nextIdx
+	st.nextIdx++
+	return i
+}
+
+func (st *keyState) minAbsent() int {
+	min, first := 0, true
+	for i := range st.absents {
+		if first || i < min {
+			min, first = i, false
+		}
+	}
+	return min
+}
+
+func (st *keyState) minVal() int {
+	min, first := 0, true
+	for _, i := range st.vals {
+		if first || i < min {
+			min, first = i, false
+		}
+	}
+	return min
+}
+
+// noteWriteOK records a write that definitely applied: it beats everything
+// issued before it, in both modes.
+func (st *keyState) noteWriteOK(v string) {
+	idx := st.next()
+	st.vals = map[string]int{v: idx}
+	st.absents = map[int]bool{}
+}
+
+// noteWriteAmbig records a write that may or may not have applied.
+func (st *keyState) noteWriteAmbig(v string) {
+	st.vals[v] = st.next()
+}
+
+// noteDeleteOK records a delete that definitely applied.
+func (st *keyState) noteDeleteOK() {
+	idx := st.next()
+	st.vals = map[string]int{}
+	st.absents = map[int]bool{idx: true}
+}
+
+// noteDeleteAmbig records a delete that may or may not have applied.
+func (st *keyState) noteDeleteAmbig() {
+	st.absents[st.next()] = true
+}
+
+// observeValue folds in a read that returned v. It reports false when v is
+// not a possible value — a linearizability violation.
+func (st *keyState) observeValue(v string) bool {
+	idx, ok := st.vals[v]
+	if !ok {
+		return false
+	}
+	if st.delayed {
+		// Everything older than the observed write has lost; later
+		// ambiguous writes stay possible.
+		for val, i := range st.vals {
+			if i < idx {
+				delete(st.vals, val)
+			}
+		}
+		for i := range st.absents {
+			if i < idx {
+				delete(st.absents, i)
+			}
+		}
+		return true
+	}
+	st.vals = map[string]int{v: idx}
+	st.absents = map[int]bool{}
+	return true
+}
+
+// observeAbsent folds in a read that found the key absent. It reports false
+// when absence is impossible.
+func (st *keyState) observeAbsent() bool {
+	if len(st.absents) == 0 {
+		return false
+	}
+	if st.delayed {
+		// Some delete (or the initial absence) won; values older than every
+		// candidate are gone for good, newer pending values may yet land.
+		ma := st.minAbsent()
+		for val, i := range st.vals {
+			if i < ma {
+				delete(st.vals, val)
+			}
+		}
+		return true
+	}
+	st.vals = map[string]int{}
+	return true
+}
+
+// observeContains folds in Contains(key) = true: some value is present,
+// though we do not learn which. It reports false when the key must be
+// absent.
+func (st *keyState) observeContains() bool {
+	if len(st.vals) == 0 {
+		return false
+	}
+	if st.delayed {
+		// Deletes older than every candidate value have lost.
+		mv := st.minVal()
+		for i := range st.absents {
+			if i < mv {
+				delete(st.absents, i)
+			}
+		}
+		return true
+	}
+	st.absents = map[int]bool{}
+	return true
+}
+
+// possible reports whether value v is currently possible (final sweep).
+func (st *keyState) possible(v string) bool {
+	_, ok := st.vals[v]
+	return ok
+}
+
+func (st *keyState) absentPossible() bool { return len(st.absents) > 0 }
+
+// chaosWorker drives one key space through the operation mix, folding every
+// outcome into the possibility model. It returns its per-key states so the
+// caller can run the final sweep after the fault source has stopped.
+func chaosWorker(s kv.Store, w int, opts ChaosOptions) (map[string]*keyState, error) {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+	delayed := opts.NodeKiller != nil
 	states := make(map[string]*keyState, opts.KeysPerWorker)
 	for i := 0; i < opts.KeysPerWorker; i++ {
-		states[fmt.Sprintf("chaos-w%d-k%d", w, i)] = newKeyState()
+		states[fmt.Sprintf("chaos-w%d-k%d", w, i)] = newKeyState(delayed)
 	}
 	keys := make([]string, 0, len(states))
 	for k := range states {
@@ -176,36 +485,30 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 			err := s.Put(ctx, k, []byte(v))
 			switch {
 			case err == nil:
-				st.vals = map[string]bool{v: true}
-				st.absent = false
-			case errors.Is(err, faulty.ErrInjected):
-				// Ambiguous: the write may or may not have applied.
-				st.vals[v] = true
+				st.noteWriteOK(v)
+			case chaosAmbiguous(err, opts):
+				st.noteWriteAmbig(v)
 			default:
-				return fmt.Errorf("worker %d op %d: Put(%q): %v", w, op, k, err)
+				return states, fmt.Errorf("worker %d op %d: Put(%q): %v", w, op, k, err)
 			}
 
 		case draw < 0.62: // get
 			v, err := s.Get(ctx, k)
 			switch {
 			case err == nil:
-				if !st.vals[string(v)] {
-					return fmt.Errorf("worker %d op %d: Get(%q) = %q, not in possible set %v",
+				if !st.observeValue(string(v)) {
+					return states, fmt.Errorf("worker %d op %d: Get(%q) = %q, not in possible set %v",
 						w, op, k, v, possibleList(st))
 				}
-				st.vals = map[string]bool{string(v): true}
-				st.absent = false
 			case kv.IsNotFound(err):
-				if !st.absent {
-					return fmt.Errorf("worker %d op %d: Get(%q) = NotFound, but key cannot be absent (possible %v)",
+				if !st.observeAbsent() {
+					return states, fmt.Errorf("worker %d op %d: Get(%q) = NotFound, but key cannot be absent (possible %v)",
 						w, op, k, possibleList(st))
 				}
-				st.vals = map[string]bool{}
-				st.absent = true
-			case errors.Is(err, faulty.ErrInjected):
+			case chaosAmbiguous(err, opts):
 				// Retries exhausted; the read observed nothing.
 			default:
-				return fmt.Errorf("worker %d op %d: Get(%q): %v", w, op, k, err)
+				return states, fmt.Errorf("worker %d op %d: Get(%q): %v", w, op, k, err)
 			}
 
 		case draw < 0.74: // delete
@@ -214,40 +517,33 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 			case err == nil:
 				// Deleted now, or found already deleted after a transient
 				// failure — either way the key ends absent.
-				st.vals = map[string]bool{}
-				st.absent = true
+				st.noteDeleteOK()
 			case kv.IsNotFound(err):
-				if !st.absent {
-					return fmt.Errorf("worker %d op %d: Delete(%q) = NotFound, but key cannot be absent (possible %v)",
+				if !st.observeAbsent() {
+					return states, fmt.Errorf("worker %d op %d: Delete(%q) = NotFound, but key cannot be absent (possible %v)",
 						w, op, k, possibleList(st))
 				}
-				st.vals = map[string]bool{}
-				st.absent = true
-			case errors.Is(err, faulty.ErrInjected):
-				// Ambiguous: the delete may have applied.
-				st.absent = true
+			case chaosAmbiguous(err, opts):
+				st.noteDeleteAmbig()
 			default:
-				return fmt.Errorf("worker %d op %d: Delete(%q): %v", w, op, k, err)
+				return states, fmt.Errorf("worker %d op %d: Delete(%q): %v", w, op, k, err)
 			}
 
 		case draw < 0.82: // contains
 			ok, err := s.Contains(ctx, k)
 			switch {
 			case err == nil && ok:
-				if len(st.vals) == 0 {
-					return fmt.Errorf("worker %d op %d: Contains(%q) = true, but key must be absent", w, op, k)
+				if !st.observeContains() {
+					return states, fmt.Errorf("worker %d op %d: Contains(%q) = true, but key must be absent", w, op, k)
 				}
-				st.absent = false
 			case err == nil && !ok:
-				if !st.absent {
-					return fmt.Errorf("worker %d op %d: Contains(%q) = false, but key cannot be absent (possible %v)",
+				if !st.observeAbsent() {
+					return states, fmt.Errorf("worker %d op %d: Contains(%q) = false, but key cannot be absent (possible %v)",
 						w, op, k, possibleList(st))
 				}
-				st.vals = map[string]bool{}
-				st.absent = true
-			case errors.Is(err, faulty.ErrInjected):
+			case chaosAmbiguous(err, opts):
 			default:
-				return fmt.Errorf("worker %d op %d: Contains(%q): %v", w, op, k, err)
+				return states, fmt.Errorf("worker %d op %d: Contains(%q): %v", w, op, k, err)
 			}
 
 		case draw < 0.91: // getmulti
@@ -259,22 +555,16 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 				for _, bk := range ks {
 					bst := states[bk]
 					if v, ok := m[bk]; ok {
-						if !bst.vals[string(v)] {
-							return fmt.Errorf("worker %d op %d: GetMulti(%q) = %q, not in possible set %v",
+						if !bst.observeValue(string(v)) {
+							return states, fmt.Errorf("worker %d op %d: GetMulti(%q) = %q, not in possible set %v",
 								w, op, bk, v, possibleList(bst))
 						}
-						bst.vals = map[string]bool{string(v): true}
-						bst.absent = false
-					} else {
-						if !bst.absent {
-							return fmt.Errorf("worker %d op %d: GetMulti omitted %q, but key cannot be absent (possible %v)",
-								w, op, bk, possibleList(bst))
-						}
-						bst.vals = map[string]bool{}
-						bst.absent = true
+					} else if !bst.observeAbsent() {
+						return states, fmt.Errorf("worker %d op %d: GetMulti omitted %q, but key cannot be absent (possible %v)",
+							w, op, bk, possibleList(bst))
 					}
 				}
-			case errors.Is(err, faulty.ErrInjected):
+			case chaosAmbiguous(err, opts):
 				// Retries exhausted. Any values the partial result does carry
 				// are still real observations; keys it omits told us nothing
 				// (unread vs. read-and-absent is indistinguishable here).
@@ -284,15 +574,13 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 						continue
 					}
 					bst := states[bk]
-					if !bst.vals[string(v)] {
-						return fmt.Errorf("worker %d op %d: partial GetMulti(%q) = %q, not in possible set %v",
+					if !bst.observeValue(string(v)) {
+						return states, fmt.Errorf("worker %d op %d: partial GetMulti(%q) = %q, not in possible set %v",
 							w, op, bk, v, possibleList(bst))
 					}
-					bst.vals = map[string]bool{string(v): true}
-					bst.absent = false
 				}
 			default:
-				return fmt.Errorf("worker %d op %d: GetMulti(%v): %v", w, op, ks, err)
+				return states, fmt.Errorf("worker %d op %d: GetMulti(%v): %v", w, op, ks, err)
 			}
 
 		default: // putmulti
@@ -305,37 +593,45 @@ func chaosWorker(s kv.Store, w int, opts ChaosOptions) error {
 			switch {
 			case err == nil:
 				for bk, v := range pairs {
-					states[bk].vals = map[string]bool{string(v): true}
-					states[bk].absent = false
+					states[bk].noteWriteOK(string(v))
 				}
-			case errors.Is(err, faulty.ErrInjected):
+			case chaosAmbiguous(err, opts):
 				// Ambiguous per key: the resilience layer may have split the
 				// batch, so each write independently may or may not have
 				// applied.
 				for bk, v := range pairs {
-					states[bk].vals[string(v)] = true
+					states[bk].noteWriteAmbig(string(v))
 				}
 			default:
-				return fmt.Errorf("worker %d op %d: PutMulti(%v): %v", w, op, ks, err)
+				return states, fmt.Errorf("worker %d op %d: PutMulti(%v): %v", w, op, ks, err)
 			}
 		}
 	}
+	return states, nil
+}
 
-	// Final sweep: every key must still be explainable.
-	for _, k := range keys {
-		st := states[k]
+// chaosSweep re-reads every key after the workload (and, under NodeKiller,
+// after every node has been restored): each key must still be explainable
+// by its possibility set.
+func chaosSweep(s kv.Store, w int, states map[string]*keyState, opts ChaosOptions) error {
+	ctx := context.Background()
+	for k, st := range states {
 		v, err := s.Get(ctx, k)
 		switch {
 		case err == nil:
-			if !st.vals[string(v)] {
+			if !st.possible(string(v)) {
 				return fmt.Errorf("worker %d final: Get(%q) = %q, not in possible set %v", w, k, v, possibleList(st))
 			}
 		case kv.IsNotFound(err):
-			if !st.absent {
+			if !st.absentPossible() {
 				return fmt.Errorf("worker %d final: Get(%q) = NotFound, but key cannot be absent (possible %v)",
 					w, k, possibleList(st))
 			}
-		case errors.Is(err, faulty.ErrInjected):
+		case chaosAmbiguous(err, opts):
+			if opts.NodeKiller != nil {
+				// All nodes are up; the final read has no excuse to fail.
+				return fmt.Errorf("worker %d final: Get(%q) failed with all nodes healthy: %v", w, k, err)
+			}
 		default:
 			return fmt.Errorf("worker %d final: Get(%q): %v", w, k, err)
 		}
@@ -361,7 +657,7 @@ func possibleList(st *keyState) []string {
 	for v := range st.vals {
 		out = append(out, v)
 	}
-	if st.absent {
+	if len(st.absents) > 0 {
 		out = append(out, "<absent>")
 	}
 	return out

@@ -1,0 +1,326 @@
+package kvtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"edsc/kv"
+	"edsc/kv/cluster"
+	"edsc/kv/faulty"
+)
+
+// NodeFactory builds one backend node for the cluster conformance suite.
+// The returned cleanup runs after the subtest; it must tolerate the store
+// already having been closed (the cluster closes members it still owns).
+type NodeFactory func(t *testing.T, id string) (kv.Store, func())
+
+// MemNodeFactory is the default NodeFactory: an in-process kv.Mem per node.
+func MemNodeFactory(t *testing.T, id string) (kv.Store, func()) {
+	return kv.NewMem(id), func() {}
+}
+
+// testCluster is a cluster under test plus the handles the suite needs to
+// misbehave and to inspect: per-node kill switches (faulty wrappers) and
+// the raw inner stores, for direct replica inspection past the cluster's
+// own read path.
+type testCluster struct {
+	c   *cluster.Cluster
+	ids []string
+	sw  []*faulty.Store // kill switch per node, same order as ids
+	raw []kv.Store      // unwrapped store per node
+}
+
+func buildCluster(t *testing.T, newNode NodeFactory, n int, opts cluster.Options) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	nodes := make([]cluster.Node, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node%d", i)
+		inner, cleanup := newNode(t, id)
+		t.Cleanup(cleanup)
+		sw := faulty.New(inner, faulty.Options{})
+		tc.ids = append(tc.ids, id)
+		tc.sw = append(tc.sw, sw)
+		tc.raw = append(tc.raw, inner)
+		nodes[i] = cluster.Node{ID: id, Store: sw}
+	}
+	c, err := cluster.New("cluster-under-test", nodes, opts)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	tc.c = c
+	return tc
+}
+
+// nodeRecord reads key directly from one backend node, bypassing the
+// cluster — the ground truth for replica-state assertions.
+func nodeRecord(t *testing.T, s kv.Store, key string) (cluster.Record, bool) {
+	t.Helper()
+	b, err := s.Get(context.Background(), key)
+	if kv.IsNotFound(err) {
+		return cluster.Record{}, false
+	}
+	if err != nil {
+		t.Fatalf("direct node read of %q: %v", key, err)
+	}
+	rec, err := cluster.DecodeRecord(b)
+	if err != nil {
+		t.Fatalf("node holds %q in a non-cluster format: %v", key, err)
+	}
+	return rec, true
+}
+
+// RunCluster is the conformance suite for the distributed tier: it builds
+// small clusters from newNode backends and checks the behaviors that make
+// quorum replication honest — typed quorum failures, hinted handoff that
+// drains on recovery, read repair that converges replicas (asserted by
+// per-node inspection, not through the cluster's own reads), and membership
+// changes under live load that lose no key.
+func RunCluster(t *testing.T, newNode NodeFactory) {
+	t.Run("Cluster", func(t *testing.T) {
+		t.Run("QuorumUnreachable", func(t *testing.T) { clusterQuorumUnreachable(t, newNode) })
+		t.Run("HintedHandoff", func(t *testing.T) { clusterHintedHandoff(t, newNode) })
+		t.Run("ReadRepair", func(t *testing.T) { clusterReadRepair(t, newNode) })
+		t.Run("MembershipUnderLoad", func(t *testing.T) { clusterMembership(t, newNode) })
+	})
+}
+
+// clusterQuorumUnreachable: with too few replicas alive, reads and writes
+// fail with a typed *kv.StoreError wrapping cluster.ErrNoQuorum (and, for
+// writes, kv.ErrAmbiguous — the survivors may have applied it); recovery
+// restores service.
+func clusterQuorumUnreachable(t *testing.T, newNode NodeFactory) {
+	ctx := context.Background()
+	tc := buildCluster(t, newNode, 3, cluster.Options{ReadQuorum: 2, WriteQuorum: 2})
+
+	if err := tc.c.Put(ctx, "q", []byte("v1")); err != nil {
+		t.Fatalf("Put with all nodes up: %v", err)
+	}
+
+	tc.sw[0].SetDown(true)
+	tc.sw[1].SetDown(true)
+
+	_, err := tc.c.Get(ctx, "q")
+	if err == nil {
+		t.Fatal("Get succeeded with 2 of 3 nodes down (R=2)")
+	}
+	var se *kv.StoreError
+	if !errors.As(err, &se) {
+		t.Fatalf("quorum failure is not a *kv.StoreError: %v", err)
+	}
+	if se.Op != "get" || se.Store != tc.c.Name() {
+		t.Fatalf("StoreError fields = %q/%q, want get/%q", se.Op, se.Store, tc.c.Name())
+	}
+	if !errors.Is(err, cluster.ErrNoQuorum) {
+		t.Fatalf("read quorum failure does not wrap ErrNoQuorum: %v", err)
+	}
+	if !errors.Is(err, faulty.ErrInjected) {
+		t.Fatalf("quorum failure hides its node causes: %v", err)
+	}
+
+	err = tc.c.Put(ctx, "q", []byte("v2"))
+	if err == nil {
+		t.Fatal("Put succeeded with 2 of 3 nodes down (W=2)")
+	}
+	if !errors.Is(err, cluster.ErrNoQuorum) || !errors.Is(err, kv.ErrAmbiguous) {
+		t.Fatalf("write quorum failure must wrap ErrNoQuorum and kv.ErrAmbiguous: %v", err)
+	}
+
+	tc.sw[0].SetDown(false)
+	tc.sw[1].SetDown(false)
+	if err := tc.c.Put(ctx, "q", []byte("v3")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if v, err := tc.c.Get(ctx, "q"); err != nil || string(v) != "v3" {
+		t.Fatalf("Get after recovery = %q, %v, want v3", v, err)
+	}
+	if st := tc.c.Stats(); st.QuorumFailures == 0 {
+		t.Fatal("Stats recorded no quorum failures")
+	}
+}
+
+// clusterHintedHandoff: a write that misses a down replica succeeds
+// degraded and leaves a hint; after the node recovers, FlushHints installs
+// the record on it — verified on the node itself.
+func clusterHintedHandoff(t *testing.T, newNode NodeFactory) {
+	ctx := context.Background()
+	tc := buildCluster(t, newNode, 3, cluster.Options{ReadQuorum: 2, WriteQuorum: 2})
+
+	victim := 2
+	tc.sw[victim].SetDown(true)
+
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		if err := tc.c.Put(ctx, fmt.Sprintf("h%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("degraded Put h%d: %v", i, err)
+		}
+	}
+	if tc.c.PendingHints() == 0 {
+		t.Fatal("writes missed a down replica but no hints were queued")
+	}
+	if _, ok := nodeRecord(t, tc.raw[victim], "h0"); ok {
+		// Down means down: nothing may have reached the victim's store.
+		t.Fatal("down node received a write")
+	}
+
+	tc.sw[victim].SetDown(false)
+	remaining, err := tc.c.FlushHints(ctx)
+	if err != nil {
+		t.Fatalf("FlushHints: %v", err)
+	}
+	if remaining != 0 {
+		t.Fatalf("FlushHints left %d hints pending with every node up", remaining)
+	}
+
+	// The recovered node must now hold every record it missed, bit-perfect.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("h%d", i)
+		rec, ok := nodeRecord(t, tc.raw[victim], key)
+		if !ok {
+			t.Fatalf("hint for %q never drained to the recovered node", key)
+		}
+		if string(rec.Value) != fmt.Sprintf("v%d", i) || rec.Tombstone {
+			t.Fatalf("drained record for %q = %q (tomb=%v), want v%d", key, rec.Value, rec.Tombstone, i)
+		}
+	}
+	if st := tc.c.Stats(); st.HintsQueued == 0 || st.HintsReplayed == 0 {
+		t.Fatalf("hint counters did not move: %+v", st)
+	}
+}
+
+// clusterReadRepair: a replica holding a stale version is converged by the
+// read path — asserted by inspecting the replica directly afterwards.
+func clusterReadRepair(t *testing.T, newNode NodeFactory) {
+	ctx := context.Background()
+	tc := buildCluster(t, newNode, 3, cluster.Options{ReadQuorum: 2, WriteQuorum: 2})
+
+	if err := tc.c.Put(ctx, "rr", []byte("current")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	cur, ok := nodeRecord(t, tc.raw[0], "rr")
+	if !ok {
+		t.Fatal("replica 0 missing the record after a full write")
+	}
+
+	// Corrupt one replica back in time: an older version with a stale value,
+	// planted directly on the node (as if it had missed the newest write).
+	stale := cluster.Record{Version: cur.Version - 1, Value: []byte("stale")}
+	victim := 1
+	if err := tc.raw[victim].Put(ctx, "rr", stale.Encode()); err != nil {
+		t.Fatalf("planting stale replica: %v", err)
+	}
+
+	v, err := tc.c.Get(ctx, "rr")
+	if err != nil || string(v) != "current" {
+		t.Fatalf("Get over divergent replicas = %q, %v, want current", v, err)
+	}
+
+	// The read must have repaired the stale replica in place.
+	rec, ok := nodeRecord(t, tc.raw[victim], "rr")
+	if !ok {
+		t.Fatal("stale replica vanished instead of being repaired")
+	}
+	if rec.Version != cur.Version || string(rec.Value) != "current" {
+		t.Fatalf("replica after read repair = version %d value %q, want version %d value current",
+			rec.Version, rec.Value, cur.Version)
+	}
+	if st := tc.c.Stats(); st.ReadRepairs == 0 {
+		t.Fatal("Stats recorded no read repairs")
+	}
+}
+
+// clusterMembership: join and leave rebalance live, under concurrent reads,
+// without losing a key. Afterward every key is fully replicated on the new
+// membership and the departed node holds nothing.
+func clusterMembership(t *testing.T, newNode NodeFactory) {
+	ctx := context.Background()
+	tc := buildCluster(t, newNode, 3, cluster.Options{ReadQuorum: 2, WriteQuorum: 2})
+
+	const staticKeys = 40
+	want := make(map[string]string, staticKeys)
+	for i := 0; i < staticKeys; i++ {
+		k, v := fmt.Sprintf("m%d", i), fmt.Sprintf("val%d", i)
+		want[k] = v
+		if err := tc.c.Put(ctx, k, []byte(v)); err != nil {
+			t.Fatalf("preload %s: %v", k, err)
+		}
+	}
+
+	// Continuous reads while membership changes underneath.
+	var stop atomic.Bool
+	var readErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w
+			for !stop.Load() {
+				k := fmt.Sprintf("m%d", i%staticKeys)
+				v, err := tc.c.Get(ctx, k)
+				if err != nil || string(v) != want[k] {
+					readErr.Store(fmt.Errorf("mid-rebalance Get(%s) = %q, %v, want %q", k, v, err, want[k]))
+					return
+				}
+				i++
+			}
+		}(w)
+	}
+
+	// Join a fresh node, then retire one of the originals.
+	joinInner, cleanup := newNode(t, "node3")
+	t.Cleanup(cleanup)
+	joinSw := faulty.New(joinInner, faulty.Options{})
+	if err := tc.c.Join(ctx, cluster.Node{ID: "node3", Store: joinSw}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	departed := 0
+	if err := tc.c.Leave(ctx, tc.ids[departed]); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	if err := readErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No key lost: every value still reads back, and Len agrees.
+	for k, v := range want {
+		got, err := tc.c.Get(ctx, k)
+		if err != nil || string(got) != v {
+			t.Fatalf("after rebalance Get(%s) = %q, %v, want %q", k, got, err, v)
+		}
+	}
+	if n, err := tc.c.Len(ctx); err != nil || n != staticKeys {
+		t.Fatalf("after rebalance Len = %d, %v, want %d", n, err, staticKeys)
+	}
+
+	// Replication is restored on the new membership: every key lives on at
+	// least W current nodes (checked directly), and the departed node was
+	// drained empty.
+	members := []kv.Store{tc.raw[1], tc.raw[2], joinInner}
+	for k := range want {
+		copies := 0
+		for _, m := range members {
+			if _, ok := nodeRecord(t, m, k); ok {
+				copies++
+			}
+		}
+		if copies < 2 {
+			t.Fatalf("key %s has %d copies on the new membership, want >= 2", k, copies)
+		}
+	}
+	if n, err := tc.raw[departed].Len(ctx); err != nil || n != 0 {
+		t.Fatalf("departed node still holds %d records (err %v), want 0", n, err)
+	}
+
+	if st := tc.c.Stats(); st.Rebalances < 2 || st.KeysMoved == 0 {
+		t.Fatalf("rebalance counters did not move: %+v", st)
+	}
+}

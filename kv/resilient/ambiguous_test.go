@@ -1,0 +1,157 @@
+package resilient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"edsc/kv"
+	"edsc/kv/resilient"
+)
+
+// ambiguousBatch models a replicated store whose batch write partially
+// applies and then fails ambiguously — the shape of a cluster PutMulti that
+// reached some replicas but missed its write quorum. The first PutMulti
+// call installs exactly one pair (non-idempotent evidence: a counter
+// records every application) and returns an error wrapping kv.ErrAmbiguous;
+// later calls succeed.
+type ambiguousBatch struct {
+	*kv.Mem
+	putMultiCalls atomic.Int64
+	putCalls      atomic.Int64
+	applied       atomic.Int64 // individual pair applications, any path
+}
+
+func (m *ambiguousBatch) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	call := m.putMultiCalls.Add(1)
+	if call == 1 {
+		for k, v := range pairs {
+			// Apply one pair, then die ambiguously.
+			if err := m.Mem.Put(ctx, k, v); err != nil {
+				return err
+			}
+			m.applied.Add(1)
+			break
+		}
+		return &kv.StoreError{Store: "ambig", Op: "putmulti",
+			Err: fmt.Errorf("quorum lost mid-write: %w", errors.Join(kv.ErrAmbiguous, errors.New("node b: connection reset")))}
+	}
+	for k, v := range pairs {
+		if err := m.Mem.Put(ctx, k, v); err != nil {
+			return err
+		}
+		m.applied.Add(1)
+	}
+	return nil
+}
+
+func (m *ambiguousBatch) Put(ctx context.Context, key string, value []byte) error {
+	m.putCalls.Add(1)
+	m.applied.Add(1)
+	return m.Mem.Put(ctx, key, value)
+}
+
+// GetMulti completes the kv.Batch interface (kv.As discovers the pair).
+func (m *ambiguousBatch) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	return kv.GetMulti(ctx, m.Mem, keys)
+}
+
+// TestPutMultiAmbiguousNotReplayedWithoutOptIn pins the idempotency gate:
+// without RetryWrites, a batch write that failed ambiguously (it may have
+// partially applied) must NOT be replayed via the per-key split path — the
+// ambiguity surfaces to the caller instead, exactly like the miniredis
+// client's refusal to replay a non-idempotent exchange.
+func TestPutMultiAmbiguousNotReplayedWithoutOptIn(t *testing.T) {
+	ctx := context.Background()
+	inner := &ambiguousBatch{Mem: kv.NewMem("ambig")}
+	s := resilient.New(inner, resilient.Options{MaxRetries: 3}) // RetryWrites: false
+	defer s.Close()
+
+	pairs := map[string][]byte{"a": []byte("1"), "b": []byte("2"), "c": []byte("3")}
+	err := s.PutMulti(ctx, pairs)
+	if err == nil {
+		t.Fatal("ambiguous PutMulti reported success without RetryWrites")
+	}
+	if !errors.Is(err, kv.ErrAmbiguous) {
+		t.Fatalf("error lost the ambiguity marker: %v", err)
+	}
+	if got := inner.putMultiCalls.Load(); got != 1 {
+		t.Fatalf("native PutMulti called %d times, want exactly 1 (no blind replay)", got)
+	}
+	if got := inner.putCalls.Load(); got != 0 {
+		t.Fatalf("split path replayed %d per-key Puts despite RetryWrites=false", got)
+	}
+	if got := inner.applied.Load(); got != 1 {
+		t.Fatalf("pairs applied %d times, want the 1 partial application only", got)
+	}
+}
+
+// TestPutMultiAmbiguousReplayedWithOptIn is the flip side: RetryWrites is
+// the caller's declaration that its writes are idempotent, so the same
+// ambiguous failure is retried and the batch completes.
+func TestPutMultiAmbiguousReplayedWithOptIn(t *testing.T) {
+	ctx := context.Background()
+	inner := &ambiguousBatch{Mem: kv.NewMem("ambig")}
+	s := resilient.New(inner, resilient.Options{MaxRetries: 3, RetryWrites: true})
+	defer s.Close()
+
+	pairs := map[string][]byte{"a": []byte("1"), "b": []byte("2"), "c": []byte("3")}
+	if err := s.PutMulti(ctx, pairs); err != nil {
+		t.Fatalf("PutMulti with RetryWrites: %v", err)
+	}
+	for k, want := range pairs {
+		got, err := s.Get(ctx, k)
+		if err != nil || string(got) != string(want) {
+			t.Fatalf("after retried batch, Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	if got := inner.putMultiCalls.Load(); got < 2 {
+		t.Fatalf("native PutMulti called %d times, want a retry after the ambiguous failure", got)
+	}
+}
+
+// TestPutMultiTransientStillSplitsWithoutOptIn guards against overcorrecting:
+// a batch failure that is NOT ambiguous (nothing applied — e.g. the inner
+// store refused the call outright) may still fall to the per-key split path
+// even without RetryWrites, because re-issuing an unapplied write is not a
+// replay.
+func TestPutMultiTransientStillSplitsWithoutOptIn(t *testing.T) {
+	ctx := context.Background()
+	inner := &rejectOnceBatch{Mem: kv.NewMem("transient")}
+	s := resilient.New(inner, resilient.Options{MaxRetries: 3}) // RetryWrites: false
+	defer s.Close()
+
+	pairs := map[string][]byte{"a": []byte("1"), "b": []byte("2")}
+	if err := s.PutMulti(ctx, pairs); err != nil {
+		t.Fatalf("PutMulti: %v", err)
+	}
+	if got := inner.putCalls.Load(); got != int64(len(pairs)) {
+		t.Fatalf("split path issued %d per-key Puts, want %d", got, len(pairs))
+	}
+}
+
+// rejectOnceBatch fails its first PutMulti before applying anything — a
+// clean transient, no ambiguity marker.
+type rejectOnceBatch struct {
+	*kv.Mem
+	putMultiCalls atomic.Int64
+	putCalls      atomic.Int64
+}
+
+func (m *rejectOnceBatch) PutMulti(ctx context.Context, pairs map[string][]byte) error {
+	if m.putMultiCalls.Add(1) == 1 {
+		return &kv.StoreError{Store: "transient", Op: "putmulti", Err: errors.New("backend briefly unavailable")}
+	}
+	return kv.PutMulti(ctx, m.Mem, pairs)
+}
+
+func (m *rejectOnceBatch) Put(ctx context.Context, key string, value []byte) error {
+	m.putCalls.Add(1)
+	return m.Mem.Put(ctx, key, value)
+}
+
+func (m *rejectOnceBatch) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
+	return kv.GetMulti(ctx, m.Mem, keys)
+}

@@ -2,6 +2,7 @@ package resilient
 
 import (
 	"context"
+	"errors"
 
 	"edsc/kv"
 )
@@ -56,12 +57,23 @@ func (s *Store) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 
 // PutMulti implements kv.Batch. The native batch write is a blind write and
 // follows the RetryWrites policy, as does each per-key Put on the split path.
+//
+// The split path is itself a replay: re-issuing the batch per key re-applies
+// writes the failed native attempt may already have landed (a quorum write
+// that reached some replicas, a pipelined MSET cut off mid-exchange). When
+// the failure marks itself ambiguous — errors.Is(err, kv.ErrAmbiguous) —
+// the split only proceeds if the caller opted into write replay via
+// RetryWrites; otherwise the ambiguity surfaces unresolved, mirroring the
+// miniredis client's non-idempotent exchange rule one layer down.
 func (s *Store) PutMulti(ctx context.Context, pairs map[string][]byte) error {
 	if b, ok := kv.As[kv.Batch](s.inner); ok {
 		err := s.do(ctx, "putmulti", s.writeRetries(), func(actx context.Context) error {
 			return b.PutMulti(actx, pairs)
 		})
 		if err == nil || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if !s.opts.RetryWrites && errors.Is(err, kv.ErrAmbiguous) {
 			return err
 		}
 		s.splits.Add(1)

@@ -18,7 +18,8 @@ import (
 // transform, resilience, and cache layers — plus each alone — must preserve
 // and correctly serve each base store's capabilities (CAS on the in-memory
 // store, SQL on minisql, versions and batches on cloudsim, TTLs and batches
-// on miniredis).
+// on miniredis, the full versioned/batch/CAS surface on the replicated
+// cluster tier).
 func TestStackConformance(t *testing.T) {
 	layers := []kvtest.StackLayer{
 		{Name: "transform", Layer: dscl.Layer(
@@ -55,6 +56,21 @@ func TestStackConformance(t *testing.T) {
 		kvtest.RunStack(t, func(t *testing.T) (kv.Store, func()) {
 			bucket := fmt.Sprintf("stack%d", n.Add(1))
 			return udsm.OpenCloudStore("cloud", cloud.URL(), bucket), nil
+		}, layers...)
+	})
+
+	t.Run("cluster", func(t *testing.T) {
+		kvtest.RunStack(t, func(t *testing.T) (kv.Store, func()) {
+			nodes := make([]udsm.ClusterNode, 3)
+			for i := range nodes {
+				id := fmt.Sprintf("node%d", i)
+				nodes[i] = udsm.ClusterNode{ID: id, Store: kv.NewMem(id)}
+			}
+			c, err := udsm.NewClusterStore("cluster", nodes, udsm.ClusterOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, nil
 		}, layers...)
 	})
 

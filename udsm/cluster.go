@@ -1,0 +1,58 @@
+package udsm
+
+import (
+	"edsc/kv"
+	"edsc/kv/cluster"
+)
+
+// This file surfaces the distributed cluster tier (kv/cluster) through the
+// manager, so applications assemble a replicated multi-node store the same
+// way they open any other backend — and can stack the usual enhancement
+// pipeline (resilience, transforms, caching) on top of it.
+
+// ClusterNode names one backend node of a cluster store. Any kv.Store works
+// as a node: in-memory, miniredis, cloudsim, or another composed stack.
+type ClusterNode = cluster.Node
+
+// ClusterOptions configure replication factor, read/write quorums, and the
+// consistent-hash ring of a cluster store.
+type ClusterOptions = cluster.Options
+
+// ClusterStore is a replicated store routing over its nodes; beyond the
+// common kv.Store surface it exposes membership changes (Join, Leave),
+// hinted-handoff draining (FlushHints), and replication statistics.
+type ClusterStore = cluster.Cluster
+
+// NewClusterStore builds a quorum-replicated store over the given nodes.
+// The returned store implements the full capability surface (kv.Batch,
+// kv.Versioned, kv.CompareAndPut) and composes under kv.Stack and
+// RegisterStack like any other base store.
+func NewClusterStore(name string, nodes []ClusterNode, opts ClusterOptions) (*ClusterStore, error) {
+	return cluster.New(name, nodes, opts)
+}
+
+// RegisterClusterStack builds a cluster store over nodes, wraps it in the
+// enhancement pipeline described by sopts, and registers the result. The
+// returned ClusterStore handle keeps the membership and hint-draining API
+// reachable after registration (the *DataStore only exposes kv.Store).
+func (m *Manager) RegisterClusterStack(name string, nodes []ClusterNode, copts ClusterOptions, sopts StackOptions) (*DataStore, *ClusterStore, error) {
+	c, err := cluster.New(name, nodes, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := m.RegisterStack(c, sopts)
+	if err != nil {
+		_ = c.Close()
+		return nil, nil, err
+	}
+	return ds, c, nil
+}
+
+// interface assertion: the cluster tier must remain a full-surface store.
+var (
+	_ kv.Store          = (*ClusterStore)(nil)
+	_ kv.Batch          = (*ClusterStore)(nil)
+	_ kv.Versioned      = (*ClusterStore)(nil)
+	_ kv.CompareAndPut  = (*ClusterStore)(nil)
+	_ kv.VersionedBatch = (*ClusterStore)(nil)
+)
