@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
+.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
 
 all: build lint-capabilities test
 
@@ -57,9 +57,18 @@ bench-json:
 	go run ./cmd/udsm-bench -json BENCH_PR5.json
 
 # Re-measure and fail if any guarded path's allocs/op regressed >20% vs the
-# committed baseline — the same gate CI runs.
+# committed baseline, or if the network hot path's throughput / p99 / mux
+# speedup regressed vs BENCH_PR7.json — the same gates CI runs.
 bench-check:
 	go run ./cmd/udsm-bench -json /tmp/edsc-bench-current.json -baseline BENCH_PR5.json
+	go run ./cmd/udsm-bench -tjson /tmp/edsc-bench-mux.json -tbaseline BENCH_PR7.json
+
+# Closed-loop network hot-path throughput (per-request vs pooled vs mux
+# clients, 1k goroutines) into results/ext_mux_throughput.dat, and
+# regenerate the committed throughput baseline BENCH_PR7.json.
+bench-mux:
+	go run ./cmd/udsm-bench -fig mux -out results
+	go run ./cmd/udsm-bench -tjson BENCH_PR7.json
 
 # Batched multi-key ablation (one bulk round trip vs a per-key loop) plus
 # the per-store speedup sweep into results/ext_batch_speedup.dat.

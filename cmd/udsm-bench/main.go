@@ -45,6 +45,11 @@ func main() {
 		baseline = flag.String("baseline", "", "compare the allocation report against this committed baseline and exit 1 when a guarded path's allocs/op regresses >20% (requires -json)")
 		payload  = flag.Int("payload", 4<<10, "object size for the allocation-profile experiment")
 		clusterN = flag.Int("cluster", 0, `largest node count for the cluster scaling sweep over miniredis-backed clusters (0 = off; "-fig cluster" enables it with the default of 5)`)
+		tjsonOut = flag.String("tjson", "", `run the network-hot-path throughput experiment ("-fig mux" closed loop) and write the machine-readable report to this path (standalone mode; skips the figures)`)
+		tbase    = flag.String("tbaseline", "", "compare the throughput report against this committed baseline and exit 1 on ops/sec, p99, or mux-speedup regression (requires -tjson)")
+		muxG     = flag.Int("muxg", 1000, "concurrent goroutines for the mux throughput experiment (up to 10k)")
+		muxConns = flag.Int("muxconns", 8, "multiplexed sockets for the mux throughput experiment")
+		muxOps   = flag.Int("muxops", 200_000, "operation budget per client mode for the mux throughput experiment")
 	)
 	flag.Parse()
 
@@ -59,11 +64,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "udsm-bench: -baseline requires -json")
 		os.Exit(1)
 	}
+	if *tjsonOut != "" {
+		if err := runMuxThroughput(*tjsonOut, *tbase, *muxG, *muxConns, *muxOps, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tbase != "" {
+		fmt.Fprintln(os.Stderr, "udsm-bench: -tbaseline requires -tjson")
+		os.Exit(1)
+	}
+	if *fig == "mux" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		if err := runMuxThroughput("", "", *muxG, *muxConns, *muxOps, filepath.Join(*out, "ext_mux_throughput.dat")); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*fig, *out, *scale, *runs, *ops, *maxSz, *tmpDir, *metrics, *batch, *clusterN); err != nil {
 		fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runMuxThroughput is the "-fig mux" / -tjson mode: a closed-loop mixed
+// workload (90% reads) against an in-process miniredis server on loopback,
+// once per client mode — per-request connections, the bounded pool, and the
+// multiplexed hot path — optionally gated against a committed baseline
+// (BENCH_PR7.json) the way the allocation gate works.
+func runMuxThroughput(jsonPath, baselinePath string, goroutines, conns, ops int, datPath string) error {
+	fmt.Printf("running network hot-path throughput (closed loop, %d goroutines, %d mux conns) ...\n", goroutines, conns)
+	rep, err := benchkit.RunThroughput(benchkit.ThroughputConfig{
+		Goroutines: goroutines,
+		MuxConns:   conns,
+		Ops:        ops,
+		PerConnOps: ops / 10,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		mark := " "
+		if r.Guarded {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-8s %12.0f ops/sec  read p99 %8.3f ms  write p99 %8.3f ms  (%d ops, %d errors)\n",
+			mark, r.Name, r.OpsPerSec, r.ReadP99Ms, r.WriteP99Ms, r.Ops, r.Errors)
+	}
+	fmt.Printf("  mux speedup over per-request connections: %.1fx\n", rep.MuxSpeedup)
+
+	if datPath != "" {
+		f, err := os.Create(datPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "# extension: network hot-path throughput, mixed workload (90%% reads, %d goroutines, %d B values), loopback miniredis\n", rep.Goroutines, rep.ValueSize)
+		fmt.Fprintln(f, "# columns: mode ops_per_sec read_p99_ms write_p99_ms")
+		for _, r := range rep.Results {
+			fmt.Fprintf(f, "%s %.0f %.4f %.4f\n", r.Name, r.OpsPerSec, r.ReadP99Ms, r.WriteP99Ms)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("data written to %s\n", datPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if _, err := rep.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s (* = guarded against baseline)\n", jsonPath)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := benchkit.LoadThroughputReport(bf)
+	if err != nil {
+		return fmt.Errorf("loading baseline %s: %w", baselinePath, err)
+	}
+	// Loose absolute floors (CI runners vary widely in speed); the
+	// machine-independent mux/perconn speedup ratio is the strict gate.
+	if regs := benchkit.CompareThroughput(base, rep, 0.25, 4.0, 5.0); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "throughput regression:", r)
+		}
+		return fmt.Errorf("%d throughput regression(s) vs %s", len(regs), baselinePath)
+	}
+	fmt.Printf("no throughput regressions vs %s\n", baselinePath)
+	return nil
 }
 
 // runAlloc is the -json mode: measure the hot paths, write the report, and

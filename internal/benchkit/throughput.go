@@ -1,0 +1,247 @@
+// Throughput experiment: closed-loop ops/sec and tail latency of the
+// miniredis network hot path at high goroutine counts, in three client
+// modes — per-request connections (the naive baseline), the bounded
+// connection pool, and the multiplexed shared-socket path. Serialized as
+// JSON (BENCH_PR7.json) so CI can diff a run against the committed baseline
+// and fail on throughput or p99 regressions, the same way the allocation
+// gate works.
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"edsc/internal/miniredis"
+	"edsc/workload"
+)
+
+// ThroughputConfig sizes the closed-loop run.
+type ThroughputConfig struct {
+	// Goroutines is the number of concurrent closed-loop callers
+	// (default 1000; the mux figure sweeps up to 10k).
+	Goroutines int
+	// Ops is the total operation budget per mode (default 200k).
+	Ops int
+	// PerConnOps is the (smaller) budget for the per-request-connection
+	// baseline, which is orders of magnitude slower (default 20k).
+	PerConnOps int
+	// ValueSize is the object size in bytes (default 128).
+	ValueSize int
+	// Keys is the working-set size (default 256).
+	Keys int
+	// MuxConns is the number of multiplexed sockets (default 8).
+	MuxConns int
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 1000
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200_000
+	}
+	if c.PerConnOps <= 0 {
+		c.PerConnOps = 20_000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 128
+	}
+	if c.Keys <= 0 {
+		c.Keys = 256
+	}
+	if c.MuxConns <= 0 {
+		c.MuxConns = 8
+	}
+	return c
+}
+
+// ThroughputResult is one client mode's measurement.
+type ThroughputResult struct {
+	Name       string  `json:"name"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int64   `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+	WriteP99Ms float64 `json:"write_p99_ms"`
+	Errors     int64   `json:"errors"`
+	// Guarded marks modes CI gates against the committed baseline
+	// (absolute latency varies across machines, so the gate is relative:
+	// ops/sec floor + p99 ceiling versus the baseline, plus the mux/perconn
+	// speedup ratio, which is machine-independent).
+	Guarded bool `json:"guarded"`
+}
+
+// ThroughputReport is the serialized experiment.
+type ThroughputReport struct {
+	Goroutines int                `json:"goroutines"`
+	ValueSize  int                `json:"value_bytes"`
+	MuxConns   int                `json:"mux_conns"`
+	Results    []ThroughputResult `json:"results"`
+	// MuxSpeedup is mux ops/sec over the per-request-connection baseline —
+	// the PR's headline number and the CI-gated ratio.
+	MuxSpeedup float64 `json:"mux_speedup"`
+}
+
+// RunThroughput starts an in-process miniredis server on loopback and
+// drives the closed-loop mixed workload through each client mode.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputReport, error) {
+	cfg = cfg.withDefaults()
+	srv := miniredis.NewServer(miniredis.ServerConfig{})
+	if err := srv.Start(); err != nil {
+		return nil, fmt.Errorf("benchkit: start server: %w", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	rep := &ThroughputReport{
+		Goroutines: cfg.Goroutines,
+		ValueSize:  cfg.ValueSize,
+		MuxConns:   cfg.MuxConns,
+	}
+
+	modes := []struct {
+		name    string
+		ops     int
+		guarded bool
+		opts    miniredis.Options
+	}{
+		// The naive baseline: no reuse, a dial + socket per request. Needs
+		// headroom above the goroutine count so dials never queue.
+		{"perconn", cfg.PerConnOps, false, miniredis.Options{
+			MaxIdle: -1, MaxConns: cfg.Goroutines + 16,
+		}},
+		// The bounded pool with idle reuse (the default client).
+		{"pooled", cfg.Ops, true, miniredis.Options{
+			MaxConns: 128, MaxIdle: 128,
+		}},
+		// The multiplexed hot path: all goroutines share MuxConns sockets.
+		{"mux", cfg.Ops, true, miniredis.Options{
+			Mux: true, MuxConns: cfg.MuxConns,
+		}},
+	}
+	for _, m := range modes {
+		res, err := runThroughputMode(addr, m.name, m.ops, cfg, m.opts)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: mode %s: %w", m.name, err)
+		}
+		res.Guarded = m.guarded
+		rep.Results = append(rep.Results, *res)
+	}
+
+	var perconn, mux float64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "perconn":
+			perconn = r.OpsPerSec
+		case "mux":
+			mux = r.OpsPerSec
+		}
+	}
+	if perconn > 0 {
+		rep.MuxSpeedup = mux / perconn
+	}
+	return rep, nil
+}
+
+func runThroughputMode(addr, name string, ops int, cfg ThroughputConfig, opts miniredis.Options) (*ThroughputResult, error) {
+	client := miniredis.NewClientWith(addr, opts)
+	st := miniredis.NewStore(name, client, name+":")
+	defer client.Close()
+
+	mr, err := workload.RunMixed(context.Background(), st, workload.MixedConfig{
+		Clients:      cfg.Goroutines,
+		Ops:          ops,
+		ReadFraction: 0.9,
+		Keys:         cfg.Keys,
+		Size:         cfg.ValueSize,
+		Seed:         42,
+		KeyPrefix:    "t/",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ThroughputResult{
+		Name:       name,
+		Goroutines: cfg.Goroutines,
+		Ops:        mr.Ops,
+		OpsPerSec:  mr.Throughput,
+		ReadP99Ms:  float64(mr.ReadLatency.P99) / float64(time.Millisecond),
+		WriteP99Ms: float64(mr.WriteLatency.P99) / float64(time.Millisecond),
+		Errors:     mr.Errors,
+	}, nil
+}
+
+// WriteTo serializes the report as indented JSON.
+func (r *ThroughputReport) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// LoadThroughputReport reads a report written by WriteTo.
+func LoadThroughputReport(rd io.Reader) (*ThroughputReport, error) {
+	var r ThroughputReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CompareThroughput checks current against baseline. Absolute numbers move
+// with the machine, so the gates are relative and generous — they catch
+// "the mux path broke", not CI-runner noise:
+//   - guarded modes must keep ≥ minOpsFrac of the baseline's ops/sec
+//     (e.g. 0.5 = no worse than half);
+//   - guarded modes' p99 may grow to at most p99Factor× baseline + 2 ms
+//     absolute grace (sub-millisecond baselines would otherwise gate on
+//     scheduler jitter);
+//   - the mux/perconn speedup must stay ≥ minSpeedup (the acceptance
+//     criterion, machine-independent).
+//
+// Returns a human-readable line per regression (empty = pass). Modes
+// present in only one report are ignored.
+func CompareThroughput(baseline, current *ThroughputReport, minOpsFrac, p99Factor, minSpeedup float64) []string {
+	base := make(map[string]ThroughputResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range current.Results {
+		if !cur.Guarded {
+			continue
+		}
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		if floor := b.OpsPerSec * minOpsFrac; cur.OpsPerSec < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ops/sec %.0f -> %.0f (floor %.0f)", cur.Name, b.OpsPerSec, cur.OpsPerSec, floor))
+		}
+		const graceMs = 2.0
+		if ceil := b.ReadP99Ms*p99Factor + graceMs; cur.ReadP99Ms > ceil {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: read p99 %.2fms -> %.2fms (ceiling %.2fms)", cur.Name, b.ReadP99Ms, cur.ReadP99Ms, ceil))
+		}
+		if ceil := b.WriteP99Ms*p99Factor + graceMs; cur.WriteP99Ms > ceil {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: write p99 %.2fms -> %.2fms (ceiling %.2fms)", cur.Name, b.WriteP99Ms, cur.WriteP99Ms, ceil))
+		}
+		if cur.Errors > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d errored operations", cur.Name, cur.Errors))
+		}
+	}
+	if minSpeedup > 0 && current.MuxSpeedup > 0 && current.MuxSpeedup < minSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"mux speedup over perconn %.1fx below the %.1fx acceptance floor", current.MuxSpeedup, minSpeedup))
+	}
+	return regressions
+}

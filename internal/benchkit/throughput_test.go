@@ -1,0 +1,92 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestThroughputSmoke(t *testing.T) {
+	// Tiny budgets: this checks the experiment runs end to end and the
+	// report round-trips through JSON, not the performance numbers.
+	rep, err := RunThroughput(ThroughputConfig{
+		Goroutines: 16, Ops: 400, PerConnOps: 100, Keys: 16, MuxConns: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("%d modes, want 3", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.OpsPerSec <= 0 {
+			t.Errorf("%s: ops/sec = %v", r.Name, r.OpsPerSec)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s: %d errors", r.Name, r.Errors)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadThroughputReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 3 || back.MuxSpeedup != rep.MuxSpeedup {
+		t.Fatal("report did not round-trip")
+	}
+}
+
+func TestCompareThroughput(t *testing.T) {
+	base := &ThroughputReport{
+		MuxSpeedup: 10,
+		Results: []ThroughputResult{
+			{Name: "perconn", OpsPerSec: 1000, ReadP99Ms: 100},
+			{Name: "pooled", OpsPerSec: 50000, ReadP99Ms: 10, WriteP99Ms: 10, Guarded: true},
+			{Name: "mux", OpsPerSec: 100000, ReadP99Ms: 5, WriteP99Ms: 5, Guarded: true},
+		},
+	}
+	ok := &ThroughputReport{
+		MuxSpeedup: 8,
+		Results: []ThroughputResult{
+			// Half the throughput and double the p99: within the loose gates.
+			{Name: "perconn", OpsPerSec: 400, ReadP99Ms: 500}, // unguarded, ignored
+			{Name: "pooled", OpsPerSec: 25000, ReadP99Ms: 20, WriteP99Ms: 20, Guarded: true},
+			{Name: "mux", OpsPerSec: 60000, ReadP99Ms: 10, WriteP99Ms: 10, Guarded: true},
+		},
+	}
+	if regs := CompareThroughput(base, ok, 0.25, 4.0, 5.0); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+
+	bad := &ThroughputReport{
+		MuxSpeedup: 3, // below the 5x acceptance floor
+		Results: []ThroughputResult{
+			{Name: "pooled", OpsPerSec: 1000, ReadP99Ms: 300, WriteP99Ms: 10, Guarded: true},
+			{Name: "mux", OpsPerSec: 90000, ReadP99Ms: 5, WriteP99Ms: 5, Errors: 7, Guarded: true},
+		},
+	}
+	regs := CompareThroughput(base, bad, 0.25, 4.0, 5.0)
+	wants := []string{
+		"pooled: ops/sec",  // 1000 < 50000*0.25
+		"pooled: read p99", // 300 > 10*4+2
+		"mux: 7 errored",
+		"speedup over perconn 3.0x below the 5.0x",
+	}
+	for _, w := range wants {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing regression %q in %v", w, regs)
+		}
+	}
+	if len(regs) != len(wants) {
+		t.Errorf("%d regressions, want %d: %v", len(regs), len(wants), regs)
+	}
+}

@@ -14,18 +14,79 @@ import (
 	"edsc/kv"
 )
 
-// Client is a pooled miniredis client (the Jedis analogue). Connections are
-// created on demand up to no fixed bound and recycled through an idle pool;
-// each request is a pipelined-capable RESP exchange on a dedicated
-// connection, so the client is safe for concurrent use.
-type Client struct {
-	addr        string
-	dialTimeout time.Duration
+// Default client limits. They are deliberately conservative: MaxConns
+// bounds the sockets a burst of callers can open (the old client had no
+// bound, so 10k concurrent callers opened 10k sockets), and MaxIdle bounds
+// how many of those are kept warm between bursts.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultMaxConns    = 64
+	DefaultMaxIdle     = 8
+	DefaultMuxConns    = 4
+)
 
-	mu      sync.Mutex
-	idle    []*clientConn
-	maxIdle int
-	closed  bool
+// Options configure a Client beyond its address.
+type Options struct {
+	// DialTimeout caps each TCP dial (default 5s). Dials also honor the
+	// request context, so a cancelled caller never waits this long.
+	DialTimeout time.Duration
+	// MaxConns bounds concurrently open sockets (idle + in use) in pooled
+	// mode (default 64). When every slot is busy, callers wait in FIFO
+	// order for a connection or a free slot; the wait honors ctx.
+	MaxConns int
+	// MaxIdle bounds the warm idle pool (default 8; -1 disables reuse so
+	// every request dials — the "connection per request" baseline the mux
+	// benchmark compares against). Clamped to MaxConns.
+	MaxIdle int
+	// Mux switches the client to multiplexed mode: all callers share
+	// MuxConns sockets, requests are pipelined through a batching writer
+	// and replies matched in arrival order (see mux.go). The public API is
+	// unchanged; Do/DoPipeline just stop paying a round trip per caller.
+	Mux bool
+	// MuxConns is the multiplexed connection count (default 4).
+	MuxConns int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = DefaultMaxConns
+	}
+	switch {
+	case o.MaxIdle == 0:
+		o.MaxIdle = DefaultMaxIdle
+	case o.MaxIdle < 0:
+		o.MaxIdle = 0
+	}
+	if o.MaxIdle > o.MaxConns {
+		o.MaxIdle = o.MaxConns
+	}
+	if o.MuxConns <= 0 {
+		o.MuxConns = DefaultMuxConns
+	}
+	return o
+}
+
+// Client is a pooled miniredis client (the Jedis analogue). Connections are
+// created on demand up to Options.MaxConns and recycled through an idle
+// pool; each request is a pipelined-capable RESP exchange on a dedicated
+// connection, so the client is safe for concurrent use. With Options.Mux it
+// becomes a multiplexed client instead: many goroutines share a few
+// sockets, with requests batched per flush (see mux.go).
+type Client struct {
+	addr string
+	opts Options
+
+	mu       sync.Mutex
+	idle     []*clientConn
+	numOpen  int  // sockets open or being dialed (idle + in use)
+	peakOpen int  // high-water mark of numOpen, for tests and diagnostics
+	waiters  []chan *clientConn
+	closed   bool
+
+	mux *muxPool // non-nil in multiplexed mode
 }
 
 type clientConn struct {
@@ -88,61 +149,201 @@ type ServerError string
 
 func (e ServerError) Error() string { return "miniredis: " + string(e) }
 
-// NewClient returns a client for the server at addr ("host:port").
-func NewClient(addr string) *Client {
-	return &Client{addr: addr, dialTimeout: 5 * time.Second, maxIdle: 8}
+// NewClient returns a client for the server at addr ("host:port") with
+// default options.
+func NewClient(addr string) *Client { return NewClientWith(addr, Options{}) }
+
+// NewClientWith returns a client with explicit options.
+func NewClientWith(addr string, opts Options) *Client {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if c.opts.Mux {
+		c.mux = newMuxPool(c.opts.MuxConns, c.dial)
+	}
+	return c
+}
+
+// dial opens one TCP connection, honoring both ctx (cancellation unblocks
+// immediately — the old net.DialTimeout path kept a cancelled caller waiting
+// up to the full timeout) and the configured dial timeout.
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("miniredis: dial %s: %w", c.addr, ctxErr)
+		}
+		return nil, fmt.Errorf("miniredis: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
 }
 
 // getConn returns a connection and whether it came from the idle pool
 // (pooled connections may have been closed by the server, so callers retry
-// once on a fresh dial when a pooled connection turns out dead).
-func (c *Client) getConn() (*clientConn, bool, error) {
+// once when a pooled connection turns out dead). fresh skips the idle pool:
+// the retry path uses it so a second attempt cannot pop another connection
+// staled by the same server restart. Open sockets are capped at MaxConns;
+// at the cap, callers park in a FIFO queue and are handed either a recycled
+// connection or a freed slot as earlier exchanges finish.
+func (c *Client) getConn(ctx context.Context, fresh bool) (*clientConn, bool, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, false, ErrClientClosed
 	}
-	if n := len(c.idle); n > 0 {
-		cc := c.idle[n-1]
-		c.idle = c.idle[:n-1]
+	if err := ctx.Err(); err != nil {
 		c.mu.Unlock()
-		return cc, true, nil
+		return nil, false, err
 	}
+	if !fresh {
+		if n := len(c.idle); n > 0 {
+			cc := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return cc, true, nil
+		}
+	}
+	if c.numOpen < c.opts.MaxConns {
+		c.numOpen++
+		if c.numOpen > c.peakOpen {
+			c.peakOpen = c.numOpen
+		}
+		c.mu.Unlock()
+		return c.dialConn(ctx)
+	}
+	if fresh {
+		// At the cap, but an idle socket can be sacrificed for the fresh
+		// dial without exceeding it.
+		if n := len(c.idle); n > 0 {
+			cc := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			_ = cc.c.Close()
+			return c.dialConn(ctx)
+		}
+	}
+	ch := make(chan *clientConn, 1)
+	c.waiters = append(c.waiters, ch)
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	select {
+	case cc, ok := <-ch:
+		if !ok {
+			return nil, false, ErrClientClosed
+		}
+		if cc == nil {
+			// Granted a free slot: dial our own connection.
+			return c.dialConn(ctx)
+		}
+		if fresh {
+			_ = cc.c.Close()
+			return c.dialConn(ctx)
+		}
+		return cc, true, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		removed := false
+		for i, w := range c.waiters {
+			if w == ch {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		c.mu.Unlock()
+		if !removed {
+			// A grant raced the cancellation (deliveries happen under the
+			// lock, so the value is already buffered): give it back.
+			if cc, ok := <-ch; ok {
+				if cc != nil {
+					c.putConn(cc, false)
+				} else {
+					c.releaseSlot()
+				}
+			}
+		}
+		return nil, false, ctx.Err()
+	}
+}
+
+// dialConn dials while holding an open-socket slot, releasing it on failure.
+func (c *Client) dialConn(ctx context.Context) (*clientConn, bool, error) {
+	conn, err := c.dial(ctx)
 	if err != nil {
-		return nil, false, fmt.Errorf("miniredis: dial %s: %w", c.addr, err)
+		c.releaseSlot()
+		return nil, false, err
 	}
 	return &clientConn{c: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, false, nil
+}
+
+// releaseSlot frees one open-socket slot, preferring to hand it to the
+// longest-waiting caller (FIFO — fair under sustained overload).
+func (c *Client) releaseSlot() {
+	c.mu.Lock()
+	if len(c.waiters) > 0 && !c.closed {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		ch <- nil // buffered: the slot transfers without a rendezvous
+		c.mu.Unlock()
+		return
+	}
+	c.numOpen--
+	c.mu.Unlock()
 }
 
 func (c *Client) putConn(cc *clientConn, broken bool) {
 	if broken {
 		_ = cc.c.Close()
+		c.releaseSlot()
 		return
 	}
 	c.mu.Lock()
-	if c.closed || len(c.idle) >= c.maxIdle {
+	if len(c.waiters) > 0 && !c.closed {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		ch <- cc
+		c.mu.Unlock()
+		return
+	}
+	if c.closed || len(c.idle) >= c.opts.MaxIdle {
 		c.mu.Unlock()
 		_ = cc.c.Close()
+		c.releaseSlot()
 		return
 	}
 	c.idle = append(c.idle, cc)
 	c.mu.Unlock()
 }
 
-// Close releases all pooled connections.
-func (c *Client) Close() error {
+// OpenConns reports currently open sockets and the high-water mark —
+// the observable for the MaxConns bound.
+func (c *Client) OpenConns() (open, peak int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.numOpen, c.peakOpen
+}
+
+// Close releases all pooled connections and fails parked waiters.
+func (c *Client) Close() error {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	for _, cc := range c.idle {
+	idle := c.idle
+	c.idle = nil
+	c.numOpen -= len(idle)
+	waiters := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
 		_ = cc.c.Close()
 	}
-	c.idle = nil
+	for _, ch := range waiters {
+		close(ch)
+	}
+	if c.mux != nil {
+		c.mux.close()
+	}
 	return nil
 }
 
@@ -159,20 +360,28 @@ func (c *Client) Do(ctx context.Context, args ...[]byte) (resp.Value, error) {
 // DoPipeline sends several commands on one connection before reading any
 // reply, saving round trips (the optimization BenchmarkAblationPipeline
 // measures). Server error replies appear in the result slice, not as err.
+// In mux mode the pipeline shares a multiplexed socket with every other
+// caller instead of borrowing a dedicated connection.
 func (c *Client) DoPipeline(ctx context.Context, cmds [][][]byte) ([]resp.Value, error) {
 	if len(cmds) == 0 {
 		return nil, nil
 	}
-	out, retry, err := c.doPipelineOnce(ctx, cmds)
+	if c.mux != nil {
+		return c.doMux(ctx, cmds)
+	}
+	out, retry, err := c.doPipelineOnce(ctx, cmds, false)
 	if err != nil && retry {
 		// The pooled connection died before the first reply. That does NOT
 		// mean the server did nothing: it may have executed the commands
 		// and dropped the connection while replying (the lost-ack case the
 		// post-execute fault hook injects). Replaying is only safe when
 		// every command is idempotent; otherwise surface the ambiguity and
-		// let the caller's retry policy decide.
+		// let the caller's retry policy decide. The retry forces a fresh
+		// dial: the idle pool is LIFO, so after a server restart it may
+		// hold several equally-stale connections, and popping the next one
+		// would fail again even though the server is healthy.
 		if ok, offender := replaySafe(cmds); ok {
-			out, _, err = c.doPipelineOnce(ctx, cmds)
+			out, _, err = c.doPipelineOnce(ctx, cmds, true)
 		} else {
 			err = fmt.Errorf("%w (%s): %v", ErrAmbiguousExchange, offender, err)
 		}
@@ -180,10 +389,21 @@ func (c *Client) DoPipeline(ctx context.Context, cmds [][][]byte) ([]resp.Value,
 	return out, err
 }
 
+// exchangeErr wraps a transport error, surfacing the context's verdict when
+// the exchange died because the caller gave up (so errors.Is sees
+// context.Canceled / DeadlineExceeded rather than a bare i/o timeout).
+func exchangeErr(ctx context.Context, op string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("miniredis: %s: %w: %w", op, ctxErr, err)
+	}
+	return fmt.Errorf("miniredis: %s: %w", op, err)
+}
+
 // doPipelineOnce runs one exchange. retry reports that the failure happened
-// on a pooled connection before any reply arrived.
-func (c *Client) doPipelineOnce(ctx context.Context, cmds [][][]byte) (_ []resp.Value, retry bool, _ error) {
-	cc, pooled, err := c.getConn()
+// on a pooled connection before any reply arrived (and not because the
+// caller's ctx fired). fresh forces a new dial instead of an idle pop.
+func (c *Client) doPipelineOnce(ctx context.Context, cmds [][][]byte, fresh bool) (_ []resp.Value, retry bool, _ error) {
+	cc, pooled, err := c.getConn(ctx, fresh)
 	if err != nil {
 		return nil, false, err
 	}
@@ -192,6 +412,12 @@ func (c *Client) doPipelineOnce(ctx context.Context, cmds [][][]byte) (_ []resp.
 	} else {
 		_ = cc.c.SetDeadline(time.Time{})
 	}
+	// A ctx cancelled mid-exchange has no deadline to piggyback on: watch it
+	// and poke the connection deadline into the past so a blocked read or
+	// write returns immediately. (The connection is then broken and never
+	// pooled — every error path below hands it back with broken=true.)
+	stop := context.AfterFunc(ctx, func() { _ = cc.c.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	for _, cmd := range cmds {
 		vs := make([]resp.Value, len(cmd))
 		for i, a := range cmd {
@@ -199,24 +425,66 @@ func (c *Client) doPipelineOnce(ctx context.Context, cmds [][][]byte) (_ []resp.
 		}
 		if err := cc.w.Write(resp.ArrayOf(vs...)); err != nil {
 			c.putConn(cc, true)
-			return nil, pooled, fmt.Errorf("miniredis: write: %w", err)
+			return nil, pooled && ctx.Err() == nil, exchangeErr(ctx, "write", err)
 		}
 	}
 	if err := cc.w.Flush(); err != nil {
 		c.putConn(cc, true)
-		return nil, pooled, fmt.Errorf("miniredis: flush: %w", err)
+		return nil, pooled && ctx.Err() == nil, exchangeErr(ctx, "flush", err)
 	}
 	out := make([]resp.Value, len(cmds))
 	for i := range cmds {
 		v, err := cc.r.Read()
 		if err != nil {
 			c.putConn(cc, true)
-			return nil, pooled && i == 0, fmt.Errorf("miniredis: read reply: %w", err)
+			return nil, pooled && i == 0 && ctx.Err() == nil, exchangeErr(ctx, "read reply", err)
 		}
 		out[i] = v
 	}
 	c.putConn(cc, false)
 	return out, false, nil
+}
+
+// doMux runs one exchange over the multiplexed pool, with the same
+// idempotency-gated retry policy as the pooled path: a failure where the
+// commands never reached the wire is always retried (on a redialed
+// connection if needed); a failure after they were written is replayed only
+// when every command is on the idempotency allowlist, and surfaces
+// ErrAmbiguousExchange otherwise.
+func (c *Client) doMux(ctx context.Context, cmds [][][]byte) ([]resp.Value, error) {
+	idem, offender := replaySafe(cmds)
+	classify := func(st muxStatus, err error) error {
+		if st.written && !idem {
+			return fmt.Errorf("%w (%s): %w", ErrAmbiguousExchange, offender, err)
+		}
+		return err
+	}
+	m, err := c.mux.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, st, err := m.exchange(ctx, cmds)
+	if err == nil {
+		return out, nil
+	}
+	if ctx.Err() != nil {
+		// The caller gave up; nothing to retry. If the request was already
+		// on the wire and is not replay-safe, the outcome is unknowable.
+		return nil, classify(st, err)
+	}
+	if st.written && !idem {
+		return nil, classify(st, err)
+	}
+	// Safe to retry: pick again (redialing the poisoned slot if needed).
+	m, err = c.mux.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, st, err = m.exchange(ctx, cmds)
+	if err != nil {
+		return nil, classify(st, err)
+	}
+	return out, nil
 }
 
 // doStr is Do with string arguments.

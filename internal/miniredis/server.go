@@ -205,15 +205,29 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	// ReuseBulk: each command's argument payloads land in one per-connection
 	// buffer recycled across commands. Safe because every retention point
-	// (db set/hset, the MULTI queue) deep-copies, and the reply is flushed
-	// before the next ReadCommand overwrites the buffer.
-	r := resp.NewReader(conn).ReuseBulk(true)
-	w := resp.NewWriter(conn)
+	// (db set/hset, the MULTI queue) deep-copies, and the reply is
+	// serialized into the write buffer before the next ReadCommand
+	// overwrites the bulk buffer.
+	//
+	// 64 KiB buffers + deferred flushing are the server half of the mux hot
+	// path: one read syscall drains many pipelined commands, and replies
+	// are only flushed once the input buffer runs dry — so a pipelined
+	// batch costs one write syscall instead of one per command.
+	r := resp.NewReaderSize(conn, 64<<10).ReuseBulk(true)
+	w := resp.NewWriterSize(conn, 64<<10)
 	var (
 		inTxn bool
 		queue [][][]byte
 	)
 	for {
+		// About to (possibly) block on the socket: if nothing more is
+		// buffered to parse, push out every reply accumulated for the
+		// current pipelined batch.
+		if w.Buffered() > 0 && r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
 		args, err := r.ReadCommand()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && errors.Is(err, resp.ErrProtocol) {
@@ -285,10 +299,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := w.Write(reply); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
-		}
 		if quit {
+			_ = w.Flush()
 			return
 		}
 	}

@@ -35,7 +35,13 @@ func NewStore(name string, client *Client, prefix string) *Store {
 
 // OpenStore dials addr and returns a store owning its client.
 func OpenStore(name, addr, prefix string) *Store {
-	s := NewStore(name, NewClient(addr), prefix)
+	return OpenStoreWith(name, addr, prefix, Options{})
+}
+
+// OpenStoreWith is OpenStore with explicit client options (connection cap,
+// idle-pool size, multiplexed mode).
+func OpenStoreWith(name, addr, prefix string, opts Options) *Store {
+	s := NewStore(name, NewClientWith(addr, opts), prefix)
 	s.ownClient = true
 	return s
 }

@@ -138,6 +138,19 @@ type span struct{ start, end int }
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReader(r)} }
 
+// NewReaderSize wraps r with an explicit buffer size. Pipelining endpoints
+// (the miniredis server's read loop, the mux client) use a large buffer so
+// one syscall drains many queued commands or replies at once.
+func NewReaderSize(r io.Reader, size int) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, size)}
+}
+
+// Buffered reports how many decoded-but-unparsed bytes sit in the read
+// buffer. A server loop uses it to batch reply flushes: while more input is
+// already buffered, the next command can be served before any syscall, so
+// flushing per command would waste writes.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
 // ReuseBulk toggles payload buffer reuse. When on, the Bulk slices of
 // top-level bulk strings and of ReadCommand arguments alias an internal
 // buffer that the next Read or ReadCommand overwrites — callers must copy
@@ -409,6 +422,14 @@ type Writer struct {
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// NewWriterSize wraps w with an explicit buffer size (see NewReaderSize).
+func NewWriterSize(w io.Writer, size int) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, size)}
+}
+
+// Buffered reports how many encoded bytes await a Flush.
+func (w *Writer) Buffered() int { return w.bw.Buffered() }
 
 // writeInt formats n without allocating.
 func (w *Writer) writeInt(n int64) {
