@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
+.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux bench-http figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
 
 all: build lint-capabilities test
 
@@ -57,11 +57,14 @@ bench-json:
 	go run ./cmd/udsm-bench -json BENCH_PR5.json
 
 # Re-measure and fail if any guarded path's allocs/op regressed >20% vs the
-# committed baseline, or if the network hot path's throughput / p99 / mux
-# speedup regressed vs BENCH_PR7.json — the same gates CI runs.
+# committed baseline, if the network hot path's throughput / p99 / mux
+# speedup regressed vs BENCH_PR7.json, or if the cloudsim HTTP hot path's
+# throughput / p99 / coalesce speedup regressed vs BENCH_PR8.json — the same
+# gates CI runs.
 bench-check:
 	go run ./cmd/udsm-bench -json /tmp/edsc-bench-current.json -baseline BENCH_PR5.json
 	go run ./cmd/udsm-bench -tjson /tmp/edsc-bench-mux.json -tbaseline BENCH_PR7.json
+	go run ./cmd/udsm-bench -hjson /tmp/edsc-bench-http.json -hbaseline BENCH_PR8.json
 
 # Closed-loop network hot-path throughput (per-request vs pooled vs mux
 # clients, 1k goroutines) into results/ext_mux_throughput.dat, and
@@ -69,6 +72,12 @@ bench-check:
 bench-mux:
 	go run ./cmd/udsm-bench -fig mux -out results
 	go run ./cmd/udsm-bench -tjson BENCH_PR7.json
+
+# Closed-loop cloudsim HTTP hot-path throughput (per-op vs tuned pool vs
+# coalesced clients, 256 goroutines) — regenerate the committed baseline
+# BENCH_PR8.json. ("-fig mux" above also writes results/ext_http_throughput.dat.)
+bench-http:
+	go run ./cmd/udsm-bench -hjson BENCH_PR8.json
 
 # Batched multi-key ablation (one bulk round trip vs a per-key loop) plus
 # the per-store speedup sweep into results/ext_batch_speedup.dat.

@@ -50,6 +50,10 @@ func main() {
 		muxG     = flag.Int("muxg", 1000, "concurrent goroutines for the mux throughput experiment (up to 10k)")
 		muxConns = flag.Int("muxconns", 8, "multiplexed sockets for the mux throughput experiment")
 		muxOps   = flag.Int("muxops", 200_000, "operation budget per client mode for the mux throughput experiment")
+		hjsonOut = flag.String("hjson", "", `run the cloudsim HTTP throughput experiment (per-op vs tuned pool vs coalesced) and write the machine-readable report to this path (standalone mode; skips the figures)`)
+		hbase    = flag.String("hbaseline", "", "compare the HTTP throughput report against this committed baseline and exit 1 on ops/sec, p99, or coalesce-speedup regression (requires -hjson)")
+		httpG    = flag.Int("httpg", 256, "concurrent goroutines for the HTTP throughput experiment")
+		httpOps  = flag.Int("httpops", 60_000, "operation budget per pooled client mode for the HTTP throughput experiment")
 	)
 	flag.Parse()
 
@@ -75,12 +79,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "udsm-bench: -tbaseline requires -tjson")
 		os.Exit(1)
 	}
+	if *hjsonOut != "" {
+		if err := runHTTPThroughput(*hjsonOut, *hbase, *httpG, *httpOps, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hbase != "" {
+		fmt.Fprintln(os.Stderr, "udsm-bench: -hbaseline requires -hjson")
+		os.Exit(1)
+	}
 	if *fig == "mux" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 			os.Exit(1)
 		}
 		if err := runMuxThroughput("", "", *muxG, *muxConns, *muxOps, filepath.Join(*out, "ext_mux_throughput.dat")); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		if err := runHTTPThroughput("", "", *httpG, *httpOps, filepath.Join(*out, "ext_http_throughput.dat")); err != nil {
 			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
 			os.Exit(1)
 		}
@@ -170,6 +189,86 @@ func runMuxThroughput(jsonPath, baselinePath string, goroutines, conns, ops int,
 		return fmt.Errorf("%d throughput regression(s) vs %s", len(regs), baselinePath)
 	}
 	fmt.Printf("no throughput regressions vs %s\n", baselinePath)
+	return nil
+}
+
+// runHTTPThroughput is the "-fig mux" companion / -hjson mode: the same
+// closed-loop mixed workload against an in-process cloudsim server on
+// loopback, once per HTTP client mode — a fresh connection per request, the
+// tuned keep-alive pool, and the tuned pool with GET coalescing — optionally
+// gated against a committed baseline (BENCH_PR8.json).
+func runHTTPThroughput(jsonPath, baselinePath string, goroutines, ops int, datPath string) error {
+	fmt.Printf("running cloudsim HTTP throughput (closed loop, %d goroutines) ...\n", goroutines)
+	rep, err := benchkit.RunHTTPThroughput(benchkit.HTTPThroughputConfig{
+		Goroutines: goroutines,
+		Ops:        ops,
+		PerOpOps:   ops / 6,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		mark := " "
+		if r.Guarded {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-10s %12.0f ops/sec  read p99 %8.3f ms  write p99 %8.3f ms  (%d ops, %d errors)\n",
+			mark, r.Name, r.OpsPerSec, r.ReadP99Ms, r.WriteP99Ms, r.Ops, r.Errors)
+	}
+	fmt.Printf("  coalesce speedup over per-op requests: %.1fx\n", rep.CoalesceSpeedup)
+
+	if datPath != "" {
+		f, err := os.Create(datPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "# extension: cloudsim HTTP hot-path throughput, mixed workload (90%% reads, %d goroutines, %d B values), loopback cloudsim\n", rep.Goroutines, rep.ValueSize)
+		fmt.Fprintln(f, "# columns: mode ops_per_sec read_p99_ms write_p99_ms")
+		for _, r := range rep.Results {
+			fmt.Fprintf(f, "%s %.0f %.4f %.4f\n", r.Name, r.OpsPerSec, r.ReadP99Ms, r.WriteP99Ms)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("data written to %s\n", datPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if _, err := rep.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s (* = guarded against baseline)\n", jsonPath)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := benchkit.LoadHTTPThroughputReport(bf)
+	if err != nil {
+		return fmt.Errorf("loading baseline %s: %w", baselinePath, err)
+	}
+	// Loose absolute floors (CI runners vary widely in speed); the
+	// machine-independent coalesced/per-op speedup ratio is the strict gate
+	// (the acceptance criterion's 3x).
+	if regs := benchkit.CompareHTTPThroughput(base, rep, 0.25, 4.0, 3.0); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "HTTP throughput regression:", r)
+		}
+		return fmt.Errorf("%d HTTP throughput regression(s) vs %s", len(regs), baselinePath)
+	}
+	fmt.Printf("no HTTP throughput regressions vs %s\n", baselinePath)
 	return nil
 }
 

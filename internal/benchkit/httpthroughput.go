@@ -1,0 +1,188 @@
+// HTTP throughput experiment: the cloudsim analogue of the miniredis
+// throughput figure. Closed-loop ops/sec and tail latency against an
+// in-process cloudsim server on loopback, in three client modes — a fresh
+// connection per request (the naive per-op baseline), the tuned keep-alive
+// pool, and the tuned pool with GET coalescing. Serialized as JSON
+// (BENCH_PR8.json) so CI can diff a run against the committed baseline; the
+// machine-independent gate is the coalesced/per-op speedup ratio.
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"edsc/internal/cloudsim"
+	"edsc/workload"
+)
+
+// HTTPThroughputConfig sizes the closed-loop HTTP run.
+type HTTPThroughputConfig struct {
+	// Goroutines is the number of concurrent closed-loop callers
+	// (default 256 — the acceptance criterion's concurrency floor).
+	Goroutines int
+	// Ops is the total operation budget for the pooled modes (default 60k).
+	Ops int
+	// PerOpOps is the (smaller) budget for the connection-per-request
+	// baseline (default 10k).
+	PerOpOps int
+	// ValueSize is the object size in bytes (default 128).
+	ValueSize int
+	// Keys is the working-set size (default 256).
+	Keys int
+}
+
+func (c HTTPThroughputConfig) withDefaults() HTTPThroughputConfig {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 256
+	}
+	if c.Ops <= 0 {
+		c.Ops = 60_000
+	}
+	if c.PerOpOps <= 0 {
+		c.PerOpOps = 10_000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 128
+	}
+	if c.Keys <= 0 {
+		c.Keys = 256
+	}
+	return c
+}
+
+// HTTPThroughputReport is the serialized cloudsim experiment. Rows reuse
+// ThroughputResult so the comparison gates are shared with the miniredis
+// figure.
+type HTTPThroughputReport struct {
+	Goroutines int                `json:"goroutines"`
+	ValueSize  int                `json:"value_bytes"`
+	Results    []ThroughputResult `json:"results"`
+	// CoalesceSpeedup is coalesced ops/sec over the per-op baseline — the
+	// headline number and the CI-gated, machine-independent ratio.
+	CoalesceSpeedup float64 `json:"coalesce_speedup"`
+}
+
+// RunHTTPThroughput starts an in-process cloudsim server on loopback and
+// drives the closed-loop mixed workload through each client mode.
+func RunHTTPThroughput(cfg HTTPThroughputConfig) (*HTTPThroughputReport, error) {
+	cfg = cfg.withDefaults()
+	srv := cloudsim.NewServer(cloudsim.LocalProfile("bench"))
+	if err := srv.Start(); err != nil {
+		return nil, fmt.Errorf("benchkit: start cloudsim server: %w", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	rep := &HTTPThroughputReport{
+		Goroutines: cfg.Goroutines,
+		ValueSize:  cfg.ValueSize,
+	}
+
+	modes := []struct {
+		name    string
+		ops     int
+		guarded bool
+		opts    cloudsim.Options
+	}{
+		// The naive baseline: no keep-alive, a dial + socket per request.
+		{"perop", cfg.PerOpOps, false, cloudsim.Options{
+			DisableKeepAlives: true,
+		}},
+		// The tuned transport: phase timeouts plus a pool sized so every
+		// caller can hold a warm connection.
+		{"tuned", cfg.Ops, true, cloudsim.Options{
+			MaxIdleConnsPerHost: cfg.Goroutines,
+		}},
+		// Tuned pool plus GET coalescing: concurrent reads merge into
+		// ?batch=get round trips.
+		{"coalesced", cfg.Ops, true, cloudsim.Options{
+			MaxIdleConnsPerHost: cfg.Goroutines,
+			Coalesce:            true,
+		}},
+	}
+	for _, m := range modes {
+		res, err := runHTTPThroughputMode(addr, m.name, m.ops, cfg, m.opts)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: mode %s: %w", m.name, err)
+		}
+		res.Guarded = m.guarded
+		rep.Results = append(rep.Results, *res)
+	}
+
+	var perop, coalesced float64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "perop":
+			perop = r.OpsPerSec
+		case "coalesced":
+			coalesced = r.OpsPerSec
+		}
+	}
+	if perop > 0 {
+		rep.CoalesceSpeedup = coalesced / perop
+	}
+	return rep, nil
+}
+
+func runHTTPThroughputMode(addr, name string, ops int, cfg HTTPThroughputConfig, opts cloudsim.Options) (*ThroughputResult, error) {
+	client := cloudsim.NewClientWith(name, addr, "bench-"+name, opts)
+	defer client.Close()
+
+	mr, err := workload.RunMixed(context.Background(), client, workload.MixedConfig{
+		Clients:      cfg.Goroutines,
+		Ops:          ops,
+		ReadFraction: 0.9,
+		Keys:         cfg.Keys,
+		Size:         cfg.ValueSize,
+		Seed:         42,
+		KeyPrefix:    "t/",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ThroughputResult{
+		Name:       name,
+		Goroutines: cfg.Goroutines,
+		Ops:        mr.Ops,
+		OpsPerSec:  mr.Throughput,
+		ReadP99Ms:  float64(mr.ReadLatency.P99) / float64(time.Millisecond),
+		WriteP99Ms: float64(mr.WriteLatency.P99) / float64(time.Millisecond),
+		Errors:     mr.Errors,
+	}, nil
+}
+
+// WriteTo serializes the report as indented JSON.
+func (r *HTTPThroughputReport) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// LoadHTTPThroughputReport reads a report written by WriteTo.
+func LoadHTTPThroughputReport(rd io.Reader) (*HTTPThroughputReport, error) {
+	var r HTTPThroughputReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CompareHTTPThroughput checks current against baseline with the same
+// relative per-mode gates as CompareThroughput, plus the coalesced/per-op
+// speedup floor (the acceptance criterion, machine-independent). Returns a
+// human-readable line per regression (empty = pass).
+func CompareHTTPThroughput(baseline, current *HTTPThroughputReport, minOpsFrac, p99Factor, minSpeedup float64) []string {
+	regressions := compareModes(baseline.Results, current.Results, minOpsFrac, p99Factor)
+	if minSpeedup > 0 && current.CoalesceSpeedup > 0 && current.CoalesceSpeedup < minSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"coalesce speedup over perop %.1fx below the %.1fx acceptance floor", current.CoalesceSpeedup, minSpeedup))
+	}
+	return regressions
+}

@@ -208,12 +208,23 @@ func LoadThroughputReport(rd io.Reader) (*ThroughputReport, error) {
 // Returns a human-readable line per regression (empty = pass). Modes
 // present in only one report are ignored.
 func CompareThroughput(baseline, current *ThroughputReport, minOpsFrac, p99Factor, minSpeedup float64) []string {
-	base := make(map[string]ThroughputResult, len(baseline.Results))
-	for _, r := range baseline.Results {
+	regressions := compareModes(baseline.Results, current.Results, minOpsFrac, p99Factor)
+	if minSpeedup > 0 && current.MuxSpeedup > 0 && current.MuxSpeedup < minSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"mux speedup over perconn %.1fx below the %.1fx acceptance floor", current.MuxSpeedup, minSpeedup))
+	}
+	return regressions
+}
+
+// compareModes applies the shared relative per-mode gates (ops/sec floor,
+// p99 ceiling, zero errors) to every guarded mode present in both reports.
+func compareModes(baseline, current []ThroughputResult, minOpsFrac, p99Factor float64) []string {
+	base := make(map[string]ThroughputResult, len(baseline))
+	for _, r := range baseline {
 		base[r.Name] = r
 	}
 	var regressions []string
-	for _, cur := range current.Results {
+	for _, cur := range current {
 		if !cur.Guarded {
 			continue
 		}
@@ -238,10 +249,6 @@ func CompareThroughput(baseline, current *ThroughputReport, minOpsFrac, p99Facto
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %d errored operations", cur.Name, cur.Errors))
 		}
-	}
-	if minSpeedup > 0 && current.MuxSpeedup > 0 && current.MuxSpeedup < minSpeedup {
-		regressions = append(regressions, fmt.Sprintf(
-			"mux speedup over perconn %.1fx below the %.1fx acceptance floor", current.MuxSpeedup, minSpeedup))
 	}
 	return regressions
 }

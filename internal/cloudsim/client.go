@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"sync/atomic"
@@ -14,6 +15,85 @@ import (
 	"edsc/kv"
 	"edsc/monitor"
 )
+
+// Options tunes the client's HTTP transport and request-coalescing layer.
+// The zero value gives sensible defaults. All timeouts live on the
+// transport, scoped to one connection phase each (dial, TLS handshake,
+// waiting for response headers) — there is deliberately no whole-request
+// http.Client.Timeout, so the caller's context alone governs how long an
+// operation may run. A blanket timeout silently caps every op regardless of
+// the caller's deadline and kills slow large-object body reads mid-stream;
+// phase timeouts catch a dead peer without constraining a healthy transfer.
+type Options struct {
+	// DialTimeout bounds establishing a TCP connection (default 5s).
+	DialTimeout time.Duration
+	// TLSHandshakeTimeout bounds the TLS handshake (default 5s).
+	TLSHandshakeTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait from request written to first
+	// response header (default 30s; <0 disables). Body transfer time is
+	// intentionally not covered — only ctx bounds it.
+	ResponseHeaderTimeout time.Duration
+	// IdleConnTimeout is how long an idle pooled connection is kept
+	// (default 90s).
+	IdleConnTimeout time.Duration
+	// KeepAlive is the TCP keep-alive probe interval (default 30s).
+	KeepAlive time.Duration
+	// MaxIdleConnsPerHost sizes the idle pool (default 64 — the server is
+	// one host, so this is effectively the pool size).
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost caps total connections per host, dialing included
+	// (default 0 = unlimited).
+	MaxConnsPerHost int
+	// DisableKeepAlives forces a fresh connection per request — the naive
+	// per-op baseline the throughput experiment measures against.
+	DisableKeepAlives bool
+
+	// Coalesce merges concurrent single-key Get/GetVersioned calls into
+	// bulk ?batch=get round trips (see coalesce.go). Off by default.
+	Coalesce bool
+	// CoalesceMaxKeys caps the keys carried by one coalesced bulk fetch
+	// (default 128).
+	CoalesceMaxKeys int
+	// CoalesceInflight is how many coalesced bulk fetches may be on the
+	// wire at once; arrivals beyond that accumulate into the next batch
+	// (default 4).
+	CoalesceInflight int
+	// CoalesceWindow, when positive, makes an idle coalescer linger that
+	// long for companions before dispatching. The default 0 dispatches
+	// immediately whenever an in-flight slot is free, so uncontended
+	// latency stays one round trip.
+	CoalesceWindow time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.TLSHandshakeTimeout == 0 {
+		o.TLSHandshakeTimeout = 5 * time.Second
+	}
+	if o.ResponseHeaderTimeout == 0 {
+		o.ResponseHeaderTimeout = 30 * time.Second
+	} else if o.ResponseHeaderTimeout < 0 {
+		o.ResponseHeaderTimeout = 0
+	}
+	if o.IdleConnTimeout == 0 {
+		o.IdleConnTimeout = 90 * time.Second
+	}
+	if o.KeepAlive == 0 {
+		o.KeepAlive = 30 * time.Second
+	}
+	if o.MaxIdleConnsPerHost == 0 {
+		o.MaxIdleConnsPerHost = 64
+	}
+	if o.CoalesceMaxKeys <= 0 {
+		o.CoalesceMaxKeys = 128
+	}
+	if o.CoalesceInflight <= 0 {
+		o.CoalesceInflight = 4
+	}
+	return o
+}
 
 // Client is the data store client for a cloudsim server: the analogue of a
 // Cloudant/OpenStack client library. It implements kv.Store and
@@ -24,7 +104,12 @@ type Client struct {
 	base   string // server URL
 	bucket string
 	hc     *http.Client
+	coal   *getCoalescer // non-nil when Options.Coalesce is set
 	closed atomic.Bool
+
+	// openConns tracks live TCP connections dialed by this client's
+	// transport, so hygiene tests can assert sockets drain after faults.
+	openConns atomic.Int64
 }
 
 var (
@@ -35,17 +120,57 @@ var (
 	_ kv.VersionedBatch = (*Client)(nil)
 )
 
-// NewClient builds a client for bucket on the server at baseURL.
+// NewClient builds a client for bucket on the server at baseURL with
+// default Options.
 func NewClient(name, baseURL, bucket string) *Client {
-	return &Client{
-		name:   name,
-		base:   baseURL,
-		bucket: bucket,
-		hc: &http.Client{
-			Transport: &http.Transport{MaxIdleConnsPerHost: 16},
-			Timeout:   60 * time.Second,
+	return NewClientWith(name, baseURL, bucket, Options{})
+}
+
+// NewClientWith is NewClient with explicit transport/coalescing Options.
+func NewClientWith(name, baseURL, bucket string, opts Options) *Client {
+	opts = opts.withDefaults()
+	c := &Client{name: name, base: baseURL, bucket: bucket}
+	dialer := &net.Dialer{Timeout: opts.DialTimeout, KeepAlive: opts.KeepAlive}
+	c.hc = &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			conn, err := dialer.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			c.openConns.Add(1)
+			cc := &countedConn{Conn: conn, open: &c.openConns}
+			return cc, nil
 		},
+		TLSHandshakeTimeout:   opts.TLSHandshakeTimeout,
+		ResponseHeaderTimeout: opts.ResponseHeaderTimeout,
+		IdleConnTimeout:       opts.IdleConnTimeout,
+		MaxIdleConns:          4 * opts.MaxIdleConnsPerHost,
+		MaxIdleConnsPerHost:   opts.MaxIdleConnsPerHost,
+		MaxConnsPerHost:       opts.MaxConnsPerHost,
+		DisableKeepAlives:     opts.DisableKeepAlives,
+	}}
+	if opts.Coalesce {
+		c.coal = newGetCoalescer(c, opts)
 	}
+	return c
+}
+
+// OpenConns reports the client's live TCP connections (idle + in use).
+func (c *Client) OpenConns() int64 { return c.openConns.Load() }
+
+// countedConn decrements the owner's open-connection gauge exactly once on
+// Close (the transport may close a connection from more than one path).
+type countedConn struct {
+	net.Conn
+	open   *atomic.Int64
+	closed atomic.Bool
+}
+
+func (cc *countedConn) Close() error {
+	if cc.closed.CompareAndSwap(false, true) {
+		cc.open.Add(-1)
+	}
+	return cc.Conn.Close()
 }
 
 func (c *Client) objectURL(key string) string {
@@ -59,12 +184,21 @@ func (c *Client) bucketURL() string {
 // Name implements kv.Store.
 func (c *Client) Name() string { return c.name }
 
-func (c *Client) check(ctx context.Context, key string) error {
+// checkCtx is the fast-path precondition every operation shares: a
+// cancelled context or a closed client fails before any bytes move.
+func (c *Client) checkCtx(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if c.closed.Load() {
 		return kv.ErrClosed
+	}
+	return nil
+}
+
+func (c *Client) check(ctx context.Context, key string) error {
+	if err := c.checkCtx(ctx); err != nil {
+		return err
 	}
 	return kv.CheckKey(key)
 }
@@ -101,13 +235,35 @@ func (c *Client) do(ctx context.Context, method, u string, body []byte, hdr map[
 	}
 	start := time.Now()
 	resp, err := c.hc.Do(req)
-	monitor.AddSpan(ctx, "http", method+" "+c.bucket, start, err != nil)
+	// A 5xx or throttle answer is a failed attempt even though the
+	// transport delivered it; 304/404/412 are protocol outcomes, not
+	// faults (matching the server-side recorder's classification). The
+	// status code rides in the span op so a trace shows what came back.
+	op := method + " " + c.bucket
+	failed := err != nil
+	if err == nil {
+		op = fmt.Sprintf("%s %s %d", method, c.bucket, resp.StatusCode)
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			failed = true
+		}
+	}
+	monitor.AddSpan(ctx, "http", op, start, failed)
 	return resp, err
 }
 
-// drainClose releases the connection for reuse.
+// maxDrainBytes bounds how much of an unread response body drainClose will
+// consume to recycle the connection. Reuse saves one dial; draining an
+// arbitrarily large (or slowly dribbled) error body to earn it costs
+// unbounded time and bandwidth, so past the cap the body is closed unread
+// and the transport discards the connection instead.
+const maxDrainBytes = 256 << 10
+
+// drainClose releases the connection for reuse when the remaining body is
+// small, and abandons it (closing the connection) beyond maxDrainBytes.
 func drainClose(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, resp.Body)
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxDrainBytes+1))
+	// If the limit was hit the body is not at EOF and Close discards the
+	// connection — exactly what we want for oversized bodies.
 	_ = resp.Body.Close()
 }
 
@@ -140,6 +296,9 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 func (c *Client) GetVersioned(ctx context.Context, key string) ([]byte, kv.Version, error) {
 	if err := c.check(ctx, key); err != nil {
 		return nil, kv.NoVersion, err
+	}
+	if c.coal != nil {
+		return c.coal.get(ctx, key)
 	}
 	resp, err := c.do(ctx, http.MethodGet, c.objectURL(key), nil, nil)
 	if err != nil {
@@ -258,33 +417,40 @@ func (c *Client) GetMulti(ctx context.Context, keys []string) (map[string][]byte
 // reports each object's ETag, so a caching client can install everything
 // the batch returned with the version metadata revalidation needs.
 func (c *Client) GetMultiVersioned(ctx context.Context, keys []string) (map[string]kv.VersionedValue, error) {
-	if err := ctx.Err(); err != nil {
+	if err := c.checkCtx(ctx); err != nil {
 		return nil, err
-	}
-	if c.closed.Load() {
-		return nil, kv.ErrClosed
 	}
 	for _, k := range keys {
 		if err := kv.CheckKey(k); err != nil {
 			return nil, err
 		}
 	}
-	out := make(map[string]kv.VersionedValue, len(keys))
 	if len(keys) == 0 {
-		return out, nil
+		return map[string]kv.VersionedValue{}, nil
 	}
-	body, err := json.Marshal(keys)
+	out, err := c.bulkGet(ctx, keys)
 	if err != nil {
 		return nil, kv.WrapErr(c.name, "batch_get", "", err)
+	}
+	return out, nil
+}
+
+// bulkGet performs one POST ?batch=get round trip for keys. Errors are
+// returned unwrapped so each caller (GetMultiVersioned, the coalescer's
+// per-key waiters) can attribute them to its own op and key.
+func (c *Client) bulkGet(ctx context.Context, keys []string) (map[string]kv.VersionedValue, error) {
+	body, err := json.Marshal(keys)
+	if err != nil {
+		return nil, err
 	}
 	resp, err := c.do(ctx, http.MethodPost, c.bucketURL()+"?batch=get", body,
 		map[string]string{"Content-Type": "application/json"})
 	if err != nil {
-		return nil, kv.WrapErr(c.name, "batch_get", "", err)
+		return nil, err
 	}
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, kv.WrapErr(c.name, "batch_get", "", fmt.Errorf("unexpected status %s", resp.Status))
+		return nil, fmt.Errorf("unexpected status %s", resp.Status)
 	}
 	var objs []struct {
 		Key   string `json:"key"`
@@ -292,8 +458,9 @@ func (c *Client) GetMultiVersioned(ctx context.Context, keys []string) (map[stri
 		ETag  string `json:"etag"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&objs); err != nil {
-		return nil, kv.WrapErr(c.name, "batch_get", "", err)
+		return nil, err
 	}
+	out := make(map[string]kv.VersionedValue, len(objs))
 	for _, o := range objs {
 		out[o.Key] = kv.VersionedValue{Value: o.Value, Version: kv.Version(o.ETag)}
 	}
@@ -309,11 +476,8 @@ func (c *Client) PutMulti(ctx context.Context, pairs map[string][]byte) error {
 // PutMultiVersioned is PutMulti returning each key's new version (ETag),
 // the write-side analogue of GetMultiVersioned.
 func (c *Client) PutMultiVersioned(ctx context.Context, pairs map[string][]byte) (map[string]kv.Version, error) {
-	if err := ctx.Err(); err != nil {
+	if err := c.checkCtx(ctx); err != nil {
 		return nil, err
-	}
-	if c.closed.Load() {
-		return nil, kv.ErrClosed
 	}
 	out := make(map[string]kv.Version, len(pairs))
 	if len(pairs) == 0 {
@@ -402,8 +566,8 @@ func (c *Client) Keys(ctx context.Context) ([]string, error) {
 // KeysWithPrefix lists keys beginning with prefix, filtered server-side —
 // the native listing feature of object stores beyond the KV interface.
 func (c *Client) KeysWithPrefix(ctx context.Context, prefix string) ([]string, error) {
-	if c.closed.Load() {
-		return nil, kv.ErrClosed
+	if err := c.checkCtx(ctx); err != nil {
+		return nil, err
 	}
 	u := c.bucketURL()
 	if prefix != "" {
@@ -435,8 +599,8 @@ func (c *Client) Len(ctx context.Context) (int, error) {
 
 // Clear implements kv.Store.
 func (c *Client) Clear(ctx context.Context) error {
-	if c.closed.Load() {
-		return kv.ErrClosed
+	if err := c.checkCtx(ctx); err != nil {
+		return err
 	}
 	resp, err := c.do(ctx, http.MethodDelete, c.bucketURL(), nil, nil)
 	if err != nil {

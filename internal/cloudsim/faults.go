@@ -1,6 +1,7 @@
 package cloudsim
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -34,6 +35,19 @@ type Faults struct {
 	Every500 int
 	// EverySlow stalls every Nth request by SlowBy (0 disables).
 	EverySlow int
+
+	// ErrBodyBytes pads the body of every injected 500/429 response to this
+	// many bytes (0 keeps the short default message). Combined with
+	// BodyChunk/BodyDelay it models the huge or slowly-dribbled error
+	// bodies a client must not drain without bound.
+	ErrBodyBytes int
+	// BodyChunk, when positive, makes the server write response bodies
+	// (object GETs and injected error bodies) in BodyChunk-byte chunks,
+	// flushing each and sleeping BodyDelay in between — a slow transfer
+	// whose headers arrive promptly. Exercises the client's
+	// body-read-vs-timeout behaviour.
+	BodyChunk int
+	BodyDelay time.Duration
 
 	// Seed makes the probabilistic draws reproducible.
 	Seed int64
@@ -124,12 +138,12 @@ func (s *Server) injectFault(w http.ResponseWriter) bool {
 	switch action {
 	case fault500:
 		st.injected.Add(1)
-		http.Error(w, "injected internal error", http.StatusInternalServerError)
+		st.writeError(w, "injected internal error\n", http.StatusInternalServerError)
 		return true
 	case fault429:
 		st.injected.Add(1)
 		w.Header().Set("Retry-After", "0")
-		http.Error(w, "injected throttle", http.StatusTooManyRequests)
+		st.writeError(w, "injected throttle\n", http.StatusTooManyRequests)
 		return true
 	case faultDrop:
 		st.injected.Add(1)
@@ -146,4 +160,58 @@ func (s *Server) injectFault(w http.ResponseWriter) bool {
 		return true
 	}
 	return false
+}
+
+// writeError emits an injected error response, padded to ErrBodyBytes and
+// dribbled per the body knobs.
+func (st *faultState) writeError(w http.ResponseWriter, msg string, status int) {
+	body := []byte(msg)
+	if n := st.cfg.ErrBodyBytes; n > len(body) {
+		padded := make([]byte, n)
+		copy(padded, body)
+		for i := len(body); i < n; i++ {
+			padded[i] = 'x'
+		}
+		body = padded
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(status)
+	writeChunked(w, body, st.cfg.BodyChunk, st.cfg.BodyDelay)
+}
+
+// writeBody writes a handler's response body, honouring the installed fault
+// configuration's dribble knobs; without them it is a single Write.
+func (s *Server) writeBody(w http.ResponseWriter, data []byte) {
+	if st := s.faults.Load(); st != nil && st.cfg.BodyChunk > 0 {
+		writeChunked(w, data, st.cfg.BodyChunk, st.cfg.BodyDelay)
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// writeChunked writes data in chunk-byte slices, flushing each and sleeping
+// delay between chunks. chunk <= 0 writes everything at once.
+func writeChunked(w http.ResponseWriter, data []byte, chunk int, delay time.Duration) {
+	if chunk <= 0 {
+		_, _ = w.Write(data)
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	for len(data) > 0 {
+		n := chunk
+		if n > len(data) {
+			n = len(data)
+		}
+		if _, err := w.Write(data[:n]); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		data = data[n:]
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
 }

@@ -278,12 +278,12 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(s.model.delay(len(obj.data)))
 		w.Header().Set("ETag", obj.etag)
 		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(len(obj.data)))
 		if r.Method == http.MethodHead {
-			w.Header().Set("Content-Length", fmt.Sprint(len(obj.data)))
 			w.WriteHeader(http.StatusOK)
 			return
 		}
-		_, _ = w.Write(obj.data)
+		s.writeBody(w, obj.data)
 
 	case http.MethodDelete:
 		time.Sleep(s.model.delay(0))

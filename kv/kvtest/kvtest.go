@@ -281,8 +281,9 @@ func testValueAliasing(t *testing.T, f Factory) {
 }
 
 // testContextCancel verifies that an already-cancelled context is honoured
-// promptly — Get/Put/Delete return ctx.Err() (possibly wrapped) — and that
-// the rejected write left no trace.
+// promptly — point ops (Get/Put/Delete) and collection ops (Keys/Len/Clear)
+// all return ctx.Err() (possibly wrapped) — and that rejected mutations left
+// no trace.
 func testContextCancel(t *testing.T, f Factory) {
 	s := open(t, f)
 	mustPut(t, s, "k", []byte("keep"))
@@ -297,9 +298,21 @@ func testContextCancel(t *testing.T, f Factory) {
 	if err := s.Delete(cctx, "k"); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Delete with cancelled ctx: err = %v, want context.Canceled", err)
 	}
-	// The cancelled Put and Delete must not have touched the store.
+	if _, err := s.Keys(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Keys with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Len(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Len with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if err := s.Clear(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Clear with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The cancelled Put, Delete, and Clear must not have touched the store.
 	if got := mustGet(t, s, "k"); !bytes.Equal(got, []byte("keep")) {
 		t.Fatalf("cancelled write changed the value: %q", got)
+	}
+	if n, err := s.Len(context.Background()); err != nil || n != 1 {
+		t.Fatalf("Len after cancelled Clear = %d, %v; want 1, nil", n, err)
 	}
 }
 

@@ -123,6 +123,18 @@ func OpenCloudStore(name, baseURL, bucket string) kv.Store {
 	return cloudsim.NewClient(name, baseURL, bucket)
 }
 
+// CloudOptions tunes the cloud client's HTTP transport (phase timeouts,
+// keep-alive pool) and GET-coalescing layer. The zero value gives the same
+// defaults as OpenCloudStore.
+type CloudOptions = cloudsim.Options
+
+// OpenCloudStoreWith is OpenCloudStore with explicit transport and
+// coalescing options — e.g. CloudOptions{Coalesce: true} merges concurrent
+// single-key reads into bulk round trips.
+func OpenCloudStoreWith(name, baseURL, bucket string, opts CloudOptions) kv.Store {
+	return cloudsim.NewClientWith(name, baseURL, bucket, opts)
+}
+
 // --- in-process servers, for tests, examples, and the bench harness ---
 
 // MiniRedisServer is a handle to an in-process remote cache server.
