@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux bench-http figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
+.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux bench-http bench-sql figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
 
 all: build lint-capabilities test
 
@@ -31,10 +31,13 @@ race:
 cover:
 	go test -cover ./...
 
-# Short fuzz pass over the RESP protocol reader (seed corpus in
-# internal/resp/fuzz_test.go).
+# Short fuzz passes: the RESP protocol reader (internal/resp/fuzz_test.go)
+# and the minisql storage engine's page decoder + B-tree operations
+# (internal/minisql/storage_fuzz_test.go).
 fuzz:
 	go test ./internal/resp -run='^$$' -fuzz=FuzzRead -fuzztime=10s
+	go test ./internal/minisql -run='^$$' -fuzz=FuzzPageDecode -fuzztime=10s
+	go test ./internal/minisql -run='^$$' -fuzz=FuzzBTreeOps -fuzztime=10s
 
 # The chaos conformance suite at aggressive settings: 4x the operations,
 # doubled fault rates, race detector on — every store must still pass.
@@ -58,13 +61,15 @@ bench-json:
 
 # Re-measure and fail if any guarded path's allocs/op regressed >20% vs the
 # committed baseline, if the network hot path's throughput / p99 / mux
-# speedup regressed vs BENCH_PR7.json, or if the cloudsim HTTP hot path's
-# throughput / p99 / coalesce speedup regressed vs BENCH_PR8.json — the same
-# gates CI runs.
+# speedup regressed vs BENCH_PR7.json, if the cloudsim HTTP hot path's
+# throughput / p99 / coalesce speedup regressed vs BENCH_PR8.json, or if the
+# paged SQL storage engine's data/cache ratio or cached/paged penalty
+# regressed vs BENCH_PR9.json — the same gates CI runs.
 bench-check:
 	go run ./cmd/udsm-bench -json /tmp/edsc-bench-current.json -baseline BENCH_PR5.json
 	go run ./cmd/udsm-bench -tjson /tmp/edsc-bench-mux.json -tbaseline BENCH_PR7.json
 	go run ./cmd/udsm-bench -hjson /tmp/edsc-bench-http.json -hbaseline BENCH_PR8.json
+	go run ./cmd/udsm-bench -sjson /tmp/edsc-bench-sql.json -sbaseline BENCH_PR9.json
 
 # Closed-loop network hot-path throughput (per-request vs pooled vs mux
 # clients, 1k goroutines) into results/ext_mux_throughput.dat, and
@@ -78,6 +83,13 @@ bench-mux:
 # BENCH_PR8.json. ("-fig mux" above also writes results/ext_http_throughput.dat.)
 bench-http:
 	go run ./cmd/udsm-bench -hjson BENCH_PR8.json
+
+# Closed-loop paged SQL storage-engine throughput (whole dataset cached vs
+# dataset ~10x the page cache) into results/ext_sql_paged.dat, and
+# regenerate the committed baseline BENCH_PR9.json.
+bench-sql:
+	go run ./cmd/udsm-bench -fig sql -out results
+	go run ./cmd/udsm-bench -sjson BENCH_PR9.json
 
 # Batched multi-key ablation (one bulk round trip vs a per-key loop) plus
 # the per-store speedup sweep into results/ext_batch_speedup.dat.

@@ -54,6 +54,10 @@ func main() {
 		hbase    = flag.String("hbaseline", "", "compare the HTTP throughput report against this committed baseline and exit 1 on ops/sec, p99, or coalesce-speedup regression (requires -hjson)")
 		httpG    = flag.Int("httpg", 256, "concurrent goroutines for the HTTP throughput experiment")
 		httpOps  = flag.Int("httpops", 60_000, "operation budget per pooled client mode for the HTTP throughput experiment")
+		sjsonOut = flag.String("sjson", "", `run the paged SQL storage-engine throughput experiment ("-fig sql": cached vs >>-RAM datasets) and write the machine-readable report to this path (standalone mode; skips the figures)`)
+		sbase    = flag.String("sbaseline", "", "compare the SQL throughput report against this committed baseline and exit 1 on ops/sec, p99, data/cache-ratio, or paged-penalty regression (requires -sjson)")
+		sqlOps   = flag.Int("sqlops", 20_000, "operation budget per cache regime for the SQL throughput experiment")
+		sqlKeys  = flag.Int("sqlkeys", 1500, "dataset rows for the SQL throughput experiment")
 	)
 	flag.Parse()
 
@@ -89,6 +93,28 @@ func main() {
 	if *hbase != "" {
 		fmt.Fprintln(os.Stderr, "udsm-bench: -hbaseline requires -hjson")
 		os.Exit(1)
+	}
+	if *sjsonOut != "" {
+		if err := runSQLThroughput(*sjsonOut, *sbase, *sqlOps, *sqlKeys, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sbase != "" {
+		fmt.Fprintln(os.Stderr, "udsm-bench: -sbaseline requires -sjson")
+		os.Exit(1)
+	}
+	if *fig == "sql" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		if err := runSQLThroughput("", "", *sqlOps, *sqlKeys, filepath.Join(*out, "ext_sql_paged.dat")); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *fig == "mux" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -269,6 +295,83 @@ func runHTTPThroughput(jsonPath, baselinePath string, goroutines, ops int, datPa
 		return fmt.Errorf("%d HTTP throughput regression(s) vs %s", len(regs), baselinePath)
 	}
 	fmt.Printf("no HTTP throughput regressions vs %s\n", baselinePath)
+	return nil
+}
+
+// runSQLThroughput is the "-fig sql" / -sjson mode: the closed-loop mixed
+// workload (90% reads, uniform keys) through the paged minisql storage
+// engine, once with the whole dataset cache-resident and once with the
+// dataset ~10x the page cache — optionally gated against a committed
+// baseline (BENCH_PR9.json). The headline gate is the cached/paged penalty:
+// running data well beyond RAM must cost at most 3x.
+func runSQLThroughput(jsonPath, baselinePath string, ops, keys int, datPath string) error {
+	fmt.Printf("running paged SQL storage-engine throughput (closed loop, %d rows x 4 KiB) ...\n", keys)
+	rep, err := benchkit.RunSQLThroughput(benchkit.SQLThroughputConfig{
+		Ops:  ops,
+		Keys: keys,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("  * %-8s %12.0f ops/sec  read p99 %8.3f ms  write p99 %8.3f ms  (%d pages, cache %d, %d evictions, %d errors)\n",
+			r.Name, r.OpsPerSec, r.ReadP99Ms, r.WriteP99Ms, r.DataPages, r.CachePages, r.Evictions, r.Errors)
+	}
+	fmt.Printf("  dataset %.1fx the paged cache; paged penalty %.2fx\n", rep.DataToCacheRatio, rep.PagedPenalty)
+
+	if datPath != "" {
+		f, err := os.Create(datPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "# extension: paged SQL storage engine, mixed workload (90%% reads, %d goroutines, %d rows x %d B), file-backed minisql\n", rep.Goroutines, rep.Keys, rep.ValueSize)
+		fmt.Fprintln(f, "# columns: regime cache_pages data_pages ops_per_sec read_p99_ms write_p99_ms")
+		for _, r := range rep.Results {
+			fmt.Fprintf(f, "%s %d %d %.0f %.4f %.4f\n", r.Name, r.CachePages, r.DataPages, r.OpsPerSec, r.ReadP99Ms, r.WriteP99Ms)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("data written to %s\n", datPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if _, err := rep.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s (* = guarded against baseline)\n", jsonPath)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := benchkit.LoadSQLThroughputReport(bf)
+	if err != nil {
+		return fmt.Errorf("loading baseline %s: %w", baselinePath, err)
+	}
+	// Loose absolute floors (CI runners vary widely in speed); the strict,
+	// machine-independent gates are structural — the dataset must be >= 10x
+	// the paged cache and the cached/paged penalty must stay within the
+	// acceptance criterion's 3x.
+	if regs := benchkit.CompareSQLThroughput(base, rep, 0.25, 4.0, 10.0, 3.0); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "SQL throughput regression:", r)
+		}
+		return fmt.Errorf("%d SQL throughput regression(s) vs %s", len(regs), baselinePath)
+	}
+	fmt.Printf("no SQL throughput regressions vs %s\n", baselinePath)
 	return nil
 }
 

@@ -1,10 +1,10 @@
 package minisql
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 )
@@ -17,106 +17,453 @@ type Result struct {
 
 // Options configure Open.
 type Options struct {
-	// CheckpointBytes triggers a checkpoint (snapshot + WAL truncate) when
-	// the WAL grows past this size (default 8 MiB; <0 disables automatic
-	// checkpoints).
+	// CheckpointBytes triggers a checkpoint (WAL images applied to the
+	// database file, WAL truncated) when the WAL grows past this size
+	// (default 8 MiB; <0 disables automatic checkpoints).
 	CheckpointBytes int64
+	// PageSize sets the page size when creating a database (default 4096;
+	// must be a power of two in [1024, 65536]). Opening an existing
+	// database with a different PageSize is an error; 0 accepts whatever
+	// the file uses.
+	PageSize int
+	// CachePages caps the page cache (default 256 pages). Dirty pages are
+	// exempt, so a large open transaction can exceed it temporarily.
+	CachePages int
+
+	// hook receives pager/WAL sync-point events; crash-injection tests in
+	// this package use it to kill commits mid-flight.
+	hook func(event string) error
 }
 
-// Database is an embedded SQL database. All methods are safe for concurrent
-// use; statements execute under a single writer lock (reads included — the
-// engine favours simplicity and durability over parallel scans, which is
-// faithful to how the paper's workload drives MySQL: one KV call at a time
-// per request).
+// Database is an embedded SQL database over a single paged file (or an
+// in-memory page array). Reads run concurrently under a read lock and
+// B-tree cursors; writes are serialized by a single-writer transaction
+// semaphore and commit by appending page images to the WAL with one fsync —
+// the costly commit the paper measures for SQL-store writes.
 type Database struct {
-	mu     sync.Mutex
-	tables map[string]*table
+	mu  sync.RWMutex // exclusive for writes, shared for reads
+	pg  *pager
+	dir string // "" = in-memory
+
+	// cat is the catalog tree handle; nil after a rollback until the next
+	// catTree call re-resolves the root from the meta page. handleMu guards
+	// cat and tables (readers under RLock share the handle cache).
+	handleMu sync.Mutex
+	cat      *btree
+	tables   map[string]*table
+
 	closed bool
 
-	dir        string // "" = in-memory
-	log        *wal
-	checkpoint int64
+	// txSem is the single-writer transaction semaphore (capacity 1);
+	// ownerMu guards txOwner, the session currently holding it.
+	txSem   chan struct{}
+	ownerMu sync.Mutex
+	txOwner *Session
 
-	// open transaction state (one at a time; Begin blocks others)
-	txMu   sync.Mutex
-	inTx   bool
-	txSQL  []string
-	txUndo []undoRec
+	// legacy is the session behind the Database-level Begin/Commit/
+	// Rollback API; statements Exec'd while it holds a transaction join it,
+	// preserving the old engine's semantics.
+	legacy *Session
 }
 
-// undoRec reverses one applied change on ROLLBACK.
-type undoRec struct {
-	kind    undoKind
-	table   string
-	rowid   int64
-	oldRow  []Value
-	oldTbl  *table // for DROP TABLE
-	idxName string // for index create/drop
-	idxDef  namedIndex
+// Session is one transaction scope over a shared Database. database/sql
+// connections each own a session so one connection's transaction does not
+// fold into another's. At most one session holds a transaction at a time.
+type Session struct {
+	db *Database
 }
 
-type undoKind int
+const defaultCheckpointBytes = 8 << 20
 
-const (
-	undoInsert    undoKind = iota // delete rowid
-	undoUpdate                    // restore oldRow at rowid
-	undoDelete                    // re-insert oldRow at rowid
-	undoCreate                    // drop table
-	undoDrop                      // restore oldTbl
-	undoCreateIdx                 // drop the created index
-	undoDropIdx                   // rebuild the dropped index
-)
-
-// OpenMemory opens a volatile in-memory database.
+// OpenMemory opens a volatile in-memory database with default options.
 func OpenMemory() *Database {
-	return &Database{tables: make(map[string]*table), checkpoint: 8 << 20}
+	db, err := OpenMemoryOptions(Options{})
+	if err != nil {
+		// Only impossible option combinations fail, and the defaults are
+		// valid by construction.
+		panic(err)
+	}
+	return db
 }
 
-// Open opens (creating if needed) a durable database in dir. Recovery loads
-// the last checkpoint snapshot and replays the WAL.
+// OpenMemoryOptions opens a volatile in-memory database.
+func OpenMemoryOptions(opts Options) (*Database, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if !validPageSize(ps) {
+		return nil, fmt.Errorf("minisql: invalid page size %d", ps)
+	}
+	cp := opts.CachePages
+	if cp <= 0 {
+		cp = defaultCachePages
+	}
+	pg, err := newMemPager(ps, cp)
+	if err != nil {
+		return nil, err
+	}
+	return newDatabase(pg, ""), nil
+}
+
+// Open opens (creating if needed) a durable database in dir: data pages in
+// data.db, the page-image WAL in wal.log. Recovery replays committed WAL
+// batches over the data file.
 func Open(dir string, opts Options) (*Database, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("minisql: creating database dir: %w", err)
 	}
-	db := &Database{tables: make(map[string]*table), dir: dir, checkpoint: opts.CheckpointBytes}
-	if db.checkpoint == 0 {
-		db.checkpoint = 8 << 20
+	cb := opts.CheckpointBytes
+	if cb == 0 {
+		cb = defaultCheckpointBytes
 	}
-
-	// Load checkpoint snapshot (a SQL script), then WAL.
-	if snap, err := os.ReadFile(db.snapshotPath()); err == nil {
-		if err := db.applyScript(string(snap)); err != nil {
-			return nil, fmt.Errorf("minisql: loading snapshot: %w", err)
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, err
+	if cb < 0 {
+		cb = 0 // disabled
 	}
-	if err := replayWAL(db.walPath(), db.applyScript); err != nil {
-		return nil, err
+	cp := opts.CachePages
+	if cp <= 0 {
+		cp = defaultCachePages
 	}
-	log, err := openWAL(db.walPath())
+	pg, err := openFilePager(
+		filepath.Join(dir, "data.db"), filepath.Join(dir, "wal.log"),
+		opts.PageSize, cp, cb, opts.hook,
+	)
 	if err != nil {
 		return nil, err
 	}
-	db.log = log
-	return db, nil
+	return newDatabase(pg, dir), nil
 }
 
-func (db *Database) snapshotPath() string { return filepath.Join(db.dir, "snapshot.sql") }
-func (db *Database) walPath() string      { return filepath.Join(db.dir, "wal.log") }
-
-// applyScript executes statements without logging (recovery path).
-func (db *Database) applyScript(sql string) error {
-	stmts, err := ParseAll(sql)
-	if err != nil {
-		return err
+func newDatabase(pg *pager, dir string) *Database {
+	db := &Database{
+		pg:     pg,
+		dir:    dir,
+		tables: make(map[string]*table),
+		txSem:  make(chan struct{}, 1),
 	}
-	for _, s := range stmts {
-		if _, _, err := db.apply(s); err != nil {
+	db.legacy = &Session{db: db}
+	return db
+}
+
+// NewSession returns a fresh transaction scope (used by driver
+// connections). Sessions are cheap and carry no resources.
+func (db *Database) NewSession() *Session { return &Session{db: db} }
+
+// Stats snapshots pager counters for introspection (.pages/.cache).
+func (db *Database) Stats() (PagerStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := db.pg.stats()
+	free, err := db.pg.freePageCount()
+	if err != nil {
+		return PagerStats(st), err
+	}
+	st.FreePages = free
+	return PagerStats(st), nil
+}
+
+// PagerStats is the exported view of the pager counters.
+type PagerStats struct {
+	PageSize   int
+	Pages      uint32
+	FreePages  int
+	CacheCap   int
+	CacheUsed  int
+	DirtyPages int
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	WALBytes   int64
+}
+
+// --- handle cache ---
+
+// catTree resolves the catalog tree handle, re-reading the root from the
+// meta page after an invalidation. Caller holds db.mu (read or write).
+func (db *Database) catTree() (*btree, error) {
+	db.handleMu.Lock()
+	defer db.handleMu.Unlock()
+	if db.cat == nil {
+		root, err := db.pg.catalogRoot()
+		if err != nil {
+			return nil, err
+		}
+		db.cat = openBTree(db.pg, root)
+	}
+	return db.cat, nil
+}
+
+// table resolves a table handle, loading it from the catalog on a cache
+// miss. Caller holds db.mu (read or write).
+func (db *Database) table(name string) (*table, error) {
+	db.handleMu.Lock()
+	t, ok := db.tables[name]
+	db.handleMu.Unlock()
+	if ok {
+		return t, nil
+	}
+	rec, found, err := db.catalogGet(name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("minisql: no such table %q", name)
+	}
+	t, err = db.loadTable(name, rec)
+	if err != nil {
+		return nil, err
+	}
+	db.handleMu.Lock()
+	// Another reader may have raced the load; keep the first handle so
+	// everyone shares one nextRow counter.
+	if prev, ok := db.tables[name]; ok {
+		t = prev
+	} else {
+		db.tables[name] = t
+	}
+	db.handleMu.Unlock()
+	return t, nil
+}
+
+// invalidateHandles drops every cached handle; called after any rollback
+// (tree roots and row counts may have rewound underneath them).
+func (db *Database) invalidateHandles() {
+	db.handleMu.Lock()
+	db.cat = nil
+	db.tables = make(map[string]*table)
+	db.handleMu.Unlock()
+}
+
+// --- statement execution core ---
+
+// applyStmtLocked runs one DML/DDL statement inside a statement-level page
+// undo scope: on failure every touched page reverts, so a half-applied
+// statement never survives. Caller holds db.mu for writing.
+func (db *Database) applyStmtLocked(stmt Stmt) (int, error) {
+	db.pg.beginStmt()
+	n, err := db.apply(stmt)
+	if err == nil {
+		err = db.persistRootsLocked()
+	}
+	if err != nil {
+		db.pg.rollbackStmt()
+		db.invalidateHandles()
+		return 0, err
+	}
+	db.pg.endStmt()
+	return n, nil
+}
+
+// persistRootsLocked writes catalog records for tables whose tree roots
+// moved during the statement.
+func (db *Database) persistRootsLocked() error {
+	db.handleMu.Lock()
+	handles := make([]*table, 0, len(db.tables))
+	for _, t := range db.tables {
+		handles = append(handles, t)
+	}
+	db.handleMu.Unlock()
+	for _, t := range handles {
+		if err := db.saveTableIfChanged(t); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// commitLocked makes the accumulated dirty pages durable; on failure the
+// in-memory state reverts too. Caller holds db.mu for writing.
+func (db *Database) commitLocked() error {
+	err := db.pg.commit()
+	if err != nil {
+		db.pg.rollbackAll()
+		db.invalidateHandles()
+	}
+	return err
+}
+
+func (db *Database) rollbackLocked() {
+	db.pg.rollbackAll()
+	db.invalidateHandles()
+}
+
+// --- sessions ---
+
+// owns reports whether s currently holds the transaction semaphore.
+func (s *Session) owns() bool {
+	s.db.ownerMu.Lock()
+	defer s.db.ownerMu.Unlock()
+	return s.db.txOwner == s
+}
+
+// Begin opens a transaction, blocking while another session holds one.
+func (s *Session) Begin(ctx context.Context) error {
+	if s.owns() {
+		return fmt.Errorf("minisql: transaction already open")
+	}
+	select {
+	case s.db.txSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.db.mu.Lock()
+	closed := s.db.closed
+	s.db.mu.Unlock()
+	if closed {
+		<-s.db.txSem
+		return fmt.Errorf("minisql: database is closed")
+	}
+	s.db.ownerMu.Lock()
+	s.db.txOwner = s
+	s.db.ownerMu.Unlock()
+	return nil
+}
+
+func (s *Session) release() {
+	s.db.ownerMu.Lock()
+	s.db.txOwner = nil
+	s.db.ownerMu.Unlock()
+	<-s.db.txSem
+}
+
+// Commit makes the open transaction durable.
+func (s *Session) Commit() error {
+	if !s.owns() {
+		return fmt.Errorf("minisql: no open transaction")
+	}
+	s.db.mu.Lock()
+	err := s.db.commitLocked()
+	s.db.mu.Unlock()
+	s.release()
+	return err
+}
+
+// Rollback discards the open transaction.
+func (s *Session) Rollback() error {
+	if !s.owns() {
+		return fmt.Errorf("minisql: no open transaction")
+	}
+	s.db.mu.Lock()
+	s.db.rollbackLocked()
+	s.db.mu.Unlock()
+	s.release()
+	return nil
+}
+
+// Exec parses and executes a non-SELECT statement in this session: inside
+// its transaction when one is open, else autocommitted.
+func (s *Session) Exec(sql string) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch stmt.(type) {
+	case *BeginStmt:
+		return 0, s.Begin(context.Background())
+	case *CommitStmt:
+		return 0, s.Commit()
+	case *RollbackStmt:
+		return 0, s.Rollback()
+	case *SelectStmt:
+		return 0, fmt.Errorf("minisql: use Query for SELECT")
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already-parsed DML/DDL statement.
+func (s *Session) ExecStmt(stmt Stmt) (int, error) {
+	db := s.db
+	if s.owns() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return 0, fmt.Errorf("minisql: database is closed")
+		}
+		return db.applyStmtLocked(stmt)
+	}
+	// Autocommit: take the writer slot for the duration of the statement.
+	db.txSem <- struct{}{}
+	defer func() { <-db.txSem }()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, fmt.Errorf("minisql: database is closed")
+	}
+	n, err := db.applyStmtLocked(stmt)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.commitLocked(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Query executes a SELECT under the shared read lock.
+func (s *Session) Query(sql string) (*Result, error) { return s.db.Query(sql) }
+
+// --- legacy Database-level API ---
+
+// Exec parses and executes a statement that returns no rows, reporting the
+// affected-row count. Outside an explicit transaction the statement
+// auto-commits (WAL append + fsync before returning); while the
+// Database-level Begin transaction is open, statements join it, matching
+// the original engine's behavior.
+func (db *Database) Exec(sql string) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch stmt.(type) {
+	case *BeginStmt:
+		return 0, db.Begin()
+	case *CommitStmt:
+		return 0, db.Commit()
+	case *RollbackStmt:
+		return 0, db.Rollback()
+	case *SelectStmt:
+		return 0, fmt.Errorf("minisql: use Query for SELECT")
+	}
+	return db.legacy.ExecStmt(stmt)
+}
+
+// Query parses and executes a SELECT. Multiple queries run concurrently;
+// they share the page cache and exclude writers for their duration.
+func (db *Database) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("minisql: Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, fmt.Errorf("minisql: database is closed")
+	}
+	return db.execSelect(sel)
+}
+
+// Begin opens an explicit transaction. Only one transaction may be open at
+// a time; a second Begin blocks until the first commits or rolls back.
+func (db *Database) Begin() error { return db.legacy.Begin(context.Background()) }
+
+// Commit makes the open transaction durable.
+func (db *Database) Commit() error { return db.legacy.Commit() }
+
+// Rollback discards the open transaction.
+func (db *Database) Rollback() error { return db.legacy.Rollback() }
+
+// Checkpoint forces WAL images into the data file and truncates the WAL.
+func (db *Database) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("minisql: database is closed")
+	}
+	return db.pg.checkpoint()
 }
 
 // Close checkpoints (for durable databases) and releases resources.
@@ -127,94 +474,131 @@ func (db *Database) Close() error {
 		return nil
 	}
 	db.closed = true
-	if db.log == nil {
-		return nil
-	}
-	err := db.checkpointLocked()
-	if cerr := db.log.close(); err == nil {
-		err = cerr
-	}
-	return err
+	return db.pg.close()
 }
 
-// checkpointLocked writes a full snapshot and truncates the WAL.
-func (db *Database) checkpointLocked() error {
-	script := db.dumpLocked()
-	tmp, err := os.CreateTemp(db.dir, ".snap-*")
+// Tables lists table names (for shells and tests).
+func (db *Database) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names, err := db.catalogNames()
+	if err != nil {
+		return nil
+	}
+	return names
+}
+
+// --- dump / restore (property tests, shell .dump) ---
+
+// applyScript executes a multi-statement script, committing at the end.
+func (db *Database) applyScript(sql string) error {
+	stmts, err := ParseAll(sql)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.WriteString(script); err != nil {
-		tmp.Close()
-		return err
+	db.txSem <- struct{}{}
+	defer func() { <-db.txSem }()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range stmts {
+		if _, err := db.applyStmtLocked(s); err != nil {
+			db.rollbackLocked()
+			return err
+		}
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), db.snapshotPath()); err != nil {
-		return err
-	}
-	return db.log.truncate()
+	return db.commitLocked()
 }
 
-// dumpLocked renders the whole database as a SQL script.
-func (db *Database) dumpLocked() string {
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
+// Schema renders the CREATE TABLE / CREATE INDEX statements for one table,
+// or for every table when name is "" (shell .schema).
+func (db *Database) Schema(name string) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return "", fmt.Errorf("minisql: database is closed")
 	}
-	sort.Strings(names)
+	var names []string
+	if name != "" {
+		names = []string{name}
+	} else {
+		var err error
+		names, err = db.catalogNames()
+		if err != nil {
+			return "", err
+		}
+	}
 	var sb strings.Builder
-	for _, name := range names {
-		t := db.tables[name]
-		sb.WriteString("CREATE TABLE ")
+	for _, n := range names {
+		t, err := db.table(n)
+		if err != nil {
+			return "", err
+		}
+		schemaSQL(&sb, n, t)
+	}
+	return sb.String(), nil
+}
+
+// schemaSQL appends table DDL (CREATE TABLE plus named indexes) to sb.
+func schemaSQL(sb *strings.Builder, name string, t *table) {
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(quoteIdent(name))
+	sb.WriteString(" (")
+	for i, c := range t.schema.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(quoteIdent(c.Name))
+		sb.WriteByte(' ')
+		sb.WriteString(c.Type.String())
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		} else {
+			if c.NotNull {
+				sb.WriteString(" NOT NULL")
+			}
+			if c.Unique {
+				sb.WriteString(" UNIQUE")
+			}
+		}
+	}
+	sb.WriteString(");\n")
+	idxNames := make([]string, 0, len(t.idxNames))
+	for in := range t.idxNames {
+		idxNames = append(idxNames, in)
+	}
+	sortStrings(idxNames)
+	for _, in := range idxNames {
+		def := t.idxNames[in]
+		sb.WriteString("CREATE ")
+		if def.unique {
+			sb.WriteString("UNIQUE ")
+		}
+		sb.WriteString("INDEX ")
+		sb.WriteString(quoteIdent(in))
+		sb.WriteString(" ON ")
 		sb.WriteString(quoteIdent(name))
 		sb.WriteString(" (")
-		for i, c := range t.schema.Cols {
-			if i > 0 {
-				sb.WriteString(", ")
-			}
-			sb.WriteString(quoteIdent(c.Name))
-			sb.WriteByte(' ')
-			sb.WriteString(c.Type.String())
-			if c.PrimaryKey {
-				sb.WriteString(" PRIMARY KEY")
-			} else {
-				if c.NotNull {
-					sb.WriteString(" NOT NULL")
-				}
-				if c.Unique {
-					sb.WriteString(" UNIQUE")
-				}
-			}
-		}
+		sb.WriteString(quoteIdent(t.schema.Cols[def.col].Name))
 		sb.WriteString(");\n")
-		idxNames := make([]string, 0, len(t.idxNames))
-		for in := range t.idxNames {
-			idxNames = append(idxNames, in)
+	}
+}
+
+// dumpLocked renders the whole database as a SQL script. Caller holds
+// db.mu; storage errors end the dump early (the result is best-effort, for
+// debugging and the dump/restore property test on healthy databases).
+func (db *Database) dumpLocked() string {
+	names, err := db.catalogNames()
+	if err != nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, name := range names {
+		t, err := db.table(name)
+		if err != nil {
+			return sb.String()
 		}
-		sort.Strings(idxNames)
-		for _, in := range idxNames {
-			def := t.idxNames[in]
-			sb.WriteString("CREATE ")
-			if def.unique {
-				sb.WriteString("UNIQUE ")
-			}
-			sb.WriteString("INDEX ")
-			sb.WriteString(quoteIdent(in))
-			sb.WriteString(" ON ")
-			sb.WriteString(quoteIdent(name))
-			sb.WriteString(" (")
-			sb.WriteString(quoteIdent(t.schema.Cols[def.col].Name))
-			sb.WriteString(");\n")
-		}
-		for _, id := range t.scanIDs() {
-			row := t.rows[id]
+		schemaSQL(&sb, name, t)
+		err = t.scanRows(func(_ int64, row []Value) (bool, error) {
 			sb.WriteString("INSERT INTO ")
 			sb.WriteString(quoteIdent(name))
 			sb.WriteString(" VALUES (")
@@ -225,9 +609,21 @@ func (db *Database) dumpLocked() string {
 				sb.WriteString(sqlLiteral(v))
 			}
 			sb.WriteString(");\n")
+			return true, nil
+		})
+		if err != nil {
+			return sb.String()
 		}
 	}
 	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // quoteIdent double-quotes an identifier for dump output.
@@ -258,184 +654,4 @@ func sqlLiteral(v Value) string {
 	default:
 		return "NULL"
 	}
-}
-
-// Exec parses and executes a statement that returns no rows. It reports the
-// number of affected rows. Outside an explicit transaction the statement
-// auto-commits (WAL append + fsync before returning).
-func (db *Database) Exec(sql string) (int, error) {
-	stmt, err := Parse(sql)
-	if err != nil {
-		return 0, err
-	}
-	switch stmt.(type) {
-	case *BeginStmt:
-		return 0, db.Begin()
-	case *CommitStmt:
-		return 0, db.Commit()
-	case *RollbackStmt:
-		return 0, db.Rollback()
-	case *SelectStmt:
-		return 0, fmt.Errorf("minisql: use Query for SELECT")
-	}
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return 0, fmt.Errorf("minisql: database is closed")
-	}
-	n, undo, err := db.apply(stmt)
-	if err != nil {
-		return 0, err
-	}
-	if db.inTx {
-		db.txSQL = append(db.txSQL, sql)
-		db.txUndo = append(db.txUndo, undo...)
-		return n, nil
-	}
-	if err := db.commitLocked(sql); err != nil {
-		// Durability failed: revert the in-memory change too.
-		db.rollbackUndo(undo)
-		return 0, err
-	}
-	return n, nil
-}
-
-// Query parses and executes a SELECT.
-func (db *Database) Query(sql string) (*Result, error) {
-	stmt, err := Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("minisql: Query requires a SELECT statement")
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, fmt.Errorf("minisql: database is closed")
-	}
-	return db.execSelect(sel)
-}
-
-// Begin opens an explicit transaction. Only one transaction may be open at
-// a time; a second Begin blocks until the first commits or rolls back.
-func (db *Database) Begin() error {
-	db.txMu.Lock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		db.txMu.Unlock()
-		return fmt.Errorf("minisql: database is closed")
-	}
-	db.inTx = true
-	db.txSQL = nil
-	db.txUndo = nil
-	return nil
-}
-
-// Commit makes the open transaction durable.
-func (db *Database) Commit() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.inTx {
-		return fmt.Errorf("minisql: no open transaction")
-	}
-	sqlText := strings.Join(db.txSQL, ";\n")
-	err := db.commitLocked(sqlText)
-	if err != nil {
-		db.rollbackUndo(db.txUndo)
-	}
-	db.inTx = false
-	db.txSQL, db.txUndo = nil, nil
-	db.txMu.Unlock()
-	return err
-}
-
-// Rollback discards the open transaction.
-func (db *Database) Rollback() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.inTx {
-		return fmt.Errorf("minisql: no open transaction")
-	}
-	db.rollbackUndo(db.txUndo)
-	db.inTx = false
-	db.txSQL, db.txUndo = nil, nil
-	db.txMu.Unlock()
-	return nil
-}
-
-// commitLocked appends to the WAL (fsync) and auto-checkpoints when the log
-// has grown large.
-func (db *Database) commitLocked(sqlText string) error {
-	if db.log == nil || sqlText == "" {
-		return nil
-	}
-	if err := db.log.append(sqlText); err != nil {
-		return fmt.Errorf("minisql: commit: %w", err)
-	}
-	if db.checkpoint > 0 && db.log.size > db.checkpoint {
-		if err := db.checkpointLocked(); err != nil {
-			return fmt.Errorf("minisql: checkpoint: %w", err)
-		}
-	}
-	return nil
-}
-
-// rollbackUndo reverses applied changes, newest first.
-func (db *Database) rollbackUndo(undo []undoRec) {
-	for i := len(undo) - 1; i >= 0; i-- {
-		u := undo[i]
-		switch u.kind {
-		case undoInsert:
-			if t, ok := db.tables[u.table]; ok {
-				t.delete(u.rowid)
-			}
-		case undoUpdate:
-			if t, ok := db.tables[u.table]; ok {
-				// Restoring a previously valid row cannot violate
-				// uniqueness once later changes are already undone.
-				_ = t.update(u.rowid, u.oldRow)
-			}
-		case undoDelete:
-			if t, ok := db.tables[u.table]; ok {
-				t.rows[u.rowid] = u.oldRow
-				for col, idx := range t.indexes {
-					if v := u.oldRow[col]; !v.IsNull() {
-						idx[v.indexKey()] = u.rowid
-					}
-				}
-				for col := range t.secIdx {
-					t.secAdd(col, u.oldRow[col], u.rowid)
-				}
-			}
-		case undoCreate:
-			delete(db.tables, u.table)
-		case undoDrop:
-			db.tables[u.table] = u.oldTbl
-		case undoCreateIdx:
-			if t, ok := db.tables[u.table]; ok {
-				t.dropIndex(u.idxName)
-			}
-		case undoDropIdx:
-			if t, ok := db.tables[u.table]; ok {
-				// Restoring an index that previously existed cannot fail.
-				_ = t.buildIndex(u.idxName, u.idxDef)
-			}
-		}
-	}
-}
-
-// Tables lists table names (for shells and tests).
-func (db *Database) Tables() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

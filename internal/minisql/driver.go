@@ -1,0 +1,438 @@
+package minisql
+
+import (
+	"context"
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// database/sql driver for the minisql engine, the "native interface" a UDSM
+// SQL store exposes next to its key-value interface. Registered as
+// "minisql"; connect with a DSN (see ParseDSN):
+//
+//	db, err := sql.Open("minisql", "/var/data/app?cache_pages=512")
+//	db, err := sql.Open("minisql", ":memory:")
+//
+// Every connection from one sql.DB shares one underlying Database (one page
+// cache, one WAL). database/sql's pool then maps naturally onto the engine's
+// concurrency model: queries run concurrently under the shared read lock,
+// transactions serialize on the single-writer semaphore.
+//
+// File DSNs are canonicalized and refcounted, so two sql.Open calls naming
+// the same directory share a Database instead of corrupting each other's
+// pages; the files close when the last handle does. ":memory:" is private
+// per sql.Open.
+
+func init() { sql.Register("minisql", &Driver{}) }
+
+// Driver implements database/sql/driver.Driver and DriverContext.
+type Driver struct{}
+
+var (
+	_ sqldriver.Driver        = (*Driver)(nil)
+	_ sqldriver.DriverContext = (*Driver)(nil)
+)
+
+// Open implements driver.Driver.
+func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector implements driver.DriverContext: the DSN is parsed (and the
+// database opened or attached) once, not per connection.
+func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	cfg, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InMemory() {
+		db, err := OpenMemoryOptions(cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return &connector{drv: d, db: db, owns: true}, nil
+	}
+	db, key, err := fileRegistry.open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &connector{drv: d, db: db, regKey: key}, nil
+}
+
+// NewConnector wraps an existing Database so it can be driven through
+// database/sql (sql.OpenDB(minisql.NewConnector(db))) while the caller keeps
+// owning its lifecycle — closing the sql.DB does not close the Database.
+func NewConnector(db *Database) sqldriver.Connector {
+	return &connector{drv: &Driver{}, db: db}
+}
+
+type connector struct {
+	drv    *Driver
+	db     *Database
+	owns   bool   // private in-memory database: close it with the connector
+	regKey string // registry key when the database came from the file registry
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Connect implements driver.Connector.
+func (c *connector) Connect(context.Context) (sqldriver.Conn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("minisql: connector is closed")
+	}
+	return &conn{sess: c.db.NewSession()}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *connector) Driver() sqldriver.Driver { return c.drv }
+
+// Database exposes the engine underneath the connector, for introspection
+// (pager stats, CheckIntegrity) beside the database/sql API.
+func (c *connector) Database() *Database { return c.db }
+
+// Close implements io.Closer; database/sql calls it from sql.DB.Close.
+func (c *connector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	switch {
+	case c.owns:
+		return c.db.Close()
+	case c.regKey != "":
+		return fileRegistry.release(c.regKey)
+	default:
+		return nil // borrowed via NewConnector; caller owns the Database
+	}
+}
+
+// --- shared-file registry ---
+
+// registry refcounts one Database per canonical directory path.
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+}
+
+type regEntry struct {
+	db   *Database
+	refs int
+}
+
+var fileRegistry = &registry{entries: map[string]*regEntry{}}
+
+func (r *registry) open(cfg DSN) (*Database, string, error) {
+	key, err := filepath.Abs(filepath.Clean(cfg.Path))
+	if err != nil {
+		return nil, "", fmt.Errorf("minisql: resolving DSN path: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if ps := cfg.Opts.PageSize; ps != 0 && ps != e.db.pg.pageSize {
+			return nil, "", fmt.Errorf("minisql: database %s already open with page size %d, DSN wants %d", key, e.db.pg.pageSize, ps)
+		}
+		e.refs++
+		return e.db, key, nil
+	}
+	db, err := Open(cfg.Path, cfg.Opts)
+	if err != nil {
+		return nil, "", err
+	}
+	r.entries[key] = &regEntry{db: db, refs: 1}
+	return db, key, nil
+}
+
+func (r *registry) release(key string) error {
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if ok {
+		e.refs--
+		if e.refs > 0 {
+			r.mu.Unlock()
+			return nil
+		}
+		delete(r.entries, key)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return e.db.Close()
+}
+
+// --- connection ---
+
+type conn struct {
+	sess   *Session
+	closed bool
+}
+
+var (
+	_ sqldriver.Conn           = (*conn)(nil)
+	_ sqldriver.ConnBeginTx    = (*conn)(nil)
+	_ sqldriver.ExecerContext  = (*conn)(nil)
+	_ sqldriver.QueryerContext = (*conn)(nil)
+	_ sqldriver.Pinger         = (*conn)(nil)
+)
+
+// Prepare implements driver.Conn. Binding is text-level, so preparation
+// lexes the statement once to count '?' placeholders and validate tokens.
+func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
+	if c.closed {
+		return nil, sqldriver.ErrBadConn
+	}
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, t := range toks {
+		if t.kind == tokParam {
+			n++
+		}
+	}
+	return &stmt{c: c, query: query, numInput: n}, nil
+}
+
+// Close implements driver.Conn: an abandoned open transaction rolls back so
+// the writer slot is never leaked.
+func (c *conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.sess.owns() {
+		return c.sess.Rollback()
+	}
+	return nil
+}
+
+// Begin implements driver.Conn (legacy path).
+func (c *conn) Begin() (sqldriver.Tx, error) {
+	return c.BeginTx(context.Background(), sqldriver.TxOptions{})
+}
+
+// BeginTx implements driver.ConnBeginTx. The engine runs a single writer at
+// serializable strength; weaker requested levels are accepted (we deliver
+// more isolation than asked), and the default level maps directly.
+func (c *conn) BeginTx(ctx context.Context, opts sqldriver.TxOptions) (sqldriver.Tx, error) {
+	if c.closed {
+		return nil, sqldriver.ErrBadConn
+	}
+	if err := c.sess.Begin(ctx); err != nil {
+		return nil, err
+	}
+	return &tx{sess: c.sess}, nil
+}
+
+// Ping implements driver.Pinger.
+func (c *conn) Ping(ctx context.Context) error {
+	if c.closed {
+		return sqldriver.ErrBadConn
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.sess.db.mu.RLock()
+	defer c.sess.db.mu.RUnlock()
+	if c.sess.db.closed {
+		return sqldriver.ErrBadConn
+	}
+	return nil
+}
+
+// ExecContext implements driver.ExecerContext (no Prepare round-trip).
+func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	return c.exec(ctx, query, args)
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	return c.query(ctx, query, args)
+}
+
+func (c *conn) exec(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if c.closed {
+		return nil, sqldriver.ErrBadConn
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bound, err := bindNamed(query, args)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.sess.Exec(bound)
+	if err != nil {
+		return nil, err
+	}
+	return sqldriver.RowsAffected(n), nil
+}
+
+func (c *conn) query(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if c.closed {
+		return nil, sqldriver.ErrBadConn
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bound, err := bindNamed(query, args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.sess.Query(bound)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+func bindNamed(query string, args []sqldriver.NamedValue) (string, error) {
+	if len(args) == 0 {
+		return query, nil
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := fromDriverValue(a.Value)
+		if err != nil {
+			return "", fmt.Errorf("minisql: arg %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return BindParams(query, vals...)
+}
+
+// fromDriverValue maps the closed set of driver.Value types onto engine
+// values. time.Time has no engine kind; it binds as RFC 3339 text.
+func fromDriverValue(v sqldriver.Value) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null(), nil
+	case int64:
+		return Int(x), nil
+	case float64:
+		return Float(x), nil
+	case bool:
+		return Bool(x), nil
+	case []byte:
+		return Blob(x), nil
+	case string:
+		return Text(x), nil
+	case time.Time:
+		return Text(x.Format(time.RFC3339Nano)), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported parameter type %T", v)
+	}
+}
+
+// --- transaction ---
+
+type tx struct{ sess *Session }
+
+func (t *tx) Commit() error   { return t.sess.Commit() }
+func (t *tx) Rollback() error { return t.sess.Rollback() }
+
+// --- prepared statement ---
+
+type stmt struct {
+	c        *conn
+	query    string
+	numInput int
+	closed   bool
+}
+
+var (
+	_ sqldriver.Stmt             = (*stmt)(nil)
+	_ sqldriver.StmtExecContext  = (*stmt)(nil)
+	_ sqldriver.StmtQueryContext = (*stmt)(nil)
+)
+
+func (s *stmt) Close() error  { s.closed = true; return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	return s.ExecContext(context.Background(), namedValues(args))
+}
+
+func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	return s.QueryContext(context.Background(), namedValues(args))
+}
+
+func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("minisql: statement is closed")
+	}
+	return s.c.exec(ctx, s.query, args)
+}
+
+func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if s.closed {
+		return nil, fmt.Errorf("minisql: statement is closed")
+	}
+	return s.c.query(ctx, s.query, args)
+}
+
+func namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
+	out := make([]sqldriver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = sqldriver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
+}
+
+// --- result rows ---
+
+// rows adapts a materialized Result. The engine evaluates SELECTs eagerly
+// under the read lock (sorting and aggregation need the full set anyway), so
+// iteration here is pure cursor movement over copied values.
+type rows struct {
+	res *Result
+	i   int
+}
+
+func (r *rows) Columns() []string { return r.res.Columns }
+func (r *rows) Close() error      { r.res = nil; return nil }
+
+func (r *rows) Next(dest []sqldriver.Value) error {
+	if r.res == nil || r.i >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.i]
+	r.i++
+	for i, v := range row {
+		switch v.Kind {
+		case KindNull:
+			dest[i] = nil
+		case KindInt:
+			dest[i] = v.Int
+		case KindFloat:
+			dest[i] = v.Float
+		case KindText:
+			dest[i] = v.Str
+		case KindBlob:
+			dest[i] = append([]byte(nil), v.Bytes...)
+		case KindBool:
+			dest[i] = v.Bool
+		default:
+			dest[i] = nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package minisql
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDriverBasics(t *testing.T) {
+	db, err := sql.Open("minisql", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, score REAL)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`INSERT INTO users VALUES (?, ?, ?), (?, ?, ?)`,
+		1, "ada", 9.5, 2, "grace", 8.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", n)
+	}
+
+	rows, err := db.Query(`SELECT id, name, score FROM users WHERE id >= ? ORDER BY id`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var id int64
+		var name string
+		var score float64
+		if err := rows.Scan(&id, &name, &score); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fmt.Sprintf("%d:%s:%g", id, name, score))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "1:ada:9.5" || got[1] != "2:grace:8.25" {
+		t.Fatalf("rows = %v", got)
+	}
+
+	var name string
+	if err := db.QueryRow(`SELECT name FROM users WHERE id = ?`, 2).Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != "grace" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestDriverNullAndTypes(t *testing.T) {
+	db, err := sql.Open("minisql", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExecSQL(t, db, `CREATE TABLE v (id INTEGER PRIMARY KEY, s TEXT, b BLOB, ok BOOLEAN)`)
+	mustExecSQL(t, db, `INSERT INTO v VALUES (?, ?, ?, ?)`, 1, nil, []byte{0x00, 0xff}, true)
+
+	var s sql.NullString
+	var b []byte
+	var ok bool
+	if err := db.QueryRow(`SELECT s, b, ok FROM v WHERE id = ?`, 1).Scan(&s, &b, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if s.Valid {
+		t.Fatalf("s = %v, want NULL", s)
+	}
+	if string(b) != "\x00\xff" || !ok {
+		t.Fatalf("b=%x ok=%v", b, ok)
+	}
+}
+
+func TestDriverPreparedStmt(t *testing.T) {
+	db, err := sql.Open("minisql", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExecSQL(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+
+	ins, err := db.Prepare(`INSERT INTO t VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := ins.Exec(i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wrong arity must fail at the database/sql layer via NumInput.
+	if _, err := ins.Exec(1); err == nil {
+		t.Fatal("prepared exec with missing arg succeeded")
+	}
+
+	sel, err := db.Prepare(`SELECT v FROM t WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	var v string
+	if err := sel.QueryRow(7).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v != "v7" {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+func TestDriverTx(t *testing.T) {
+	db, err := sql.Open("minisql", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExecSQL(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (?)`, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("count after rollback = %d", n)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (?)`, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) FROM t`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count after commit = %d", n)
+	}
+}
+
+func TestDriverConcurrentTxSerialize(t *testing.T) {
+	db, err := sql.Open("minisql", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExecSQL(t, db, `CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+	mustExecSQL(t, db, `INSERT INTO acct VALUES (1, 0)`)
+
+	const workers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tx, err := db.BeginTx(context.Background(), nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := tx.Exec(`UPDATE acct SET bal = bal + 1 WHERE id = 1`); err != nil {
+					_ = tx.Rollback()
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var bal int
+	if err := db.QueryRow(`SELECT bal FROM acct WHERE id = 1`).Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != workers*each {
+		t.Fatalf("bal = %d, want %d (lost updates)", bal, workers*each)
+	}
+}
+
+func TestDriverFileDSNSharing(t *testing.T) {
+	dir := t.TempDir()
+	dsn := dir + "?cache_pages=64"
+
+	db1, err := sql.Open("minisql", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExecSQL(t, db1, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	mustExecSQL(t, db1, `INSERT INTO t VALUES (?, ?)`, 1, "shared")
+
+	// Second handle on the same path shares the same engine.
+	db2, err := sql.Open("minisql", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v string
+	if err := db2.QueryRow(`SELECT v FROM t WHERE id = ?`, 1).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v != "shared" {
+		t.Fatalf("v = %q", v)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// db2 must still work after db1 closes (refcounted registry).
+	if err := db2.QueryRow(`SELECT v FROM t WHERE id = ?`, 1).Scan(&v); err != nil {
+		t.Fatalf("after first close: %v", err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk: data survived both closes.
+	db3, err := sql.Open("minisql", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if err := db3.QueryRow(`SELECT v FROM t WHERE id = ?`, 1).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v != "shared" {
+		t.Fatalf("after reopen v = %q", v)
+	}
+}
+
+func TestDriverBadDSN(t *testing.T) {
+	if _, err := sql.Open("minisql", ":memory:?bogus=1"); err == nil {
+		// sql.Open defers driver errors to first use for non-DriverContext
+		// drivers, but ours parses eagerly via OpenConnector.
+		t.Fatal("bad DSN accepted")
+	}
+	if _, err := ParseDSN("/x?page_size=1000"); err == nil {
+		t.Fatal("invalid page size accepted")
+	}
+	if _, err := ParseDSN("/x?cache_pages=0"); err == nil {
+		t.Fatal("cache_pages=0 accepted")
+	}
+	d, err := ParseDSN(":memory:?cache_pages=64&page_size=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.InMemory() || d.Opts.CachePages != 64 || d.Opts.PageSize != 2048 {
+		t.Fatalf("parsed DSN = %+v", d)
+	}
+	if got := d.String(); got != ":memory:?page_size=2048&cache_pages=64" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDriverConnectorWrapsExistingDatabase(t *testing.T) {
+	raw := OpenMemory()
+	defer raw.Close()
+	db := sql.OpenDB(NewConnector(raw))
+	mustExecSQL(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+	mustExecSQL(t, db, `INSERT INTO t VALUES (1)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the sql.DB must not close the borrowed Database.
+	res, err := raw.Query(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 1 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func mustExecSQL(t *testing.T, db *sql.DB, query string, args ...any) {
+	t.Helper()
+	if _, err := db.Exec(query, args...); err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+}

@@ -103,11 +103,18 @@ func TestAutoCheckpointTruncatesWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Size() > 4096 {
+	// Each commit appends page images, so the WAL can hold at most one
+	// post-checkpoint batch; anything much larger means truncation never
+	// happened.
+	if st.Size() > 64<<10 {
 		t.Fatalf("WAL = %d bytes; auto-checkpoint did not truncate", st.Size())
 	}
-	if _, err := os.Stat(filepath.Join(dir, "snapshot.sql")); err != nil {
-		t.Fatalf("no snapshot after auto-checkpoint: %v", err)
+	dst, err := os.Stat(filepath.Join(dir, "data.db"))
+	if err != nil {
+		t.Fatalf("no data file after auto-checkpoint: %v", err)
+	}
+	if dst.Size() == 0 {
+		t.Fatal("data file empty after auto-checkpoint")
 	}
 	_ = db.Close()
 
@@ -132,7 +139,7 @@ func TestSnapshotRoundTripsAllTypes(t *testing.T) {
 	mustExec(t, db, `INSERT INTO v VALUES (2, -0.5, '', x'', FALSE)`)
 	mustExec(t, db, `INSERT INTO v VALUES (3, NULL, NULL, NULL, NULL)`)
 	mustExec(t, db, `INSERT INTO v VALUES (4, 1e300, 'unicode 世界', x'deadbeef', TRUE)`)
-	if err := db.Close(); err != nil { // forces a checkpoint through dump/parse
+	if err := db.Close(); err != nil { // forces a final page checkpoint
 		t.Fatal(err)
 	}
 

@@ -5,10 +5,11 @@ import (
 	"sort"
 )
 
-// apply executes a data/definition statement against the in-memory state,
-// returning the affected-row count and the undo records that reverse it.
-// Caller holds db.mu.
-func (db *Database) apply(stmt Stmt) (int, []undoRec, error) {
+// apply executes a data/definition statement against the paged storage,
+// returning the affected-row count. Failures are unwound by the caller's
+// statement-level page undo, so no logical undo records exist anymore.
+// Caller holds db.mu for writing.
+func (db *Database) apply(stmt Stmt) (int, error) {
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return db.execCreate(s)
@@ -25,97 +26,119 @@ func (db *Database) apply(stmt Stmt) (int, []undoRec, error) {
 	case *DeleteStmt:
 		return db.execDelete(s)
 	case *SelectStmt:
-		return 0, nil, fmt.Errorf("minisql: SELECT has no side effects to apply")
+		return 0, fmt.Errorf("minisql: SELECT has no side effects to apply")
 	default:
-		return 0, nil, fmt.Errorf("minisql: cannot execute %T", stmt)
+		return 0, fmt.Errorf("minisql: cannot execute %T", stmt)
 	}
 }
 
-func (db *Database) table(name string) (*table, error) {
-	t, ok := db.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("minisql: no such table %q", name)
-	}
-	return t, nil
-}
-
-func (db *Database) execCreate(s *CreateTableStmt) (int, []undoRec, error) {
-	if _, exists := db.tables[s.Name]; exists {
+func (db *Database) execCreate(s *CreateTableStmt) (int, error) {
+	if _, exists, err := db.catalogGet(s.Name); err != nil {
+		return 0, err
+	} else if exists {
 		if s.IfNotExists {
-			return 0, nil, nil
+			return 0, nil
 		}
-		return 0, nil, fmt.Errorf("minisql: table %q already exists", s.Name)
+		return 0, fmt.Errorf("minisql: table %q already exists", s.Name)
 	}
-	t, err := newTable(s)
+	t, err := createTable(db, s)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
+	if err := db.catalogPut(s.Name, catalogRecordFor(t)); err != nil {
+		return 0, err
+	}
+	db.handleMu.Lock()
 	db.tables[s.Name] = t
-	return 0, []undoRec{{kind: undoCreate, table: s.Name}}, nil
+	db.handleMu.Unlock()
+	return 0, nil
 }
 
-func (db *Database) execDrop(s *DropTableStmt) (int, []undoRec, error) {
-	t, exists := db.tables[s.Name]
-	if !exists {
+func (db *Database) execDrop(s *DropTableStmt) (int, error) {
+	t, err := db.table(s.Name)
+	if err != nil {
 		if s.IfExists {
-			return 0, nil, nil
+			return 0, nil
 		}
-		return 0, nil, fmt.Errorf("minisql: no such table %q", s.Name)
+		return 0, fmt.Errorf("minisql: no such table %q", s.Name)
 	}
+	if err := t.dropAllTrees(); err != nil {
+		return 0, err
+	}
+	if err := db.catalogDelete(s.Name); err != nil {
+		return 0, err
+	}
+	db.handleMu.Lock()
 	delete(db.tables, s.Name)
-	return 0, []undoRec{{kind: undoDrop, table: s.Name, oldTbl: t}}, nil
+	db.handleMu.Unlock()
+	return 0, nil
 }
 
 // findIndex locates a named index across tables.
-func (db *Database) findIndex(name string) (*table, namedIndex, bool) {
-	for _, t := range db.tables {
+func (db *Database) findIndex(name string) (*table, namedIndex, bool, error) {
+	names, err := db.catalogNames()
+	if err != nil {
+		return nil, namedIndex{}, false, err
+	}
+	for _, tn := range names {
+		t, err := db.table(tn)
+		if err != nil {
+			return nil, namedIndex{}, false, err
+		}
 		if def, ok := t.idxNames[name]; ok {
-			return t, def, true
+			return t, def, true, nil
 		}
 	}
-	return nil, namedIndex{}, false
+	return nil, namedIndex{}, false, nil
 }
 
-func (db *Database) execCreateIndex(s *CreateIndexStmt) (int, []undoRec, error) {
-	if _, _, exists := db.findIndex(s.Name); exists {
+func (db *Database) execCreateIndex(s *CreateIndexStmt) (int, error) {
+	if _, _, exists, err := db.findIndex(s.Name); err != nil {
+		return 0, err
+	} else if exists {
 		if s.IfNotExists {
-			return 0, nil, nil
+			return 0, nil
 		}
-		return 0, nil, fmt.Errorf("minisql: index %q already exists", s.Name)
+		return 0, fmt.Errorf("minisql: index %q already exists", s.Name)
 	}
 	t, err := db.table(s.Table)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
 	col, ok := t.colIdx[s.Col]
 	if !ok {
-		return 0, nil, fmt.Errorf("minisql: no column %q in table %q", s.Col, s.Table)
+		return 0, fmt.Errorf("minisql: no column %q in table %q", s.Col, s.Table)
 	}
 	if _, already := t.indexes[col]; already && s.Unique {
-		return 0, nil, fmt.Errorf("minisql: column %q is already uniquely indexed", s.Col)
+		return 0, fmt.Errorf("minisql: column %q is already uniquely indexed", s.Col)
 	}
 	if err := t.buildIndex(s.Name, namedIndex{col: col, unique: s.Unique}); err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	return 0, []undoRec{{kind: undoCreateIdx, table: s.Table, idxName: s.Name}}, nil
+	return 0, db.catalogPut(s.Table, catalogRecordFor(t))
 }
 
-func (db *Database) execDropIndex(s *DropIndexStmt) (int, []undoRec, error) {
-	t, def, ok := db.findIndex(s.Name)
+func (db *Database) execDropIndex(s *DropIndexStmt) (int, error) {
+	t, _, ok, err := db.findIndex(s.Name)
+	if err != nil {
+		return 0, err
+	}
 	if !ok {
 		if s.IfExists {
-			return 0, nil, nil
+			return 0, nil
 		}
-		return 0, nil, fmt.Errorf("minisql: no such index %q", s.Name)
+		return 0, fmt.Errorf("minisql: no such index %q", s.Name)
 	}
-	t.dropIndex(s.Name)
-	return 0, []undoRec{{kind: undoDropIdx, table: t.schema.Name, idxName: s.Name, idxDef: def}}, nil
+	if err := t.dropIndex(s.Name); err != nil {
+		return 0, err
+	}
+	return 0, db.catalogPut(t.schema.Name, catalogRecordFor(t))
 }
 
-func (db *Database) execInsert(s *InsertStmt) (int, []undoRec, error) {
+func (db *Database) execInsert(s *InsertStmt) (int, error) {
 	t, err := db.table(s.Table)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
 	// Map the statement's column list to declared positions.
 	positions := make([]int, 0, len(s.Cols))
@@ -127,59 +150,66 @@ func (db *Database) execInsert(s *InsertStmt) (int, []undoRec, error) {
 		for _, name := range s.Cols {
 			i, ok := t.colIdx[name]
 			if !ok {
-				return 0, nil, fmt.Errorf("minisql: no column %q in table %q", name, s.Table)
+				return 0, fmt.Errorf("minisql: no column %q in table %q", name, s.Table)
 			}
 			positions = append(positions, i)
 		}
 	}
-	var undo []undoRec
 	count := 0
 	for _, rowExprs := range s.Rows {
 		if len(rowExprs) != len(positions) {
-			return count, undo, fmt.Errorf("minisql: INSERT has %d values for %d columns", len(rowExprs), len(positions))
+			return count, fmt.Errorf("minisql: INSERT has %d values for %d columns", len(rowExprs), len(positions))
 		}
 		vals := make([]Value, len(t.schema.Cols))
 		for i, e := range rowExprs {
 			v, err := evalExpr(e, nil)
 			if err != nil {
-				return count, undo, err
+				return count, err
 			}
 			vals[positions[i]] = v
 		}
 		vals, err := t.validate(vals)
 		if err != nil {
-			return count, undo, err
+			return count, err
 		}
 		if s.OrReplace && t.pkCol >= 0 {
-			if id, exists := t.lookupUnique(t.pkCol, vals[t.pkCol]); exists {
-				old := t.rows[id]
+			id, exists, err := t.lookupUnique(t.pkCol, vals[t.pkCol])
+			if err != nil {
+				return count, err
+			}
+			if exists {
 				if err := t.update(id, vals); err != nil {
-					return count, undo, err
+					return count, err
 				}
-				undo = append(undo, undoRec{kind: undoUpdate, table: s.Table, rowid: id, oldRow: old})
 				count++
 				continue
 			}
 		}
-		id, err := t.insert(vals)
-		if err != nil {
-			return count, undo, err
+		if _, err := t.insert(vals); err != nil {
+			return count, err
 		}
-		undo = append(undo, undoRec{kind: undoInsert, table: s.Table, rowid: id})
 		count++
 	}
-	return count, undo, nil
+	return count, nil
 }
 
-// matchIDs returns rowids satisfying where, using the unique index when the
-// predicate is an equality on an indexed column (the fast path KV-over-SQL
-// reads take). label is the name the table is referenced by in expressions.
-func (db *Database) matchIDs(t *table, label string, where Expr) ([]int64, error) {
+// matchRows returns the rowids (and their rows) satisfying where, using a
+// unique or secondary index when the predicate is an equality on an indexed
+// column — the fast path KV-over-SQL reads take — and a primary-tree cursor
+// scan otherwise. label is the name the table is referenced by.
+func (db *Database) matchRows(t *table, label string, where Expr) ([]int64, [][]Value, error) {
 	if where == nil {
-		return t.scanIDs(), nil
+		var ids []int64
+		var rows [][]Value
+		err := t.scanRows(func(id int64, row []Value) (bool, error) {
+			ids = append(ids, id)
+			rows = append(rows, row)
+			return true, nil
+		})
+		return ids, rows, err
 	}
 	sc := tableScope(label, t)
-	// Index fast path: col = literal (or literal = col) on a unique column.
+	// Index fast path: col = literal (or literal = col) on an indexed column.
 	if be, ok := where.(*BinaryExpr); ok && be.Op == "=" {
 		col, lit := be.L, be.R
 		if _, isCol := col.(*ColumnExpr); !isCol {
@@ -191,93 +221,112 @@ func (db *Database) matchIDs(t *table, label string, where Expr) ([]int64, error
 					if _, indexed := t.indexes[ci]; indexed {
 						v, err := coerce(le.Val, t.schema.Cols[ci].Type)
 						if err != nil {
-							return nil, nil // type mismatch matches nothing
+							return nil, nil, nil // type mismatch matches nothing
 						}
-						if id, found := t.lookupUnique(ci, v); found {
-							return []int64{id}, nil
+						id, found, err := t.lookupUnique(ci, v)
+						if err != nil || !found {
+							return nil, nil, err
 						}
-						return nil, nil
+						row, err := t.getRow(id)
+						if err != nil {
+							return nil, nil, err
+						}
+						return []int64{id}, [][]Value{row}, nil
 					}
-					if idx, indexed := t.secIdx[ci]; indexed {
+					if _, indexed := t.secIdx[ci]; indexed {
 						v, err := coerce(le.Val, t.schema.Cols[ci].Type)
 						if err != nil || v.IsNull() {
-							return nil, nil
+							return nil, nil, nil
 						}
-						ids := append([]int64(nil), idx[v.indexKey()]...)
+						ids, err := t.secLookup(ci, v)
+						if err != nil {
+							return nil, nil, err
+						}
 						sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-						return ids, nil
+						rows := make([][]Value, len(ids))
+						for i, id := range ids {
+							if rows[i], err = t.getRow(id); err != nil {
+								return nil, nil, err
+							}
+						}
+						return ids, rows, nil
 					}
 				}
 			}
 		}
 	}
-	var out []int64
-	for _, id := range t.scanIDs() {
-		v, err := evalExpr(where, &rowEnv{sc: sc, row: t.rows[id]})
+	var ids []int64
+	var rows [][]Value
+	var evalErr error
+	err := t.scanRows(func(id int64, row []Value) (bool, error) {
+		v, err := evalExpr(where, &rowEnv{sc: sc, row: row})
 		if err != nil {
-			return nil, err
+			evalErr = err
+			return false, nil
 		}
 		if truthy(v) {
-			out = append(out, id)
+			ids = append(ids, id)
+			rows = append(rows, row)
 		}
+		return true, nil
+	})
+	if evalErr != nil {
+		return nil, nil, evalErr
 	}
-	return out, nil
+	return ids, rows, err
 }
 
-func (db *Database) execUpdate(s *UpdateStmt) (int, []undoRec, error) {
+func (db *Database) execUpdate(s *UpdateStmt) (int, error) {
 	t, err := db.table(s.Table)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	ids, err := db.matchIDs(t, s.Table, s.Where)
+	ids, rows, err := db.matchRows(t, s.Table, s.Where)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	var undo []undoRec
 	count := 0
-	for _, id := range ids {
-		old := t.rows[id]
+	for i, id := range ids {
+		old := rows[i]
 		next := append([]Value(nil), old...)
 		for _, set := range s.Sets {
 			ci, ok := t.colIdx[set.Col]
 			if !ok {
-				return count, undo, fmt.Errorf("minisql: no column %q in table %q", set.Col, s.Table)
+				return count, fmt.Errorf("minisql: no column %q in table %q", set.Col, s.Table)
 			}
 			v, err := evalExpr(set.Expr, &rowEnv{sc: t.defaultScope(), row: old})
 			if err != nil {
-				return count, undo, err
+				return count, err
 			}
 			next[ci] = v
 		}
 		next, err := t.validate(next)
 		if err != nil {
-			return count, undo, err
+			return count, err
 		}
 		if err := t.update(id, next); err != nil {
-			return count, undo, err
+			return count, err
 		}
-		undo = append(undo, undoRec{kind: undoUpdate, table: s.Table, rowid: id, oldRow: old})
 		count++
 	}
-	return count, undo, nil
+	return count, nil
 }
 
-func (db *Database) execDelete(s *DeleteStmt) (int, []undoRec, error) {
+func (db *Database) execDelete(s *DeleteStmt) (int, error) {
 	t, err := db.table(s.Table)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	ids, err := db.matchIDs(t, s.Table, s.Where)
+	ids, _, err := db.matchRows(t, s.Table, s.Where)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	var undo []undoRec
 	for _, id := range ids {
-		old := t.rows[id]
-		t.delete(id)
-		undo = append(undo, undoRec{kind: undoDelete, table: s.Table, rowid: id, oldRow: old})
+		if err := t.delete(id); err != nil {
+			return 0, err
+		}
 	}
-	return len(ids), undo, nil
+	return len(ids), nil
 }
 
 // sortableRow is one projected output row plus its ORDER BY keys.
@@ -286,7 +335,7 @@ type sortableRow struct {
 	keys []Value
 }
 
-// execSelect evaluates a SELECT. Caller holds db.mu.
+// execSelect evaluates a SELECT. Caller holds db.mu (read or write).
 func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
 	sc, rows, err := db.gatherRows(s)
 	if err != nil {
@@ -353,24 +402,22 @@ func (db *Database) gatherRows(s *SelectStmt) (*scope, [][]Value, error) {
 	}
 
 	if len(s.Joins) == 0 {
-		// Single-table path keeps the unique-index fast path.
-		ids, err := db.matchIDs(t, s.From.Label(), s.Where)
+		// Single-table path keeps the index fast paths.
+		_, rows, err := db.matchRows(t, s.From.Label(), s.Where)
 		if err != nil {
 			return nil, nil, err
 		}
-		sc := tableScope(s.From.Label(), t)
-		rows := make([][]Value, 0, len(ids))
-		for _, id := range ids {
-			rows = append(rows, t.rows[id])
-		}
-		return sc, rows, nil
+		return tableScope(s.From.Label(), t), rows, nil
 	}
 
-	// Nested-loop joins, left to right.
+	// Nested-loop joins, left to right, over materialized scans.
 	sc := tableScope(s.From.Label(), t)
-	rows := make([][]Value, 0, len(t.rows))
-	for _, id := range t.scanIDs() {
-		rows = append(rows, t.rows[id])
+	var rows [][]Value
+	if err := t.scanRows(func(_ int64, row []Value) (bool, error) {
+		rows = append(rows, row)
+		return true, nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	for _, jc := range s.Joins {
 		rt, err := db.table(jc.Table.Name)
@@ -383,14 +430,20 @@ func (db *Database) gatherRows(s *SelectStmt) (*scope, [][]Value, error) {
 			return nil, nil, err
 		}
 		rightWidth := len(rsc.names)
-		rightIDs := rt.scanIDs()
+		var rightRows [][]Value
+		if err := rt.scanRows(func(_ int64, row []Value) (bool, error) {
+			rightRows = append(rightRows, row)
+			return true, nil
+		}); err != nil {
+			return nil, nil, err
+		}
 		next := make([][]Value, 0, len(rows))
 		for _, lrow := range rows {
 			matched := false
-			for _, rid := range rightIDs {
+			for _, rrow := range rightRows {
 				cand := make([]Value, 0, len(lrow)+rightWidth)
 				cand = append(cand, lrow...)
-				cand = append(cand, rt.rows[rid]...)
+				cand = append(cand, rrow...)
 				v, err := evalExpr(jc.On, &rowEnv{sc: joined, row: cand})
 				if err != nil {
 					return nil, nil, err

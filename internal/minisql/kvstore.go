@@ -2,6 +2,7 @@ package minisql
 
 import (
 	"context"
+	"database/sql"
 	"fmt"
 	"sync"
 
@@ -12,10 +13,21 @@ import (
 // exactly as the paper implements its key-value interface for SQL databases
 // via JDBC (§II-A). It also implements kv.SQL so applications can issue
 // native queries against the same database.
+//
+// All operations run through the registered database/sql driver with
+// prepared statements — the adapter is itself a client of the public SQL
+// surface, mirroring the paper's layering (key-value methods implemented on
+// the standard SQL client API, not a private engine interface).
 type KVStore struct {
 	name  string
 	db    *Database
+	sqldb *sql.DB
 	table string
+
+	get      *sql.Stmt
+	put      *sql.Stmt
+	del      *sql.Stmt
+	contains *sql.Stmt
 
 	mu     sync.Mutex
 	closed bool
@@ -27,16 +39,36 @@ var (
 )
 
 // NewKVStore binds a key-value view to tableName inside db, creating the
-// backing table if necessary.
+// backing table if necessary. The store borrows db (closing the store does
+// not close the database).
 func NewKVStore(name string, db *Database, tableName string) (*KVStore, error) {
 	if !validIdent(tableName) {
 		return nil, fmt.Errorf("minisql: invalid table name %q", tableName)
 	}
+	sqldb := sql.OpenDB(NewConnector(db))
 	ddl := fmt.Sprintf("CREATE TABLE IF NOT EXISTS %s (k TEXT PRIMARY KEY, v BLOB NOT NULL)", tableName)
-	if _, err := db.Exec(ddl); err != nil {
+	if _, err := sqldb.Exec(ddl); err != nil {
+		_ = sqldb.Close()
 		return nil, err
 	}
-	return &KVStore{name: name, db: db, table: tableName}, nil
+	s := &KVStore{name: name, db: db, sqldb: sqldb, table: tableName}
+	for _, p := range []struct {
+		dst   **sql.Stmt
+		query string
+	}{
+		{&s.get, fmt.Sprintf("SELECT v FROM %s WHERE k = ?", tableName)},
+		{&s.put, fmt.Sprintf("INSERT OR REPLACE INTO %s VALUES (?, ?)", tableName)},
+		{&s.del, fmt.Sprintf("DELETE FROM %s WHERE k = ?", tableName)},
+		{&s.contains, fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE k = ?", tableName)},
+	} {
+		st, err := sqldb.Prepare(p.query)
+		if err != nil {
+			_ = sqldb.Close()
+			return nil, err
+		}
+		*p.dst = st
+	}
+	return s, nil
 }
 
 func validIdent(s string) bool {
@@ -51,8 +83,11 @@ func validIdent(s string) bool {
 	return true
 }
 
-// DB exposes the underlying database for native SQL beyond the adapter.
+// DB exposes the underlying database for native access beyond the adapter.
 func (s *KVStore) DB() *Database { return s.db }
+
+// SQLDB exposes the database/sql handle the adapter runs on.
+func (s *KVStore) SQLDB() *sql.DB { return s.sqldb }
 
 // Name implements kv.Store.
 func (s *KVStore) Name() string { return s.name }
@@ -69,50 +104,40 @@ func (s *KVStore) check(key string) error {
 
 // Get implements kv.Store.
 func (s *KVStore) Get(ctx context.Context, key string) ([]byte, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	if err := s.check(key); err != nil {
 		return nil, err
 	}
-	res, err := s.db.QueryParams(fmt.Sprintf("SELECT v FROM %s WHERE k = ?", s.table), Text(key))
+	var v []byte
+	err := s.get.QueryRowContext(ctx, key).Scan(&v)
+	if err == sql.ErrNoRows {
+		return nil, kv.ErrNotFound
+	}
 	if err != nil {
 		return nil, kv.WrapErr(s.name, "get", key, err)
 	}
-	if len(res.Rows) == 0 {
-		return nil, kv.ErrNotFound
-	}
-	v := res.Rows[0][0]
-	return append([]byte(nil), v.Bytes...), nil
+	return v, nil
 }
 
 // Put implements kv.Store. Each Put is one committed transaction, paying
 // the WAL fsync — the commit cost §V observes for MySQL writes.
 func (s *KVStore) Put(ctx context.Context, key string, value []byte) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	if err := s.check(key); err != nil {
 		return err
 	}
-	stmt := fmt.Sprintf("INSERT OR REPLACE INTO %s VALUES (?, ?)", s.table)
-	_, err := s.db.ExecParams(stmt, Text(key), Blob(value))
+	_, err := s.put.ExecContext(ctx, key, value)
 	return kv.WrapErr(s.name, "put", key, err)
 }
 
 // Delete implements kv.Store.
 func (s *KVStore) Delete(ctx context.Context, key string) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	if err := s.check(key); err != nil {
 		return err
 	}
-	n, err := s.db.ExecParams(fmt.Sprintf("DELETE FROM %s WHERE k = ?", s.table), Text(key))
+	res, err := s.del.ExecContext(ctx, key)
 	if err != nil {
 		return kv.WrapErr(s.name, "delete", key, err)
 	}
-	if n == 0 {
+	if n, _ := res.RowsAffected(); n == 0 {
 		return kv.ErrNotFound
 	}
 	return nil
@@ -120,62 +145,62 @@ func (s *KVStore) Delete(ctx context.Context, key string) error {
 
 // Contains implements kv.Store.
 func (s *KVStore) Contains(ctx context.Context, key string) (bool, error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
 	if err := s.check(key); err != nil {
 		return false, err
 	}
-	res, err := s.db.QueryParams(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE k = ?", s.table), Text(key))
-	if err != nil {
+	var n int
+	if err := s.contains.QueryRowContext(ctx, key).Scan(&n); err != nil {
 		return false, kv.WrapErr(s.name, "contains", key, err)
 	}
-	return res.Rows[0][0].Int > 0, nil
+	return n > 0, nil
 }
 
 // Keys implements kv.Store.
 func (s *KVStore) Keys(ctx context.Context) ([]string, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	if err := s.check("x"); err != nil {
 		return nil, err
 	}
-	res, err := s.db.Query(fmt.Sprintf("SELECT k FROM %s", s.table))
+	rows, err := s.sqldb.QueryContext(ctx, fmt.Sprintf("SELECT k FROM %s", s.table))
 	if err != nil {
 		return nil, kv.WrapErr(s.name, "keys", "", err)
 	}
-	out := make([]string, 0, len(res.Rows))
-	for _, row := range res.Rows {
-		out = append(out, row[0].Str)
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var k string
+		if err := rows.Scan(&k); err != nil {
+			return nil, kv.WrapErr(s.name, "keys", "", err)
+		}
+		out = append(out, k)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, kv.WrapErr(s.name, "keys", "", err)
+	}
+	if out == nil {
+		out = []string{}
 	}
 	return out, nil
 }
 
 // Len implements kv.Store.
 func (s *KVStore) Len(ctx context.Context) (int, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
 	if err := s.check("x"); err != nil {
 		return 0, err
 	}
-	res, err := s.db.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s", s.table))
+	var n int
+	err := s.sqldb.QueryRowContext(ctx, fmt.Sprintf("SELECT COUNT(*) FROM %s", s.table)).Scan(&n)
 	if err != nil {
 		return 0, kv.WrapErr(s.name, "len", "", err)
 	}
-	return int(res.Rows[0][0].Int), nil
+	return n, nil
 }
 
 // Clear implements kv.Store.
 func (s *KVStore) Clear(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	if err := s.check("x"); err != nil {
 		return err
 	}
-	_, err := s.db.Exec(fmt.Sprintf("DELETE FROM %s", s.table))
+	_, err := s.sqldb.ExecContext(ctx, fmt.Sprintf("DELETE FROM %s", s.table))
 	return kv.WrapErr(s.name, "clear", "", err)
 }
 
@@ -184,41 +209,84 @@ func (s *KVStore) Clear(ctx context.Context) error {
 func (s *KVStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
 	s.closed = true
-	return nil
+	for _, st := range []*sql.Stmt{s.get, s.put, s.del, s.contains} {
+		if st != nil {
+			_ = st.Close()
+		}
+	}
+	return s.sqldb.Close()
 }
 
 // Exec implements kv.SQL.
 func (s *KVStore) Exec(ctx context.Context, query string) (int, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
 	if err := s.check("x"); err != nil {
 		return 0, err
 	}
-	n, err := s.db.Exec(query)
-	return n, kv.WrapErr(s.name, "exec", "", err)
+	res, err := s.sqldb.ExecContext(ctx, query)
+	if err != nil {
+		return 0, kv.WrapErr(s.name, "exec", "", err)
+	}
+	n, _ := res.RowsAffected()
+	return int(n), nil
 }
 
 // Query implements kv.SQL.
 func (s *KVStore) Query(ctx context.Context, query string) (*kv.Rows, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	if err := s.check("x"); err != nil {
 		return nil, err
 	}
-	res, err := s.db.Query(query)
+	res, err := s.sqldb.QueryContext(ctx, query)
 	if err != nil {
 		return nil, kv.WrapErr(s.name, "query", "", err)
 	}
-	rows := &kv.Rows{Columns: res.Columns}
-	for _, r := range res.Rows {
-		out := make([]string, len(r))
-		for i, v := range r {
-			out[i] = v.String()
+	defer res.Close()
+	cols, err := res.Columns()
+	if err != nil {
+		return nil, kv.WrapErr(s.name, "query", "", err)
+	}
+	rows := &kv.Rows{Columns: cols}
+	raw := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range raw {
+		ptrs[i] = &raw[i]
+	}
+	for res.Next() {
+		if err := res.Scan(ptrs...); err != nil {
+			return nil, kv.WrapErr(s.name, "query", "", err)
+		}
+		out := make([]string, len(cols))
+		for i, v := range raw {
+			out[i] = renderSQLValue(v)
 		}
 		rows.Values = append(rows.Values, out)
 	}
+	if err := res.Err(); err != nil {
+		return nil, kv.WrapErr(s.name, "query", "", err)
+	}
 	return rows, nil
+}
+
+// renderSQLValue formats a scanned driver value the way Value.String did, so
+// kv.SQL output is unchanged across the database/sql migration.
+func renderSQLValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return Float(x).String()
+	case bool:
+		return Bool(x).String()
+	case []byte:
+		return string(x)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
 }

@@ -1,0 +1,830 @@
+package minisql
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// pager mediates every page access: an LRU cache of fixed-size pages with
+// pin/unpin and dirty tracking over either a single database file (durable,
+// WAL-protected) or an in-memory page array (volatile). It also owns page
+// allocation through the free list and the two undo scopes that give the
+// engine transactional behavior purely at the page level:
+//
+//   - transaction scope: the before image of every page first touched since
+//     the last commit. ROLLBACK restores these images, which reverts rows,
+//     index entries, the catalog, the free list, and the page count in one
+//     stroke — there is no logical undo machinery above this.
+//   - statement scope: the image of every page first touched by the current
+//     statement. A statement that fails halfway (say the third row of a
+//     multi-row INSERT hits a duplicate key) is rolled back cleanly without
+//     disturbing earlier statements of the same transaction.
+//
+// Dirty pages never leave the cache (eviction considers only clean,
+// unpinned pages), so an uncommitted transaction is invisible to the
+// database file and the WAL until commit writes its batch.
+type pager struct {
+	mu       sync.Mutex
+	pageSize int
+	cacheCap int
+
+	// Backends: exactly one of file/mem is active.
+	file *os.File
+	wal  *pageWAL
+	mem  [][]byte // committed images for in-memory databases
+
+	// walIdx maps pageID -> offset of its newest committed after image in
+	// the WAL. Cache misses consult it before the database file.
+	walIdx map[uint32]int64
+
+	cache map[uint32]*page
+	// Evictable pages (clean, unpinned) in LRU order: head = oldest.
+	lruHead, lruTail *page
+	nEvictable       int
+
+	dirty map[uint32]*page
+
+	txUndo   map[uint32][]byte // first-touch before images; nil = page was new
+	stmtUndo map[uint32]stmtImage
+	inStmt   bool
+
+	committedNPages uint32
+
+	checkpointBytes int64
+	hook            func(event string) error
+
+	// Stats (guarded by mu).
+	hits, misses, evictions uint64
+}
+
+// stmtImage is the statement-scope undo entry for one page.
+type stmtImage struct {
+	img     []byte // content at statement start; nil = allocated this statement
+	wasInTx bool   // already dirty when the statement began
+}
+
+// pagerStats is a point-in-time snapshot for Stats() and the shell's
+// .pages/.cache commands.
+type pagerStats struct {
+	PageSize   int
+	Pages      uint32 // committed page count, including meta
+	FreePages  int
+	CacheCap   int
+	CacheUsed  int
+	DirtyPages int
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	WALBytes   int64
+}
+
+const defaultCachePages = 256
+
+// newMemPager creates a volatile pager: same code paths, no WAL, commits
+// copy dirty pages into the in-memory committed array.
+func newMemPager(pageSize, cachePages int) (*pager, error) {
+	pg := &pager{
+		pageSize: pageSize,
+		cacheCap: cachePages,
+		mem:      [][]byte{}, // non-nil selects the in-memory backend
+		walIdx:   map[uint32]int64{},
+		cache:    map[uint32]*page{},
+		dirty:    map[uint32]*page{},
+		txUndo:   map[uint32][]byte{},
+		stmtUndo: map[uint32]stmtImage{},
+	}
+	if err := pg.initFresh(); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// openFilePager opens (creating if necessary) the paged database at
+// dataPath with its WAL at walPath, replaying any committed WAL batches.
+func openFilePager(dataPath, walPath string, pageSize, cachePages int, checkpointBytes int64, hook func(string) error) (*pager, error) {
+	f, err := os.OpenFile(dataPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("minisql: opening database file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	existing := st.Size() > 0
+	if !existing {
+		// A crash before the first checkpoint leaves an empty data file
+		// with a WAL that carries everything, including the meta page.
+		if wst, werr := os.Stat(walPath); werr == nil && wst.Size() > 0 {
+			existing = true
+		}
+	}
+
+	if existing {
+		// The authoritative page size lives in the meta page; probe it
+		// before sizing any buffers. The newest meta image may still be in
+		// the WAL, so try the file first and fall back to a WAL replay at
+		// the requested (or default) size.
+		ps, err := probePageSize(f, walPath, pageSize)
+		switch {
+		case err == nil:
+			if pageSize != 0 && pageSize != ps {
+				f.Close()
+				return nil, fmt.Errorf("minisql: database has page size %d, but %d was requested", ps, pageSize)
+			}
+			pageSize = ps
+		case st.Size() == 0:
+			// The data file is empty and the WAL holds no committed batch:
+			// a crash landed during the very first commit. Nothing durable
+			// exists yet, so discard the torn log and initialize fresh.
+			if terr := os.Truncate(walPath, 0); terr != nil {
+				f.Close()
+				return nil, fmt.Errorf("minisql: discarding torn wal: %w", terr)
+			}
+			existing = false
+			if pageSize == 0 {
+				pageSize = DefaultPageSize
+			}
+		default:
+			f.Close()
+			return nil, err
+		}
+	} else if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if !validPageSize(pageSize) {
+		f.Close()
+		return nil, fmt.Errorf("minisql: invalid page size %d (want a power of two in [%d, %d])", pageSize, MinPageSize, MaxPageSize)
+	}
+
+	walIdx, _, err := replayPageWAL(walPath, pageSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	wal, err := openPageWAL(walPath, pageSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	wal.hook = hook
+
+	pg := &pager{
+		pageSize:        pageSize,
+		cacheCap:        cachePages,
+		file:            f,
+		wal:             wal,
+		walIdx:          walIdx,
+		cache:           map[uint32]*page{},
+		dirty:           map[uint32]*page{},
+		txUndo:          map[uint32][]byte{},
+		stmtUndo:        map[uint32]stmtImage{},
+		checkpointBytes: checkpointBytes,
+		hook:            hook,
+	}
+	if !existing {
+		if err := pg.initFresh(); err != nil {
+			pg.closeFiles()
+			return nil, err
+		}
+		return pg, nil
+	}
+	// Committed page count comes from the recovered meta page.
+	meta, err := pg.get(0)
+	if err != nil {
+		pg.closeFiles()
+		return nil, fmt.Errorf("minisql: recovering meta page: %w", err)
+	}
+	pg.committedNPages = metaGetNPages(meta.buf)
+	pg.unpin(meta)
+	return pg, nil
+}
+
+// probePageSize reads the page size from the meta page: from the data file
+// when it has one, otherwise from the newest committed meta image in the
+// WAL (tried at the hinted size first, then all supported sizes).
+func probePageSize(f *os.File, walPath string, hint int) (int, error) {
+	var head [metaCatalogOff + 4]byte
+	if n, _ := f.ReadAt(head[:], 0); n == len(head) && head[0] == pageMeta && string(head[metaMagicOff:metaMagicOff+4]) == metaMagic {
+		ps := metaGetPageSize(head[:])
+		if validPageSize(ps) {
+			return ps, nil
+		}
+		return 0, fmt.Errorf("minisql: corrupt meta page (page size %d)", ps)
+	}
+	sizes := []int{hint, DefaultPageSize}
+	for s := MinPageSize; s <= MaxPageSize; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	for _, ps := range sizes {
+		if !validPageSize(ps) {
+			continue
+		}
+		idx, _, err := replayPageWAL(walPath, ps)
+		if err != nil {
+			continue
+		}
+		off, ok := idx[0]
+		if !ok {
+			continue
+		}
+		buf := make([]byte, ps)
+		wf, err := os.Open(walPath)
+		if err != nil {
+			return 0, err
+		}
+		_, rerr := wf.ReadAt(buf, off)
+		wf.Close()
+		if rerr != nil || !verifyCRC(buf) || buf[0] != pageMeta {
+			continue
+		}
+		if got := metaGetPageSize(buf); got == ps {
+			return ps, nil
+		}
+	}
+	return 0, fmt.Errorf("minisql: cannot determine page size (corrupt database?)")
+}
+
+// initFresh formats a brand-new database: a meta page and an empty catalog
+// root, committed as the first transaction.
+func (pg *pager) initFresh() error {
+	pg.mu.Lock()
+	meta := &page{id: 0, buf: make([]byte, pg.pageSize)}
+	initMetaPage(meta.buf, pg.pageSize)
+	metaSetNPages(meta.buf, 2)
+	metaSetCatalog(meta.buf, 1)
+	meta.dirty = true
+	pg.cache[0] = meta
+	pg.dirty[0] = meta
+	pg.txUndo[0] = nil
+
+	cat := &page{id: 1, buf: make([]byte, pg.pageSize)}
+	cat.initPage(pageLeaf, pg.pageSize)
+	cat.dirty = true
+	pg.cache[1] = cat
+	pg.dirty[1] = cat
+	pg.txUndo[1] = nil
+	pg.mu.Unlock()
+	return pg.commit()
+}
+
+func (pg *pager) closeFiles() {
+	if pg.file != nil {
+		pg.file.Close()
+	}
+	if pg.wal != nil {
+		pg.wal.close()
+	}
+}
+
+// --- LRU list of evictable pages ---
+
+func (pg *pager) lruRemove(p *page) {
+	if p.lruPrev != nil {
+		p.lruPrev.lruNext = p.lruNext
+	} else if pg.lruHead == p {
+		pg.lruHead = p.lruNext
+	} else {
+		return // not on the list
+	}
+	if p.lruNext != nil {
+		p.lruNext.lruPrev = p.lruPrev
+	} else {
+		pg.lruTail = p.lruPrev
+	}
+	p.lruPrev, p.lruNext = nil, nil
+	pg.nEvictable--
+}
+
+func (pg *pager) lruPush(p *page) {
+	p.lruPrev = pg.lruTail
+	p.lruNext = nil
+	if pg.lruTail != nil {
+		pg.lruTail.lruNext = p
+	} else {
+		pg.lruHead = p
+	}
+	pg.lruTail = p
+	pg.nEvictable++
+}
+
+func (p *page) onLRU(pg *pager) bool {
+	return p.lruPrev != nil || p.lruNext != nil || pg.lruHead == p
+}
+
+// evictIfNeeded drops the oldest clean unpinned pages while the cache is
+// over capacity. Dirty or pinned pages are never candidates, so the cache
+// can exceed cacheCap while a large transaction is open — the documented
+// soft limit.
+func (pg *pager) evictIfNeeded() {
+	for len(pg.cache) > pg.cacheCap && pg.lruHead != nil {
+		victim := pg.lruHead
+		pg.lruRemove(victim)
+		delete(pg.cache, victim.id)
+		pg.evictions++
+	}
+}
+
+// --- page access ---
+
+// get returns the page pinned; callers must unpin when done.
+func (pg *pager) get(id uint32) (*page, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if p, ok := pg.cache[id]; ok {
+		pg.hits++
+		p.pins++
+		pg.lruRemove(p)
+		return p, nil
+	}
+	pg.misses++
+	buf := make([]byte, pg.pageSize)
+	if err := pg.readCommitted(id, buf); err != nil {
+		return nil, err
+	}
+	p := &page{id: id, buf: buf, pins: 1}
+	pg.cache[id] = p
+	pg.evictIfNeeded()
+	return p, nil
+}
+
+// readCommitted fills buf with the committed image of page id: WAL overlay
+// first, then the database file, then the memory array.
+func (pg *pager) readCommitted(id uint32, buf []byte) error {
+	if pg.mem != nil {
+		if int(id) >= len(pg.mem) || pg.mem[id] == nil {
+			return fmt.Errorf("minisql: page %d does not exist", id)
+		}
+		copy(buf, pg.mem[id])
+		return nil
+	}
+	if off, ok := pg.walIdx[id]; ok {
+		return pg.wal.readImage(off, buf)
+	}
+	if _, err := pg.file.ReadAt(buf, int64(id)*int64(pg.pageSize)); err != nil {
+		return fmt.Errorf("minisql: reading page %d: %w", id, err)
+	}
+	if !verifyCRC(buf) {
+		return fmt.Errorf("minisql: page %d fails checksum", id)
+	}
+	if err := validatePage(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (pg *pager) unpin(p *page) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if p.pins > 0 {
+		p.pins--
+	}
+	if p.pins == 0 && !p.dirty && !p.onLRU(pg) {
+		pg.lruPush(p)
+		pg.evictIfNeeded()
+	}
+}
+
+// markDirty must be called before the first modification of a pinned page:
+// it captures the undo images for both scopes and registers the page in
+// the dirty set.
+func (pg *pager) markDirty(p *page) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	pg.markDirtyLocked(p)
+}
+
+func (pg *pager) markDirtyLocked(p *page) {
+	if pg.inStmt {
+		if _, ok := pg.stmtUndo[p.id]; !ok {
+			_, wasInTx := pg.txUndo[p.id]
+			var img []byte
+			if wasInTx || p.id < pg.committedNPages {
+				img = append([]byte(nil), p.buf...)
+			}
+			pg.stmtUndo[p.id] = stmtImage{img: img, wasInTx: wasInTx}
+		}
+	}
+	if _, ok := pg.txUndo[p.id]; !ok {
+		if p.id < pg.committedNPages {
+			pg.txUndo[p.id] = append([]byte(nil), p.buf...)
+		} else {
+			pg.txUndo[p.id] = nil
+		}
+	}
+	if !p.dirty {
+		p.dirty = true
+		pg.lruRemove(p)
+		pg.dirty[p.id] = p
+	}
+}
+
+// --- allocation and the free list ---
+
+// alloc returns a fresh pinned, dirty page of the given type: recycled
+// from the free list when possible, otherwise appended to the database.
+func (pg *pager) alloc(typ byte) (*page, error) {
+	meta, err := pg.get(0)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.unpin(meta)
+
+	if head := metaGetFree(meta.buf); head != 0 {
+		fp, err := pg.get(head)
+		if err != nil {
+			return nil, err
+		}
+		if fp.typ() != pageFree {
+			pg.unpin(fp)
+			return nil, fmt.Errorf("minisql: free-list head %d is not a free page", head)
+		}
+		next := fp.next()
+		pg.markDirty(meta)
+		metaSetFree(meta.buf, next)
+		pg.markDirty(fp)
+		fp.initPage(typ, pg.pageSize)
+		return fp, nil
+	}
+
+	n := metaGetNPages(meta.buf)
+	pg.markDirty(meta)
+	metaSetNPages(meta.buf, n+1)
+
+	pg.mu.Lock()
+	p := &page{id: n, buf: make([]byte, pg.pageSize), pins: 1}
+	p.initPage(typ, pg.pageSize)
+	pg.cache[n] = p
+	pg.markDirtyLocked(p)
+	pg.mu.Unlock()
+	return p, nil
+}
+
+// free recycles a page onto the free list.
+func (pg *pager) free(id uint32) error {
+	if id == 0 {
+		return fmt.Errorf("minisql: cannot free the meta page")
+	}
+	meta, err := pg.get(0)
+	if err != nil {
+		return err
+	}
+	defer pg.unpin(meta)
+	p, err := pg.get(id)
+	if err != nil {
+		return err
+	}
+	defer pg.unpin(p)
+
+	pg.markDirty(p)
+	p.initPage(pageFree, pg.pageSize)
+	p.setNext(metaGetFree(meta.buf))
+	pg.markDirty(meta)
+	metaSetFree(meta.buf, id)
+	return nil
+}
+
+// nPages returns the current (possibly uncommitted) page count.
+func (pg *pager) nPages() (uint32, error) {
+	meta, err := pg.get(0)
+	if err != nil {
+		return 0, err
+	}
+	n := metaGetNPages(meta.buf)
+	pg.unpin(meta)
+	return n, nil
+}
+
+// catalogRoot reads the catalog tree root from the meta page.
+func (pg *pager) catalogRoot() (uint32, error) {
+	meta, err := pg.get(0)
+	if err != nil {
+		return 0, err
+	}
+	r := metaGetCatalog(meta.buf)
+	pg.unpin(meta)
+	return r, nil
+}
+
+// setCatalogRoot records a catalog root change (root split/merge).
+func (pg *pager) setCatalogRoot(root uint32) error {
+	meta, err := pg.get(0)
+	if err != nil {
+		return err
+	}
+	pg.markDirty(meta)
+	metaSetCatalog(meta.buf, root)
+	pg.unpin(meta)
+	return nil
+}
+
+// --- statement scope ---
+
+func (pg *pager) beginStmt() {
+	pg.mu.Lock()
+	pg.inStmt = true
+	pg.stmtUndo = map[uint32]stmtImage{}
+	pg.mu.Unlock()
+}
+
+func (pg *pager) endStmt() {
+	pg.mu.Lock()
+	pg.inStmt = false
+	pg.stmtUndo = map[uint32]stmtImage{}
+	pg.mu.Unlock()
+}
+
+// rollbackStmt restores every page the current statement touched to its
+// statement-start image. Pages the statement allocated are dropped; pages
+// it touched first (not dirty before) return to clean.
+func (pg *pager) rollbackStmt() {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for id, u := range pg.stmtUndo {
+		p := pg.cache[id]
+		if u.img == nil && !u.wasInTx {
+			// Allocated by this statement: discard entirely.
+			if p != nil {
+				pg.lruRemove(p)
+				delete(pg.cache, id)
+			}
+			delete(pg.dirty, id)
+			delete(pg.txUndo, id)
+			continue
+		}
+		if p == nil {
+			// Dirty pages are never evicted, so a page with a statement
+			// undo image must still be cached; tolerate anyway.
+			continue
+		}
+		copy(p.buf, u.img)
+		if !u.wasInTx {
+			// First touched by this statement: content is back to the
+			// committed image, so it is clean again.
+			p.dirty = false
+			delete(pg.dirty, id)
+			delete(pg.txUndo, id)
+			if p.pins == 0 && !p.onLRU(pg) {
+				pg.lruPush(p)
+			}
+		}
+	}
+	pg.inStmt = false
+	pg.stmtUndo = map[uint32]stmtImage{}
+}
+
+// --- transaction scope ---
+
+// rollbackAll restores the committed state: every page touched since the
+// last commit returns to its before image; newly allocated pages vanish.
+func (pg *pager) rollbackAll() {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for id, img := range pg.txUndo {
+		p := pg.cache[id]
+		if img == nil {
+			if p != nil {
+				pg.lruRemove(p)
+				delete(pg.cache, id)
+			}
+			delete(pg.dirty, id)
+			continue
+		}
+		if p == nil {
+			continue
+		}
+		copy(p.buf, img)
+		p.dirty = false
+		delete(pg.dirty, id)
+		if p.pins == 0 && !p.onLRU(pg) {
+			pg.lruPush(p)
+		}
+	}
+	pg.txUndo = map[uint32][]byte{}
+	pg.stmtUndo = map[uint32]stmtImage{}
+	pg.inStmt = false
+	pg.evictIfNeeded()
+}
+
+// commit makes the current dirty set durable: one WAL batch (before/after
+// images) plus one fsync for file-backed databases, a plain copy for
+// in-memory ones. On success the dirty pages become clean cache entries;
+// on failure the caller is expected to rollbackAll.
+func (pg *pager) commit() error {
+	pg.mu.Lock()
+	if len(pg.dirty) == 0 {
+		pg.txUndo = map[uint32][]byte{}
+		pg.mu.Unlock()
+		return nil
+	}
+
+	ids := make([]uint32, 0, len(pg.dirty))
+	for id := range pg.dirty {
+		ids = append(ids, id)
+	}
+	sortUint32(ids)
+
+	if pg.mem != nil {
+		for _, id := range ids {
+			p := pg.dirty[id]
+			stampCRC(p.buf)
+			if int(id) >= len(pg.mem) {
+				grown := make([][]byte, id+1)
+				copy(grown, pg.mem)
+				pg.mem = grown
+			}
+			if pg.mem[id] == nil {
+				pg.mem[id] = make([]byte, pg.pageSize)
+			}
+			copy(pg.mem[id], p.buf)
+		}
+		pg.finishCommitLocked(ids)
+		pg.mu.Unlock()
+		return nil
+	}
+
+	recs := make([]walRecord, 0, len(ids))
+	for _, id := range ids {
+		p := pg.dirty[id]
+		stampCRC(p.buf)
+		recs = append(recs, walRecord{id: id, before: pg.txUndo[id], after: p.buf})
+	}
+	pg.mu.Unlock()
+
+	if pg.hook != nil {
+		if err := pg.hook("commit-begin"); err != nil {
+			return err
+		}
+	}
+	offsets, err := pg.wal.appendBatch(recs)
+	if err != nil {
+		return fmt.Errorf("minisql: commit: %w", err)
+	}
+
+	pg.mu.Lock()
+	for i, r := range recs {
+		pg.walIdx[r.id] = offsets[i]
+	}
+	pg.finishCommitLocked(ids)
+	walSize := pg.wal.size
+	pg.mu.Unlock()
+
+	if pg.checkpointBytes > 0 && walSize > pg.checkpointBytes {
+		if err := pg.checkpoint(); err != nil {
+			return fmt.Errorf("minisql: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// finishCommitLocked flips the committed dirty pages to clean.
+func (pg *pager) finishCommitLocked(ids []uint32) {
+	for _, id := range ids {
+		p := pg.dirty[id]
+		p.dirty = false
+		if p.pins == 0 && !p.onLRU(pg) {
+			pg.lruPush(p)
+		}
+	}
+	pg.dirty = map[uint32]*page{}
+	pg.txUndo = map[uint32][]byte{}
+	pg.stmtUndo = map[uint32]stmtImage{}
+	if meta, ok := pg.cache[0]; ok {
+		pg.committedNPages = metaGetNPages(meta.buf)
+	}
+	pg.evictIfNeeded()
+}
+
+// checkpoint applies every committed WAL image to the database file, syncs
+// it, and truncates the WAL. Crash-safe in every window: until the WAL is
+// truncated, recovery replays the same images again (idempotent).
+func (pg *pager) checkpoint() error {
+	if pg.wal == nil {
+		return nil
+	}
+	pg.mu.Lock()
+	idx := make(map[uint32]int64, len(pg.walIdx))
+	for id, off := range pg.walIdx {
+		idx[id] = off
+	}
+	pg.mu.Unlock()
+	if len(idx) == 0 {
+		return nil
+	}
+
+	buf := make([]byte, pg.pageSize)
+	for id, off := range idx {
+		// Serve from cache when the committed image is resident.
+		pg.mu.Lock()
+		var src []byte
+		if p, ok := pg.cache[id]; ok && !p.dirty {
+			src = append(buf[:0], p.buf...)
+			stampCRC(src)
+		}
+		pg.mu.Unlock()
+		if src == nil {
+			if err := pg.wal.readImage(off, buf); err != nil {
+				return err
+			}
+			src = buf
+		}
+		if pg.hook != nil {
+			if err := pg.hook("checkpoint-write"); err != nil {
+				return err
+			}
+		}
+		if _, err := pg.file.WriteAt(src, int64(id)*int64(pg.pageSize)); err != nil {
+			return err
+		}
+	}
+	if pg.hook != nil {
+		if err := pg.hook("checkpoint-sync"); err != nil {
+			return err
+		}
+	}
+	if err := pg.file.Sync(); err != nil {
+		return err
+	}
+	if err := pg.wal.truncate(); err != nil {
+		return err
+	}
+	pg.mu.Lock()
+	pg.walIdx = map[uint32]int64{}
+	pg.mu.Unlock()
+	return nil
+}
+
+// close checkpoints (file-backed) and releases resources.
+func (pg *pager) close() error {
+	var err error
+	if pg.file != nil {
+		err = pg.checkpoint()
+		if cerr := pg.wal.close(); err == nil {
+			err = cerr
+		}
+		if cerr := pg.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// stats snapshots the counters.
+func (pg *pager) stats() pagerStats {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	st := pagerStats{
+		PageSize:   pg.pageSize,
+		Pages:      pg.committedNPages,
+		CacheCap:   pg.cacheCap,
+		CacheUsed:  len(pg.cache),
+		DirtyPages: len(pg.dirty),
+		Hits:       pg.hits,
+		Misses:     pg.misses,
+		Evictions:  pg.evictions,
+	}
+	if pg.wal != nil {
+		st.WALBytes = pg.wal.size
+	}
+	return st
+}
+
+// freePageCount walks the free list (for stats and integrity checks).
+func (pg *pager) freePageCount() (int, error) {
+	meta, err := pg.get(0)
+	if err != nil {
+		return 0, err
+	}
+	head := metaGetFree(meta.buf)
+	total := metaGetNPages(meta.buf)
+	pg.unpin(meta)
+	n := 0
+	for head != 0 {
+		if n > int(total) {
+			return 0, fmt.Errorf("minisql: free list cycle detected")
+		}
+		p, err := pg.get(head)
+		if err != nil {
+			return 0, err
+		}
+		if p.typ() != pageFree {
+			pg.unpin(p)
+			return 0, fmt.Errorf("minisql: free list entry %d has type %d", head, p.typ())
+		}
+		head = p.next()
+		pg.unpin(p)
+		n++
+	}
+	return n, nil
+}
+
+func sortUint32(ids []uint32) {
+	// Insertion sort: dirty sets are small and mostly ordered.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

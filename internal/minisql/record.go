@@ -1,0 +1,221 @@
+package minisql
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row serialization: a fixed-layout record format so rows live in B-tree
+// cells instead of Go slices. A record is
+//
+//	uvarint ncols | ncols × column
+//	column: tag byte | payload
+//	tags: 0 NULL | 1 INT (varint) | 2 REAL (8-byte IEEE bits) |
+//	      3 TEXT (uvarint len + bytes) | 4 BLOB (uvarint len + bytes) |
+//	      5 FALSE | 6 TRUE
+//
+// Decoding is strict — every length is bounds-checked and trailing garbage
+// is an error — because record bytes come straight from disk pages and the
+// fuzz targets feed this decoder arbitrary images.
+
+const (
+	recTagNull  = 0
+	recTagInt   = 1
+	recTagFloat = 2
+	recTagText  = 3
+	recTagBlob  = 4
+	recTagFalse = 5
+	recTagTrue  = 6
+)
+
+// encodeRow serializes a row into a fresh byte slice.
+func encodeRow(row []Value) []byte {
+	n := uvarintLen(uint64(len(row)))
+	for _, v := range row {
+		n += 1 + recPayloadLen(v)
+	}
+	buf := make([]byte, n)
+	off := binary.PutUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		off += encodeValue(buf[off:], v)
+	}
+	return buf[:off]
+}
+
+func recPayloadLen(v Value) int {
+	switch v.Kind {
+	case KindInt:
+		return varintLen(v.Int)
+	case KindFloat:
+		return 8
+	case KindText:
+		return uvarintLen(uint64(len(v.Str))) + len(v.Str)
+	case KindBlob:
+		return uvarintLen(uint64(len(v.Bytes))) + len(v.Bytes)
+	default: // NULL, BOOL carry no payload
+		return 0
+	}
+}
+
+func encodeValue(buf []byte, v Value) int {
+	switch v.Kind {
+	case KindNull:
+		buf[0] = recTagNull
+		return 1
+	case KindInt:
+		buf[0] = recTagInt
+		return 1 + binary.PutVarint(buf[1:], v.Int)
+	case KindFloat:
+		buf[0] = recTagFloat
+		binary.BigEndian.PutUint64(buf[1:9], math.Float64bits(v.Float))
+		return 9
+	case KindText:
+		buf[0] = recTagText
+		n := 1 + binary.PutUvarint(buf[1:], uint64(len(v.Str)))
+		return n + copy(buf[n:], v.Str)
+	case KindBlob:
+		buf[0] = recTagBlob
+		n := 1 + binary.PutUvarint(buf[1:], uint64(len(v.Bytes)))
+		return n + copy(buf[n:], v.Bytes)
+	case KindBool:
+		if v.Bool {
+			buf[0] = recTagTrue
+		} else {
+			buf[0] = recTagFalse
+		}
+		return 1
+	default:
+		buf[0] = recTagNull
+		return 1
+	}
+}
+
+// decodeRow parses a serialized record, rejecting malformed input.
+func decodeRow(buf []byte) ([]Value, error) {
+	ncols, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("minisql: bad record column count")
+	}
+	if ncols > uint64(len(buf)) {
+		return nil, fmt.Errorf("minisql: record claims %d columns in %d bytes", ncols, len(buf))
+	}
+	row := make([]Value, ncols)
+	off := n
+	for i := range row {
+		if off >= len(buf) {
+			return nil, fmt.Errorf("minisql: truncated record at column %d", i)
+		}
+		tag := buf[off]
+		off++
+		switch tag {
+		case recTagNull:
+			row[i] = Null()
+		case recTagInt:
+			v, n := binary.Varint(buf[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("minisql: bad integer at column %d", i)
+			}
+			off += n
+			row[i] = Int(v)
+		case recTagFloat:
+			if off+8 > len(buf) {
+				return nil, fmt.Errorf("minisql: truncated real at column %d", i)
+			}
+			row[i] = Float(math.Float64frombits(binary.BigEndian.Uint64(buf[off:])))
+			off += 8
+		case recTagText, recTagBlob:
+			l, n := binary.Uvarint(buf[off:])
+			if n <= 0 || l > uint64(len(buf)) || off+n+int(l) > len(buf) {
+				return nil, fmt.Errorf("minisql: bad string length at column %d", i)
+			}
+			off += n
+			b := buf[off : off+int(l)]
+			off += int(l)
+			if tag == recTagText {
+				row[i] = Text(string(b))
+			} else {
+				row[i] = Blob(append([]byte(nil), b...))
+			}
+		case recTagFalse:
+			row[i] = Bool(false)
+		case recTagTrue:
+			row[i] = Bool(true)
+		default:
+			return nil, fmt.Errorf("minisql: unknown record tag %d at column %d", tag, i)
+		}
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("minisql: %d trailing bytes after record", len(buf)-off)
+	}
+	return row, nil
+}
+
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// --- B-tree key encodings ---
+
+// rowidKey encodes a rowid as 8 big-endian bytes so byte order equals
+// numeric order and table scans come back rowid-ascending, preserving the
+// old map-based engine's deterministic scan order.
+func rowidKey(id int64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(id))
+	return k[:]
+}
+
+func decodeRowid(k []byte) (int64, error) {
+	if len(k) != 8 {
+		return 0, fmt.Errorf("minisql: rowid key of %d bytes", len(k))
+	}
+	return int64(binary.BigEndian.Uint64(k)), nil
+}
+
+// maxIndexKeyLen bounds index-tree keys so even the minimum page size can
+// hold several cells per page. Longer indexKey strings are replaced by a
+// tagged SHA-256: still deterministic and equality-preserving (which is all
+// the executor needs — index scans are point lookups), at the cost of
+// ordered iteration over long keys, which no query path relies on.
+const maxIndexKeyLen = 96
+
+// uniqueIndexKey encodes a column value for a UNIQUE index tree.
+func uniqueIndexKey(v Value) []byte {
+	ik := v.indexKey()
+	if len(ik) <= maxIndexKeyLen {
+		return []byte(ik)
+	}
+	sum := sha256.Sum256([]byte(ik))
+	key := make([]byte, 0, 2+len(sum))
+	key = append(key, 'h', ':')
+	key = append(key, sum[:]...)
+	return key
+}
+
+// secIndexKey encodes (column value, rowid) for a non-unique index tree.
+// The value key is length-prefixed so one value's entries form a contiguous,
+// unambiguous key range: prefix scanning uvarint(len)+ik never matches a
+// different value that merely starts with the same bytes.
+func secIndexKey(v Value, rowid int64) []byte {
+	ik := uniqueIndexKey(v)
+	key := make([]byte, 0, uvarintLen(uint64(len(ik)))+len(ik)+8)
+	var l [10]byte
+	n := binary.PutUvarint(l[:], uint64(len(ik)))
+	key = append(key, l[:n]...)
+	key = append(key, ik...)
+	var r [8]byte
+	binary.BigEndian.PutUint64(r[:], uint64(rowid))
+	return append(key, r[:]...)
+}
+
+// secIndexPrefix is the key prefix shared by every rowid entry for v.
+func secIndexPrefix(v Value) []byte {
+	ik := uniqueIndexKey(v)
+	key := make([]byte, 0, uvarintLen(uint64(len(ik)))+len(ik))
+	var l [10]byte
+	n := binary.PutUvarint(l[:], uint64(len(ik)))
+	key = append(key, l[:n]...)
+	return append(key, ik...)
+}

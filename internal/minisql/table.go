@@ -1,27 +1,31 @@
 package minisql
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
 )
 
-// table is one in-memory table: a heap of rows addressed by a monotonically
-// increasing rowid, plus a unique index per PRIMARY KEY / UNIQUE column.
+// table is a handle over one table's trees: the primary tree maps rowid
+// (8-byte big-endian, so cursor order is insertion order) to the serialized
+// row; each unique index tree maps an encoded column value to the rowid;
+// each secondary index tree stores (value, rowid) composite keys with empty
+// values, turning duplicate lookups into prefix scans.
+//
+// Handles are cached per Database and rebuilt from the catalog after any
+// rollback, since rollback rewinds tree roots underneath them.
 type table struct {
+	db       *Database
 	schema   *CreateTableStmt
 	colIdx   map[string]int
 	pkCol    int // -1 when no primary key
 	nextRow  int64
 	defScope *scope
-	rows     map[int64][]Value
-	// indexes maps column position -> (index key -> rowid) for PK/UNIQUE
-	// columns.
-	indexes map[int]map[string]int64
-	// secIdx maps column position -> (index key -> rowids) for non-unique
-	// secondary indexes (CREATE INDEX).
-	secIdx map[int]map[string][]int64
-	// idxNames maps index name -> column position (both unique and
-	// secondary named indexes).
+	tree     *btree
+	// indexes maps column position -> unique index tree (PK / UNIQUE).
+	indexes map[int]*btree
+	// secIdx maps column position -> non-unique index tree (CREATE INDEX).
+	secIdx map[int]*btree
+	// idxNames maps index name -> definition (unique and secondary).
 	idxNames map[string]namedIndex
 }
 
@@ -31,14 +35,16 @@ type namedIndex struct {
 	unique bool
 }
 
-func newTable(schema *CreateTableStmt) (*table, error) {
+// newTableHandle builds the handle skeleton (no trees yet) and validates
+// the schema.
+func newTableHandle(db *Database, schema *CreateTableStmt) (*table, error) {
 	t := &table{
+		db:       db,
 		schema:   schema,
 		colIdx:   make(map[string]int, len(schema.Cols)),
 		pkCol:    -1,
-		rows:     make(map[int64][]Value),
-		indexes:  make(map[int]map[string]int64),
-		secIdx:   make(map[int]map[string][]int64),
+		indexes:  make(map[int]*btree),
+		secIdx:   make(map[int]*btree),
 		idxNames: make(map[string]namedIndex),
 	}
 	for i, c := range schema.Cols {
@@ -52,61 +58,142 @@ func newTable(schema *CreateTableStmt) (*table, error) {
 			}
 			t.pkCol = i
 		}
+	}
+	// Built eagerly so concurrent readers never race on the lazy cache.
+	t.defScope = tableScope(schema.Name, t)
+	return t, nil
+}
+
+// defaultScope returns the table's scope under its own name.
+func (t *table) defaultScope() *scope { return t.defScope }
+
+// createTable allocates fresh trees for a new table: the primary tree plus
+// one unique index tree per PK/UNIQUE column.
+func createTable(db *Database, schema *CreateTableStmt) (*table, error) {
+	t, err := newTableHandle(db, schema)
+	if err != nil {
+		return nil, err
+	}
+	if t.tree, err = newBTree(db.pg); err != nil {
+		return nil, err
+	}
+	for i, c := range schema.Cols {
 		if c.PrimaryKey || c.Unique {
-			t.indexes[i] = make(map[string]int64)
+			if t.indexes[i], err = newBTree(db.pg); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return t, nil
 }
 
-// buildIndex creates (or rebuilds) a named index on the column in def,
-// populating it from current rows. Unique indexes fail when existing values
-// collide.
+// maxRowid returns the largest rowid currently stored (0 when empty).
+func (t *table) maxRowid() (int64, error) {
+	k, ok, err := t.tree.maxKey()
+	if err != nil || !ok {
+		return 0, err
+	}
+	return decodeRowid(k)
+}
+
+// buildIndex creates a named index on the column in def, populating it from
+// current rows. Unique indexes fail when existing values collide; the
+// statement-level page undo discards the partially built tree.
 func (t *table) buildIndex(name string, def namedIndex) error {
+	nt, err := newBTree(t.db.pg)
+	if err != nil {
+		return err
+	}
+	cur, err := t.tree.cursorFirst()
+	if err != nil {
+		return err
+	}
+	defer cur.close()
+	for cur.valid() {
+		k, err := cur.key()
+		if err != nil {
+			return err
+		}
+		id, err := decodeRowid(k)
+		if err != nil {
+			return err
+		}
+		raw, err := cur.value()
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(raw)
+		if err != nil {
+			return err
+		}
+		v := row[def.col]
+		if !v.IsNull() {
+			if def.unique {
+				if _, dup, err := nt.get(uniqueIndexKey(v)); err != nil {
+					return err
+				} else if dup {
+					return fmt.Errorf("minisql: cannot create unique index %q: duplicate value %v", name, v)
+				}
+				if err := nt.insert(uniqueIndexKey(v), rowidKey(id)); err != nil {
+					return err
+				}
+			} else {
+				if err := nt.insert(secIndexKey(v, id), nil); err != nil {
+					return err
+				}
+			}
+		}
+		if err := cur.next(); err != nil {
+			return err
+		}
+	}
 	if def.unique {
-		idx := make(map[string]int64, len(t.rows))
-		for id, row := range t.rows {
-			v := row[def.col]
-			if v.IsNull() {
-				continue
-			}
-			if _, dup := idx[v.indexKey()]; dup {
-				return fmt.Errorf("minisql: cannot create unique index %q: duplicate value %v", name, v)
-			}
-			idx[v.indexKey()] = id
-		}
-		t.indexes[def.col] = idx
+		t.indexes[def.col] = nt
 	} else {
-		t.secIdx[def.col] = make(map[string][]int64)
-		for id, row := range t.rows {
-			t.secAdd(def.col, row[def.col], id)
-		}
+		t.secIdx[def.col] = nt
 	}
 	t.idxNames[name] = def
 	return nil
 }
 
-// dropIndex removes a named index (primary keys and column-level UNIQUE
-// constraints have no name and cannot be dropped).
-func (t *table) dropIndex(name string) {
+// dropIndex removes a named index and frees its pages (primary keys and
+// column-level UNIQUE constraints have no name and cannot be dropped).
+func (t *table) dropIndex(name string) error {
 	def, ok := t.idxNames[name]
 	if !ok {
-		return
+		return nil
 	}
+	var tr *btree
 	if def.unique {
+		tr = t.indexes[def.col]
 		delete(t.indexes, def.col)
 	} else {
+		tr = t.secIdx[def.col]
 		delete(t.secIdx, def.col)
 	}
 	delete(t.idxNames, name)
+	if tr != nil {
+		return tr.drop()
+	}
+	return nil
 }
 
-// defaultScope returns (and caches) the table's scope under its own name.
-func (t *table) defaultScope() *scope {
-	if t.defScope == nil {
-		t.defScope = tableScope(t.schema.Name, t)
+// dropAllTrees frees every page belonging to the table (DROP TABLE).
+func (t *table) dropAllTrees() error {
+	if err := t.tree.drop(); err != nil {
+		return err
 	}
-	return t.defScope
+	for _, tr := range t.indexes {
+		if err := tr.drop(); err != nil {
+			return err
+		}
+	}
+	for _, tr := range t.secIdx {
+		if err := tr.drop(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // columnNames lists columns in declared order.
@@ -138,151 +225,237 @@ func (t *table) validate(vals []Value) ([]Value, error) {
 	return out, nil
 }
 
-// lookupUnique returns the rowid holding value v in indexed column col.
-func (t *table) lookupUnique(col int, v Value) (int64, bool) {
-	idx, ok := t.indexes[col]
-	if !ok || v.IsNull() {
-		return 0, false
+// getRow fetches and decodes the row at rowid.
+func (t *table) getRow(id int64) ([]Value, error) {
+	raw, found, err := t.tree.get(rowidKey(id))
+	if err != nil {
+		return nil, err
 	}
-	id, ok := idx[v.indexKey()]
-	return id, ok
+	if !found {
+		return nil, fmt.Errorf("minisql: internal: missing rowid %d in table %q", id, t.schema.Name)
+	}
+	return decodeRow(raw)
 }
 
-// insert adds a validated row, enforcing unique indexes. It returns the new
-// rowid.
-func (t *table) insert(vals []Value) (int64, error) {
-	for col, idx := range t.indexes {
+// lookupUnique returns the rowid holding value v in indexed column col.
+func (t *table) lookupUnique(col int, v Value) (int64, bool, error) {
+	idx, ok := t.indexes[col]
+	if !ok || v.IsNull() {
+		return 0, false, nil
+	}
+	raw, found, err := idx.get(uniqueIndexKey(v))
+	if err != nil || !found {
+		return 0, false, err
+	}
+	id, err := decodeRowid(raw)
+	return id, err == nil, err
+}
+
+// secLookup returns rowids holding value v in the secondary index on col,
+// ascending, via a prefix scan over the (value, rowid) composite keys.
+func (t *table) secLookup(col int, v Value) ([]int64, error) {
+	tr, ok := t.secIdx[col]
+	if !ok || v.IsNull() {
+		return nil, nil
+	}
+	prefix := secIndexPrefix(v)
+	cur, err := tr.cursorSeek(prefix)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.close()
+	var ids []int64
+	for cur.valid() {
+		k, err := cur.key()
+		if err != nil {
+			return nil, err
+		}
+		if len(k) < len(prefix)+8 || string(k[:len(prefix)]) != string(prefix) {
+			break
+		}
+		ids = append(ids, int64(binary.BigEndian.Uint64(k[len(k)-8:])))
+		if err := cur.next(); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// checkUniqueFree verifies no unique index already holds vals (excluding
+// rowid self, for updates).
+func (t *table) checkUniqueFree(vals []Value, self int64, haveSelf bool) error {
+	for col := range t.indexes {
 		v := vals[col]
 		if v.IsNull() {
 			continue
 		}
-		if _, exists := idx[v.indexKey()]; exists {
-			return 0, fmt.Errorf("minisql: duplicate value %v for unique column %q of table %q",
+		id, exists, err := t.lookupUnique(col, v)
+		if err != nil {
+			return err
+		}
+		if exists && (!haveSelf || id != self) {
+			return fmt.Errorf("minisql: duplicate value %v for unique column %q of table %q",
 				v, t.schema.Cols[col].Name, t.schema.Name)
 		}
 	}
+	return nil
+}
+
+// insert adds a validated row, enforcing unique indexes; returns the rowid.
+func (t *table) insert(vals []Value) (int64, error) {
+	if err := t.checkUniqueFree(vals, 0, false); err != nil {
+		return 0, err
+	}
 	id := t.nextRow
 	t.nextRow++
-	t.rows[id] = vals
+	if err := t.tree.insert(rowidKey(id), encodeRow(vals)); err != nil {
+		return 0, err
+	}
 	for col, idx := range t.indexes {
 		if v := vals[col]; !v.IsNull() {
-			idx[v.indexKey()] = id
+			if err := idx.insert(uniqueIndexKey(v), rowidKey(id)); err != nil {
+				return 0, err
+			}
 		}
 	}
-	for col := range t.secIdx {
-		t.secAdd(col, vals[col], id)
+	for col, tr := range t.secIdx {
+		if v := vals[col]; !v.IsNull() {
+			if err := tr.insert(secIndexKey(v, id), nil); err != nil {
+				return 0, err
+			}
+		}
 	}
 	return id, nil
 }
 
-// secAdd records id under v in the secondary index on col.
-func (t *table) secAdd(col int, v Value, id int64) {
-	if v.IsNull() {
-		return
-	}
-	k := v.indexKey()
-	t.secIdx[col][k] = append(t.secIdx[col][k], id)
-}
-
-// secRemove drops id from the secondary index on col.
-func (t *table) secRemove(col int, v Value, id int64) {
-	if v.IsNull() {
-		return
-	}
-	k := v.indexKey()
-	ids := t.secIdx[col][k]
-	for i, x := range ids {
-		if x == id {
-			ids = append(ids[:i], ids[i+1:]...)
-			break
-		}
-	}
-	if len(ids) == 0 {
-		delete(t.secIdx[col], k)
-	} else {
-		t.secIdx[col][k] = ids
-	}
-}
-
 // update replaces the row at id with validated vals, maintaining indexes.
 func (t *table) update(id int64, vals []Value) error {
-	old, ok := t.rows[id]
-	if !ok {
-		return fmt.Errorf("minisql: internal: updating missing rowid %d", id)
+	old, err := t.getRow(id)
+	if err != nil {
+		return err
+	}
+	if err := t.checkUniqueFree(vals, id, true); err != nil {
+		return err
 	}
 	for col, idx := range t.indexes {
-		nv := vals[col]
-		if nv.IsNull() {
-			continue
+		ov, nv := old[col], vals[col]
+		if !ov.IsNull() {
+			if _, err := idx.delete(uniqueIndexKey(ov)); err != nil {
+				return err
+			}
 		}
-		if existing, exists := idx[nv.indexKey()]; exists && existing != id {
-			return fmt.Errorf("minisql: duplicate value %v for unique column %q of table %q",
-				nv, t.schema.Cols[col].Name, t.schema.Name)
-		}
-	}
-	for col, idx := range t.indexes {
-		if ov := old[col]; !ov.IsNull() {
-			delete(idx, ov.indexKey())
-		}
-		if nv := vals[col]; !nv.IsNull() {
-			idx[nv.indexKey()] = id
+		if !nv.IsNull() {
+			if err := idx.insert(uniqueIndexKey(nv), rowidKey(id)); err != nil {
+				return err
+			}
 		}
 	}
-	for col := range t.secIdx {
-		t.secRemove(col, old[col], id)
-		t.secAdd(col, vals[col], id)
+	for col, tr := range t.secIdx {
+		ov, nv := old[col], vals[col]
+		if !ov.IsNull() {
+			if _, err := tr.delete(secIndexKey(ov, id)); err != nil {
+				return err
+			}
+		}
+		if !nv.IsNull() {
+			if err := tr.insert(secIndexKey(nv, id), nil); err != nil {
+				return err
+			}
+		}
 	}
-	t.rows[id] = vals
-	return nil
+	return t.tree.insert(rowidKey(id), encodeRow(vals))
 }
 
 // delete removes the row at id, maintaining indexes.
-func (t *table) delete(id int64) {
-	old, ok := t.rows[id]
-	if !ok {
-		return
+func (t *table) delete(id int64) error {
+	old, err := t.getRow(id)
+	if err != nil {
+		return err
 	}
 	for col, idx := range t.indexes {
 		if v := old[col]; !v.IsNull() {
-			delete(idx, v.indexKey())
+			if _, err := idx.delete(uniqueIndexKey(v)); err != nil {
+				return err
+			}
 		}
 	}
-	for col := range t.secIdx {
-		t.secRemove(col, old[col], id)
+	for col, tr := range t.secIdx {
+		if v := old[col]; !v.IsNull() {
+			if _, err := tr.delete(secIndexKey(v, id)); err != nil {
+				return err
+			}
+		}
 	}
-	delete(t.rows, id)
+	_, err = t.tree.delete(rowidKey(id))
+	return err
 }
 
-// scanIDs returns rowids in a deterministic order (ascending insertion id),
-// which keeps query plans and WAL replay stable.
-func (t *table) scanIDs() []int64 {
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
+// scanIDs returns rowids ascending (the primary tree's key order), which
+// keeps query plans deterministic exactly as the old map engine's sorted
+// scan did.
+func (t *table) scanIDs() ([]int64, error) {
+	cur, err := t.tree.cursorFirst()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.close()
+	var ids []int64
+	for cur.valid() {
+		k, err := cur.key()
+		if err != nil {
+			return nil, err
+		}
+		id, err := decodeRowid(k)
+		if err != nil {
+			return nil, err
+		}
 		ids = append(ids, id)
+		if err := cur.next(); err != nil {
+			return nil, err
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return ids, nil
 }
 
-// clone deep-copies the table (used for snapshots).
-func (t *table) clone() *table {
-	nt := &table{
-		schema:  t.schema,
-		colIdx:  t.colIdx,
-		pkCol:   t.pkCol,
-		nextRow: t.nextRow,
-		rows:    make(map[int64][]Value, len(t.rows)),
-		indexes: make(map[int]map[string]int64, len(t.indexes)),
+// scanRows streams every (rowid, row) pair ascending through fn; fn
+// returning false stops the scan early.
+func (t *table) scanRows(fn func(id int64, row []Value) (bool, error)) error {
+	cur, err := t.tree.cursorFirst()
+	if err != nil {
+		return err
 	}
-	for id, row := range t.rows {
-		nt.rows[id] = append([]Value(nil), row...)
-	}
-	for col, idx := range t.indexes {
-		m := make(map[string]int64, len(idx))
-		for k, v := range idx {
-			m[k] = v
+	defer cur.close()
+	for cur.valid() {
+		k, err := cur.key()
+		if err != nil {
+			return err
 		}
-		nt.indexes[col] = m
+		id, err := decodeRowid(k)
+		if err != nil {
+			return err
+		}
+		raw, err := cur.value()
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(raw)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(id, row)
+		if err != nil || !cont {
+			return err
+		}
+		if err := cur.next(); err != nil {
+			return err
+		}
 	}
-	return nt
+	return nil
+}
+
+// rowCount counts rows via the primary tree.
+func (t *table) rowCount() (int, error) {
+	n := 0
+	err := t.scanRows(func(int64, []Value) (bool, error) { n++; return true, nil })
+	return n, err
 }

@@ -1,0 +1,130 @@
+package udsm
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"edsc/kv"
+	"edsc/kv/kvtest"
+)
+
+// openPagedStore opens a durable SQL store with a deliberately tiny page
+// cache (32 pages × 4 KiB = 128 KiB) so the workloads below overflow RAM
+// and exercise eviction + page-in, not just the cache.
+func openPagedStore(t *testing.T) (*SQLStore, func()) {
+	t.Helper()
+	st, err := OpenSQLStore("sql-paged", SQLStoreOptions{
+		Dir:        filepath.Join(t.TempDir(), "db"),
+		CachePages: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, func() { _ = st.Close() }
+}
+
+// TestPagedSQLStoreConformance runs the full kv.Store contract over the
+// paged storage engine (file-backed, small cache), including 64 KiB values
+// that spill to overflow pages.
+func TestPagedSQLStoreConformance(t *testing.T) {
+	kvtest.Run(t, func(t *testing.T) (kv.Store, func()) {
+		st, cleanup := openPagedStore(t)
+		return st, cleanup
+	}, kvtest.Options{MaxValue: 64 << 10})
+}
+
+// TestPagedSQLStoreChaos drives the fault-injection chaos suite over the
+// paged store: every operation may fail before or after the engine applies
+// it, and the model checks the store never lies about what committed.
+func TestPagedSQLStoreChaos(t *testing.T) {
+	kvtest.RunChaos(t, func(t *testing.T) (kv.Store, func()) {
+		st, cleanup := openPagedStore(t)
+		return st, cleanup
+	}, kvtest.ChaosOptions{})
+}
+
+// TestPagedSQLStoreLargeDataset inserts far more data than the page cache
+// holds (32 pages × 4 KiB = 128 KiB cache; ~8 MiB of values), then reads
+// everything back — first hot, then after closing and reopening the store so
+// every page must fault back in from disk. This is the "data ≫ RAM" property
+// the paper's SQL tier needs.
+func TestPagedSQLStoreLargeDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large dataset test skipped in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	open := func() *SQLStore {
+		st, err := OpenSQLStore("sql-large", SQLStoreOptions{Dir: dir, CachePages: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	ctx := context.Background()
+	st := open()
+
+	const n = 2000
+	val := func(i int) []byte {
+		v := make([]byte, 4096)
+		copy(v, fmt.Sprintf("value-%06d", i))
+		v[len(v)-1] = byte(i)
+		return v
+	}
+	for i := 0; i < n; i++ {
+		if err := st.Put(ctx, fmt.Sprintf("key-%06d", i), val(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	stats, err := st.DB().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evictions == 0 {
+		t.Fatalf("dataset did not overflow the cache (evictions=0, pages=%d, cap=%d)", stats.Pages, stats.CacheCap)
+	}
+	if int(stats.CacheUsed) > stats.CacheCap {
+		t.Fatalf("clean resident pages %d exceed cache cap %d", stats.CacheUsed, stats.CacheCap)
+	}
+
+	verify := func(st *SQLStore, phase string) {
+		t.Helper()
+		if got, err := st.Len(ctx); err != nil || got != n {
+			t.Fatalf("%s: Len = %d, %v; want %d", phase, got, err, n)
+		}
+		// Point reads across the whole key space (each likely a cache miss).
+		for i := 0; i < n; i += 37 {
+			got, err := st.Get(ctx, fmt.Sprintf("key-%06d", i))
+			if err != nil {
+				t.Fatalf("%s: get %d: %v", phase, i, err)
+			}
+			want := val(i)
+			if string(got) != string(want) {
+				t.Fatalf("%s: key %d: value corrupted after eviction", phase, i)
+			}
+		}
+		// Range scan through the native SQL interface (B-tree cursor walk).
+		rows, err := st.Query(ctx, fmt.Sprintf(
+			"SELECT COUNT(*) FROM %s WHERE k >= 'key-000500' AND k < 'key-001500'", "kv_data"))
+		if err != nil {
+			t.Fatalf("%s: range scan: %v", phase, err)
+		}
+		if got := rows.Values[0][0]; got != "1000" {
+			t.Fatalf("%s: range count = %s, want 1000", phase, got)
+		}
+	}
+	verify(st, "hot")
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = open() // cold cache: every read pages in from the data file
+	defer st.Close()
+	verify(st, "after reopen")
+
+	if err := st.DB().CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after large workload: %v", err)
+	}
+}

@@ -71,6 +71,20 @@ type SQLStoreOptions struct {
 	Dir string
 	// Table is the backing table name (default "kv_data").
 	Table string
+	// DSN, when set, overrides Dir and the knobs below with a minisql
+	// connection string, e.g. "/var/data/app?cache_pages=512&page_size=8192"
+	// or ":memory:?cache_pages=64" (see minisql.ParseDSN).
+	DSN string
+	// PageSize sets the storage page size when creating a database
+	// (default 4096; power of two in [1024, 65536]).
+	PageSize int
+	// CachePages caps the engine's LRU page cache (default 256 pages) —
+	// the store's working set beyond this spills to disk and pages back
+	// in on demand, which is what lets SQL-backed data exceed RAM.
+	CachePages int
+	// CheckpointBytes triggers a WAL checkpoint past this size
+	// (default 8 MiB; <0 disables automatic checkpoints).
+	CheckpointBytes int64
 }
 
 // SQLStore is a SQL-backed store: the common key-value interface plus the
@@ -82,20 +96,24 @@ type SQLStore struct {
 }
 
 // OpenSQLStore opens (creating if needed) a minisql-backed store. The
-// returned store owns the database and closes it with the store.
+// returned store owns the database and closes it with the store. Both the
+// key-value adapter and the native interface run through the registered
+// "minisql" database/sql driver.
 func OpenSQLStore(name string, opts SQLStoreOptions) (*SQLStore, error) {
 	if opts.Table == "" {
 		opts.Table = "kv_data"
 	}
-	var db *minisql.Database
-	var err error
-	if opts.Dir == "" {
-		db = minisql.OpenMemory()
-	} else {
-		db, err = minisql.Open(opts.Dir, minisql.Options{})
-		if err != nil {
-			return nil, err
-		}
+	dsn := opts.DSN
+	if dsn == "" {
+		dsn = minisql.DSN{Path: opts.Dir, Opts: minisql.Options{
+			PageSize:        opts.PageSize,
+			CachePages:      opts.CachePages,
+			CheckpointBytes: opts.CheckpointBytes,
+		}}.String()
+	}
+	db, err := minisql.OpenDSN(dsn)
+	if err != nil {
+		return nil, err
 	}
 	st, err := minisql.NewKVStore(name, db, opts.Table)
 	if err != nil {
