@@ -20,6 +20,7 @@ type btree struct {
 	pg          *pager
 	root        uint32
 	rootChanged bool // set when a split/collapse moved the root
+	snap        bool // read-only view over the last-committed snapshot
 }
 
 // maxKeyLen bounds B-tree keys so interior pages always hold several cells.
@@ -43,6 +44,22 @@ func newBTree(pg *pager) (*btree, error) {
 
 func openBTree(pg *pager, root uint32) *btree {
 	return &btree{pg: pg, root: root}
+}
+
+// openBTreeSnap opens a read-only view of the tree rooted at root as of the
+// last commit: every page fetch bypasses uncommitted (dirty) images. Used to
+// serve concurrent readers while another session's transaction is open.
+func openBTreeSnap(pg *pager, root uint32) *btree {
+	return &btree{pg: pg, root: root, snap: true}
+}
+
+// fetch pins a page through the tree's view: the live pager state for a
+// regular tree, the last-committed image for a snapshot tree.
+func (b *btree) fetch(id uint32) (*page, error) {
+	if b.snap {
+		return b.pg.getSnapshot(id)
+	}
+	return b.pg.get(id)
 }
 
 // --- in-memory entry lists (page rewrite representation) ---
@@ -203,7 +220,7 @@ func interiorSearch(p *page, key []byte) (int, error) {
 func (b *btree) get(key []byte) ([]byte, bool, error) {
 	id := b.root
 	for {
-		p, err := b.pg.get(id)
+		p, err := b.fetch(id)
 		if err != nil {
 			return nil, false, err
 		}
@@ -247,7 +264,7 @@ func (b *btree) readCellValue(c leafCell) ([]byte, error) {
 	out = append(out, c.inline...)
 	id := c.overflow
 	for id != 0 {
-		p, err := b.pg.get(id)
+		p, err := b.fetch(id)
 		if err != nil {
 			return nil, err
 		}
@@ -326,6 +343,9 @@ type splitRes struct {
 // grows the tree by one level and flags rootChanged for the caller to
 // persist the new root.
 func (b *btree) insert(key, val []byte) error {
+	if b.snap {
+		return fmt.Errorf("minisql: insert into a snapshot tree")
+	}
 	if len(key) > maxKeyLen(b.pg.pageSize) {
 		return fmt.Errorf("minisql: key of %d bytes exceeds the %d-byte limit for %d-byte pages",
 			len(key), maxKeyLen(b.pg.pageSize), b.pg.pageSize)
@@ -525,6 +545,9 @@ func splitPointInterior(ents []interiorEntry) int {
 // merge with a sibling when the combined content fits; an interior root
 // left with a single child collapses, shrinking the tree.
 func (b *btree) delete(key []byte) (bool, error) {
+	if b.snap {
+		return false, fmt.Errorf("minisql: delete from a snapshot tree")
+	}
 	deleted, err := b.deleteAt(b.root, key)
 	if err != nil || !deleted {
 		return deleted, err
@@ -724,6 +747,9 @@ func (b *btree) tryMerge(parent *page, li int) (bool, error) {
 
 // drop frees every page of the tree, overflow chains included.
 func (b *btree) drop() error {
+	if b.snap {
+		return fmt.Errorf("minisql: drop of a snapshot tree")
+	}
 	return b.dropFrom(b.root)
 }
 
@@ -779,7 +805,7 @@ func (b *btree) dropFrom(id uint32) error {
 func (b *btree) maxKey() ([]byte, bool, error) {
 	id := b.root
 	for {
-		p, err := b.pg.get(id)
+		p, err := b.fetch(id)
 		if err != nil {
 			return nil, false, err
 		}
@@ -848,7 +874,7 @@ type cursor struct {
 func (b *btree) cursorFirst() (*cursor, error) {
 	id := b.root
 	for {
-		p, err := b.pg.get(id)
+		p, err := b.fetch(id)
 		if err != nil {
 			return nil, err
 		}
@@ -879,7 +905,7 @@ func (b *btree) cursorFirst() (*cursor, error) {
 func (b *btree) cursorSeek(key []byte) (*cursor, error) {
 	id := b.root
 	for {
-		p, err := b.pg.get(id)
+		p, err := b.fetch(id)
 		if err != nil {
 			return nil, err
 		}
@@ -956,7 +982,7 @@ func (c *cursor) advanceLeaf() error {
 		if next == 0 {
 			return nil
 		}
-		p, err := c.b.pg.get(next)
+		p, err := c.b.fetch(next)
 		if err != nil {
 			return err
 		}

@@ -45,6 +45,12 @@ func (db *Database) catalogGet(name string) (*catRecord, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	return catalogLookup(cat, name)
+}
+
+// catalogLookup reads one table's record out of the given catalog tree
+// (live or snapshot).
+func catalogLookup(cat *btree, name string) (*catRecord, bool, error) {
 	raw, found, err := cat.get([]byte(name))
 	if err != nil || !found {
 		return nil, false, err
@@ -99,7 +105,22 @@ func (db *Database) catalogNames() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur, err := cat.cursorFirst()
+	return treeKeys(cat)
+}
+
+// snapCatTree opens a read-only view of the catalog as of the last commit,
+// so uncommitted DDL is invisible to concurrent readers.
+func (db *Database) snapCatTree() (*btree, error) {
+	root, err := db.pg.snapshotCatalogRoot()
+	if err != nil {
+		return nil, err
+	}
+	return openBTreeSnap(db.pg, root), nil
+}
+
+// treeKeys walks a tree and returns its keys as strings, in order.
+func treeKeys(tr *btree) ([]string, error) {
+	cur, err := tr.cursorFirst()
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +141,25 @@ func (db *Database) catalogNames() ([]string, error) {
 
 // loadTable materializes a table handle from its catalog record.
 func (db *Database) loadTable(name string, rec *catRecord) (*table, error) {
+	t, err := tableFromRecord(db, name, rec, openBTree)
+	if err != nil {
+		return nil, err
+	}
+	next, err := t.maxRowid()
+	if err != nil {
+		return nil, err
+	}
+	t.nextRow = next + 1
+	return t, nil
+}
+
+// loadTableSnap materializes a read-only handle over the committed
+// snapshot. nextRow stays zero: snapshot handles never insert.
+func (db *Database) loadTableSnap(name string, rec *catRecord) (*table, error) {
+	return tableFromRecord(db, name, rec, openBTreeSnap)
+}
+
+func tableFromRecord(db *Database, name string, rec *catRecord, open func(*pager, uint32) *btree) (*table, error) {
 	schema := &CreateTableStmt{Name: name, Cols: make([]ColumnDef, len(rec.Cols))}
 	for i, c := range rec.Cols {
 		schema.Cols[i] = ColumnDef{
@@ -131,21 +171,16 @@ func (db *Database) loadTable(name string, rec *catRecord) (*table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.tree = openBTree(db.pg, rec.Root)
+	t.tree = open(db.pg, rec.Root)
 	for _, u := range rec.Uniq {
-		t.indexes[u.Col] = openBTree(db.pg, u.Root)
+		t.indexes[u.Col] = open(db.pg, u.Root)
 	}
 	for _, s := range rec.Sec {
-		t.secIdx[s.Col] = openBTree(db.pg, s.Root)
+		t.secIdx[s.Col] = open(db.pg, s.Root)
 	}
 	for _, n := range rec.Names {
 		t.idxNames[n.Name] = namedIndex{col: n.Col, unique: n.Unique}
 	}
-	next, err := t.maxRowid()
-	if err != nil {
-		return nil, err
-	}
-	t.nextRow = next + 1
 	return t, nil
 }
 

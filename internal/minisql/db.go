@@ -234,6 +234,29 @@ func (db *Database) invalidateHandles() {
 	db.handleMu.Unlock()
 }
 
+// tableForRead resolves a table handle for query execution. With snap set
+// (a concurrent reader while another session's transaction is open) the
+// handle is rebuilt from the committed catalog over snapshot trees, so
+// uncommitted rows, root moves, and DDL are invisible. Snapshot handles
+// are never cached: they are only valid for the current read-locked call.
+func (db *Database) tableForRead(name string, snap bool) (*table, error) {
+	if !snap {
+		return db.table(name)
+	}
+	cat, err := db.snapCatTree()
+	if err != nil {
+		return nil, err
+	}
+	rec, found, err := catalogLookup(cat, name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("minisql: no such table %q", name)
+	}
+	return db.loadTableSnap(name, rec)
+}
+
 // --- statement execution core ---
 
 // applyStmtLocked runs one DML/DDL statement inside a statement-level page
@@ -399,8 +422,30 @@ func (s *Session) ExecStmt(stmt Stmt) (int, error) {
 	return n, nil
 }
 
-// Query executes a SELECT under the shared read lock.
-func (s *Session) Query(sql string) (*Result, error) { return s.db.Query(sql) }
+// Query executes a SELECT under the shared read lock. While another
+// session's transaction is open, the query runs against the last-committed
+// snapshot: uncommitted changes are visible only to the transaction's own
+// session, never to concurrent readers.
+func (s *Session) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("minisql: Query requires a SELECT statement")
+	}
+	db := s.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, fmt.Errorf("minisql: database is closed")
+	}
+	// Statements and commits mutate pager transaction state only under the
+	// exclusive lock, so both the owner check and txActive are stable here.
+	snap := !s.owns() && db.pg.txActive()
+	return db.execSelect(sel, snap)
+}
 
 // --- legacy Database-level API ---
 
@@ -428,23 +473,11 @@ func (db *Database) Exec(sql string) (int, error) {
 }
 
 // Query parses and executes a SELECT. Multiple queries run concurrently;
-// they share the page cache and exclude writers for their duration.
-func (db *Database) Query(sql string) (*Result, error) {
-	stmt, err := Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("minisql: Query requires a SELECT statement")
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, fmt.Errorf("minisql: database is closed")
-	}
-	return db.execSelect(sel)
-}
+// they share the page cache and exclude writers for their duration. It runs
+// in the legacy session's scope: inside the Database-level Begin
+// transaction it sees that transaction's writes, and while a driver
+// session's transaction is open it reads the last-committed snapshot.
+func (db *Database) Query(sql string) (*Result, error) { return db.legacy.Query(sql) }
 
 // Begin opens an explicit transaction. Only one transaction may be open at
 // a time; a second Begin blocks until the first commits or rolls back.
@@ -477,11 +510,23 @@ func (db *Database) Close() error {
 	return db.pg.close()
 }
 
-// Tables lists table names (for shells and tests).
+// Tables lists table names (for shells and tests). While another session's
+// transaction is open it lists the committed catalog.
 func (db *Database) Tables() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	names, err := db.catalogNames()
+	var (
+		names []string
+		err   error
+	)
+	if !db.legacy.owns() && db.pg.txActive() {
+		var cat *btree
+		if cat, err = db.snapCatTree(); err == nil {
+			names, err = treeKeys(cat)
+		}
+	} else {
+		names, err = db.catalogNames()
+	}
 	if err != nil {
 		return nil
 	}
@@ -626,8 +671,9 @@ func sortStrings(s []string) {
 	}
 }
 
-// quoteIdent double-quotes an identifier for dump output.
-func quoteIdent(s string) string { return `"` + strings.ReplaceAll(s, `"`, ``) + `"` }
+// quoteIdent double-quotes an identifier for dump output, escaping embedded
+// quotes by doubling so the result lexes back to the same name.
+func quoteIdent(s string) string { return `"` + strings.ReplaceAll(s, `"`, `""`) + `"` }
 
 // sqlLiteral renders v as a SQL literal that parses back to the same value.
 func sqlLiteral(v Value) string {

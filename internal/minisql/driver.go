@@ -25,8 +25,10 @@ import (
 //
 // File DSNs are canonicalized and refcounted, so two sql.Open calls naming
 // the same directory share a Database instead of corrupting each other's
-// pages; the files close when the last handle does. ":memory:" is private
-// per sql.Open.
+// pages; the files close when the last handle does. A later sql.Open whose
+// DSN options disagree with the running database (page_size, cache_pages,
+// checkpoint_bytes) fails rather than silently keeping the first opener's
+// tuning. ":memory:" is private per sql.Open.
 
 func init() { sql.Register("minisql", &Driver{}) }
 
@@ -145,8 +147,23 @@ func (r *registry) open(cfg DSN) (*Database, string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.entries[key]; ok {
+		// Attaching to an already-open database cannot retune it; reject any
+		// explicit option that differs from the live value rather than
+		// silently dropping it. Omitted options (zero) accept whatever runs.
 		if ps := cfg.Opts.PageSize; ps != 0 && ps != e.db.pg.pageSize {
 			return nil, "", fmt.Errorf("minisql: database %s already open with page size %d, DSN wants %d", key, e.db.pg.pageSize, ps)
+		}
+		if cp := cfg.Opts.CachePages; cp != 0 && cp != e.db.pg.cacheCap {
+			return nil, "", fmt.Errorf("minisql: database %s already open with cache_pages %d, DSN wants %d", key, e.db.pg.cacheCap, cp)
+		}
+		if cb := cfg.Opts.CheckpointBytes; cb != 0 {
+			want := cb
+			if want < 0 {
+				want = 0 // negative means disabled, stored as 0
+			}
+			if want != e.db.pg.checkpointBytes {
+				return nil, "", fmt.Errorf("minisql: database %s already open with checkpoint_bytes %d, DSN wants %d", key, e.db.pg.checkpointBytes, want)
+			}
 		}
 		e.refs++
 		return e.db, key, nil
@@ -231,7 +248,10 @@ func (c *conn) Begin() (sqldriver.Tx, error) {
 
 // BeginTx implements driver.ConnBeginTx. The engine runs a single writer at
 // serializable strength; weaker requested levels are accepted (we deliver
-// more isolation than asked), and the default level maps directly.
+// more isolation than asked), and the default level maps directly. While
+// the transaction is open, queries on other connections read the
+// last-committed snapshot — uncommitted changes are visible only inside
+// the transaction itself.
 func (c *conn) BeginTx(ctx context.Context, opts sqldriver.TxOptions) (sqldriver.Tx, error) {
 	if c.closed {
 		return nil, sqldriver.ErrBadConn

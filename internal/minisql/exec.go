@@ -335,9 +335,11 @@ type sortableRow struct {
 	keys []Value
 }
 
-// execSelect evaluates a SELECT. Caller holds db.mu (read or write).
-func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
-	sc, rows, err := db.gatherRows(s)
+// execSelect evaluates a SELECT. Caller holds db.mu (read or write). snap
+// routes table resolution through the last-committed snapshot, for readers
+// running concurrently with another session's open transaction.
+func (db *Database) execSelect(s *SelectStmt, snap bool) (*Result, error) {
+	sc, rows, err := db.gatherRows(s, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -395,8 +397,8 @@ func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
 
 // gatherRows materializes the FROM/JOIN clause and applies WHERE, returning
 // the combined scope and the surviving rows.
-func (db *Database) gatherRows(s *SelectStmt) (*scope, [][]Value, error) {
-	t, err := db.table(s.From.Name)
+func (db *Database) gatherRows(s *SelectStmt, snap bool) (*scope, [][]Value, error) {
+	t, err := db.tableForRead(s.From.Name, snap)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -420,7 +422,7 @@ func (db *Database) gatherRows(s *SelectStmt) (*scope, [][]Value, error) {
 		return nil, nil, err
 	}
 	for _, jc := range s.Joins {
-		rt, err := db.table(jc.Table.Name)
+		rt, err := db.tableForRead(jc.Table.Name, snap)
 		if err != nil {
 			return nil, nil, err
 		}

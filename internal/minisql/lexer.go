@@ -121,18 +121,28 @@ func lex(input string) ([]token, error) {
 			}
 			toks = append(toks, token{kind: tokString, text: lit, pos: i})
 			i = next
-		case c == '"': // quoted identifier
+		case c == '"': // quoted identifier; "" escapes an embedded quote
 			start := i
 			i++
 			var sb strings.Builder
-			for i < n && input[i] != '"' {
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					if i+1 < n && input[i+1] == '"' {
+						sb.WriteByte('"')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
 				sb.WriteByte(input[i])
 				i++
 			}
-			if i >= n {
+			if !closed {
 				return nil, fmt.Errorf("minisql: unterminated quoted identifier at offset %d", start)
 			}
-			i++
 			toks = append(toks, token{kind: tokIdent, text: sb.String(), pos: start})
 		default:
 			start := i

@@ -381,10 +381,67 @@ func (pg *pager) unpin(p *page) {
 	if p.pins > 0 {
 		p.pins--
 	}
-	if p.pins == 0 && !p.dirty && !p.onLRU(pg) {
+	// Transient snapshot copies (getSnapshot of a dirty page) are not cache
+	// entries; putting one on the LRU list would make eviction delete the
+	// real cached page under the same id. Only list-manage cache residents.
+	if p.pins == 0 && !p.dirty && !p.onLRU(pg) && pg.cache[p.id] == p {
 		pg.lruPush(p)
 		pg.evictIfNeeded()
 	}
+}
+
+// txActive reports whether uncommitted transaction state exists (dirty
+// pages or undo images). Statements and commits run under the exclusive
+// database lock, so under the shared read lock the answer is stable for
+// the duration of a query.
+func (pg *pager) txActive() bool {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return len(pg.dirty) > 0 || len(pg.txUndo) > 0
+}
+
+// getSnapshot returns the last-committed image of page id, pinned. Pages
+// dirtied by the in-flight transaction are served from their committed
+// location (WAL index, database file, or memory array) as transient
+// uncached copies — dirty pages never reach the WAL or the file before
+// commit, so what is stored there IS the committed version. Pages the
+// transaction allocated lie beyond committedNPages and do not exist in
+// the snapshot. Clean pages share the regular cache entry.
+func (pg *pager) getSnapshot(id uint32) (*page, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if id >= pg.committedNPages {
+		return nil, fmt.Errorf("minisql: page %d is beyond the committed snapshot", id)
+	}
+	if p, ok := pg.cache[id]; ok && !p.dirty {
+		pg.hits++
+		p.pins++
+		pg.lruRemove(p)
+		return p, nil
+	}
+	pg.misses++
+	buf := make([]byte, pg.pageSize)
+	if err := pg.readCommitted(id, buf); err != nil {
+		return nil, err
+	}
+	p := &page{id: id, buf: buf, pins: 1}
+	if _, dirty := pg.dirty[id]; !dirty {
+		// Plain cache miss: install as the shared cache entry.
+		pg.cache[id] = p
+		pg.evictIfNeeded()
+	}
+	return p, nil
+}
+
+// snapshotCatalogRoot reads the catalog root from the committed meta page.
+func (pg *pager) snapshotCatalogRoot() (uint32, error) {
+	meta, err := pg.getSnapshot(0)
+	if err != nil {
+		return 0, err
+	}
+	r := metaGetCatalog(meta.buf)
+	pg.unpin(meta)
+	return r, nil
 }
 
 // markDirty must be called before the first modification of a pinned page:

@@ -1,0 +1,482 @@
+package minisql
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- WAL append failure must not poison later commits ---
+
+// walTestImage builds a valid (CRC-stamped) empty leaf image.
+func walTestImage(ps int, seed byte) []byte {
+	p := &page{buf: make([]byte, ps)}
+	p.initPage(pageLeaf, ps)
+	p.buf[ps-1] = seed // differentiate images; CRC stamped after
+	stampCRC(p.buf)
+	return p.buf
+}
+
+// TestWALAppendFailureKeepsLogReplayable injects a failure mid-batch and
+// verifies the batches around it stay contiguous and replayable: before the
+// fix the failed append left a zero-filled hole (the file was truncated but
+// the in-memory size was not rewound), so replay stopped before every
+// later commit.
+func TestWALAppendFailureKeepsLogReplayable(t *testing.T) {
+	const ps = 1024
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := openPageWAL(path, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.appendBatch([]walRecord{{id: 1, after: walTestImage(ps, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	records := 0
+	l.hook = func(event string) error {
+		if event == "wal-record" {
+			records++
+			if records == 2 {
+				return fmt.Errorf("injected wal failure")
+			}
+		}
+		return nil
+	}
+	if _, err := l.appendBatch([]walRecord{
+		{id: 2, after: walTestImage(ps, 2)},
+		{id: 3, after: walTestImage(ps, 3)},
+	}); err == nil {
+		t.Fatal("want injected append failure")
+	}
+	l.hook = nil
+
+	if _, err := l.appendBatch([]walRecord{{id: 4, after: walTestImage(ps, 4)}}); err != nil {
+		t.Fatalf("append after failed append: %v", err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != l.size {
+		t.Fatalf("file size %v / err %v, tracked size %d", st, err, l.size)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, _, err := replayPageWAL(path, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := idx[1]; !ok {
+		t.Fatalf("pre-failure batch lost: %v", idx)
+	}
+	if _, ok := idx[4]; !ok {
+		t.Fatalf("post-failure batch lost — failed append poisoned the log: %v", idx)
+	}
+	if _, ok := idx[2]; ok {
+		t.Fatalf("failed batch leaked into replay: %v", idx)
+	}
+}
+
+// TestCommitAfterFailedCommitSurvivesCrash drives the same scenario end to
+// end: a commit fails at the WAL layer, a later commit succeeds, the
+// process "crashes" (the files are copied without a clean Close), and
+// recovery must still see the later commit.
+func TestCommitAfterFailedCommitSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	fail := false
+	db, err := Open(dir, Options{hook: func(event string) error {
+		if fail && event == "wal-record" {
+			return fmt.Errorf("injected wal failure")
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 'first')`)
+	fail = true
+	if _, err := db.Exec(`INSERT INTO t VALUES (2, 'lost')`); err == nil {
+		t.Fatal("want commit failure")
+	}
+	fail = false
+	if res := mustQuery(t, db, `SELECT id FROM t ORDER BY id`); len(res.Rows) != 1 {
+		t.Fatalf("failed commit not rolled back: %v", flat(res))
+	}
+	mustExec(t, db, `INSERT INTO t VALUES (3, 'second')`)
+
+	// Crash: copy the on-disk state without closing (Close would checkpoint
+	// and mask WAL replay, the path the original bug broke).
+	dir2 := t.TempDir()
+	for _, f := range []string{"data.db", "wal.log"} {
+		b, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, f), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2, err := Open(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, db2, `SELECT id, v FROM t ORDER BY id`)
+	if got := flat(res); got != "1,first|3,second" {
+		t.Fatalf("recovered %q, want %q", got, "1,first|3,second")
+	}
+}
+
+// --- concurrent readers must not see uncommitted data ---
+
+func openModes(t *testing.T) map[string]*Database {
+	t.Helper()
+	file, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Database{"mem": OpenMemory(), "file": file}
+}
+
+func TestConcurrentReaderSeesCommittedSnapshot(t *testing.T) {
+	for mode, db := range openModes(t) {
+		t.Run(mode, func(t *testing.T) {
+			defer db.Close()
+			mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+			mustExec(t, db, `INSERT INTO t VALUES (1, 'one')`)
+
+			writer := db.NewSession()
+			reader := db.NewSession()
+			if err := writer.Begin(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := writer.Exec(`UPDATE t SET v = 'ONE' WHERE id = 1`); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := writer.Exec(`INSERT INTO t VALUES (2, 'two')`); err != nil {
+				t.Fatal(err)
+			}
+
+			// The transaction's own session sees its writes...
+			res, err := writer.Query(`SELECT id, v FROM t ORDER BY id`)
+			if err != nil || flat(res) != "1,ONE|2,two" {
+				t.Fatalf("owner view: %v %v", flat(res), err)
+			}
+			// ...every other reader sees only the committed state.
+			res, err = reader.Query(`SELECT id, v FROM t ORDER BY id`)
+			if err != nil || flat(res) != "1,one" {
+				t.Fatalf("reader saw uncommitted data: %q %v", flat(res), err)
+			}
+			if res, err := db.Query(`SELECT v FROM t WHERE id = 2`); err != nil || len(res.Rows) != 0 {
+				t.Fatalf("Database.Query saw uncommitted row: %v %v", flat(res), err)
+			}
+
+			// Uncommitted DDL is invisible too.
+			if _, err := writer.Exec(`CREATE TABLE u (id INTEGER PRIMARY KEY)`); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reader.Query(`SELECT * FROM u`); err == nil || !strings.Contains(err.Error(), "no such table") {
+				t.Fatalf("uncommitted CREATE TABLE visible to reader: %v", err)
+			}
+			for _, name := range db.Tables() {
+				if name == "u" {
+					t.Fatal("Tables() lists uncommitted table")
+				}
+			}
+
+			if err := writer.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			res, err = reader.Query(`SELECT id, v FROM t ORDER BY id`)
+			if err != nil || flat(res) != "1,one" {
+				t.Fatalf("after rollback: %q %v", flat(res), err)
+			}
+
+			// After commit the new state becomes visible to everyone.
+			if err := writer.Begin(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := writer.Exec(`INSERT INTO t VALUES (3, 'three')`); err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			res, err = reader.Query(`SELECT id, v FROM t ORDER BY id`)
+			if err != nil || flat(res) != "1,one|3,three" {
+				t.Fatalf("after commit: %q %v", flat(res), err)
+			}
+		})
+	}
+}
+
+// TestSnapshotReadAcrossSplitsAndOverflow grows a transaction big enough to
+// split leaves and spill overflow chains while a reader repeatedly scans:
+// the reader must keep seeing exactly the committed rows even though the
+// transaction is rewriting the tree structure (root moves, new pages beyond
+// the committed page count).
+func TestSnapshotReadAcrossSplitsAndOverflow(t *testing.T) {
+	for mode, db := range openModes(t) {
+		t.Run(mode, func(t *testing.T) {
+			defer db.Close()
+			mustExec(t, db, `CREATE TABLE big (id INTEGER PRIMARY KEY, v TEXT)`)
+			long := strings.Repeat("y", 3000) // > page, forces overflow
+			for i := 1; i <= 20; i++ {
+				mustExec(t, db, fmt.Sprintf(`INSERT INTO big VALUES (%d, '%s-%d')`, i, long, i))
+			}
+
+			writer := db.NewSession()
+			reader := db.NewSession()
+			if err := writer.Begin(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			for i := 21; i <= 200; i++ {
+				if _, err := writer.Exec(fmt.Sprintf(`INSERT INTO big VALUES (%d, '%s-%d')`, i, long, i)); err != nil {
+					t.Fatal(err)
+				}
+				if i%40 != 0 {
+					continue
+				}
+				res, err := reader.Query(`SELECT COUNT(*) FROM big`)
+				if err != nil {
+					t.Fatalf("reader during tx growth: %v", err)
+				}
+				if n := res.Rows[0][0].Int; n != 20 {
+					t.Fatalf("reader saw %d rows mid-transaction, want 20", n)
+				}
+			}
+			// Committed overflow values read back intact through the snapshot.
+			res, err := reader.Query(`SELECT v FROM big WHERE id = 7`)
+			if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str != long+"-7" {
+				t.Fatalf("overflow value through snapshot: %v", err)
+			}
+			if err := writer.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			res, err = reader.Query(`SELECT COUNT(*) FROM big`)
+			if err != nil || res.Rows[0][0].Int != 200 {
+				t.Fatalf("after commit: %v %v", flat(res), err)
+			}
+		})
+	}
+}
+
+// TestSnapshotReadDuringUncommittedDrop: a dropped-but-uncommitted table
+// must stay fully readable for other sessions.
+func TestSnapshotReadDuringUncommittedDrop(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 'keep')`)
+
+	writer := db.NewSession()
+	reader := db.NewSession()
+	if err := writer.Begin(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Exec(`DROP TABLE t`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := reader.Query(`SELECT id, v FROM t`)
+	if err != nil || flat(res) != "1,keep" {
+		t.Fatalf("reader lost table during uncommitted DROP: %q %v", flat(res), err)
+	}
+	if err := writer.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = reader.Query(`SELECT id, v FROM t`)
+	if err != nil || flat(res) != "1,keep" {
+		t.Fatalf("after rollback: %q %v", flat(res), err)
+	}
+}
+
+// TestConcurrentSnapshotReaders hammers the snapshot read path from several
+// goroutines while a writer transaction grows and commits: readers must only
+// ever observe the pre-transaction or post-commit row counts (run under
+// -race, this also exercises the pager locking of getSnapshot vs commit).
+func TestConcurrentSnapshotReaders(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'r%d')`, i, i))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := db.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := r.Query(`SELECT COUNT(*) FROM t`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := res.Rows[0][0].Int; n != 10 && n != 60 {
+					t.Errorf("reader saw %d rows, want 10 or 60", n)
+					return
+				}
+			}
+		}()
+	}
+
+	w := db.NewSession()
+	if err := w.Begin(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 11; i <= 60; i++ {
+		if _, err := w.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'r%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDriverNoDirtyReads is the reviewer's scenario through database/sql:
+// a pooled connection querying while another connection's transaction is
+// open must never observe rows that might still roll back.
+func TestDriverNoDirtyReads(t *testing.T) {
+	db, err := sql.Open("minisql", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(4)
+	mustExecSQL(t, db, `CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)`)
+	mustExecSQL(t, db, `INSERT INTO acct VALUES (1, 100)`)
+
+	tx, err := db.BeginTx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE acct SET bal = 0 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO acct VALUES (2, 50)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var bal, n int
+	if err := db.QueryRow(`SELECT bal FROM acct WHERE id = 1`).Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("dirty read: concurrent connection saw bal=%d, want 100", bal)
+	}
+	if err := db.QueryRow(`SELECT COUNT(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("dirty read: concurrent connection saw %d rows, want 1", n)
+	}
+	// The transaction itself sees its writes.
+	if err := tx.QueryRow(`SELECT bal FROM acct WHERE id = 1`).Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 0 {
+		t.Fatalf("transaction lost its own write: bal=%d", bal)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRow(`SELECT bal FROM acct WHERE id = 1`).Scan(&bal); err != nil || bal != 100 {
+		t.Fatalf("after rollback: bal=%d err=%v", bal, err)
+	}
+}
+
+// --- quoted identifiers with embedded quotes ---
+
+func TestQuotedIdentifierEscapes(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE "we""ird" ("co""l" INTEGER PRIMARY KEY, v TEXT)`)
+	mustExec(t, db, `INSERT INTO "we""ird" VALUES (1, 'x')`)
+	res := mustQuery(t, db, `SELECT "co""l", v FROM "we""ird"`)
+	if flat(res) != "1,x" {
+		t.Fatalf("got %q", flat(res))
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != `we"ird` {
+		t.Fatalf("tables: %v", got)
+	}
+	if _, err := db.Query(`SELECT * FROM "unterminated`); err == nil || !strings.Contains(err.Error(), "unterminated quoted identifier") {
+		t.Fatalf("want unterminated-identifier error, got %v", err)
+	}
+
+	// Dump → restore round-trips the quoted names (quoteIdent used to strip
+	// the quote character, silently renaming the table).
+	db.mu.Lock()
+	script := db.dumpLocked()
+	db.mu.Unlock()
+	db2 := OpenMemory()
+	defer db2.Close()
+	if err := db2.applyScript(script); err != nil {
+		t.Fatalf("replaying dump: %v\n%s", err, script)
+	}
+	res2 := mustQuery(t, db2, `SELECT "co""l", v FROM "we""ird"`)
+	if flat(res2) != "1,x" {
+		t.Fatalf("restored table: %q\nscript:\n%s", flat(res2), script)
+	}
+}
+
+// --- registry option mismatches are rejected, not dropped ---
+
+func TestDriverAttachOptionMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	first, err := sql.Open("minisql", dir+"?cache_pages=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if err := first.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []string{
+		dir + "?cache_pages=128",
+		dir + "?checkpoint_bytes=1024",
+		dir + "?checkpoint_bytes=-1",
+	} {
+		if _, err := sql.Open("minisql", bad); err == nil || !strings.Contains(err.Error(), "already open") {
+			t.Fatalf("DSN %q: want attach-mismatch error, got %v", bad, err)
+		}
+	}
+	for _, ok := range []string{
+		dir,
+		dir + "?cache_pages=64",
+		fmt.Sprintf("%s?checkpoint_bytes=%d", dir, int64(defaultCheckpointBytes)),
+	} {
+		again, err := sql.Open("minisql", ok)
+		if err != nil {
+			t.Fatalf("DSN %q: %v", ok, err)
+		}
+		if err := again.Ping(); err != nil {
+			t.Fatalf("DSN %q: %v", ok, err)
+		}
+		if err := again.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

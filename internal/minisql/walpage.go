@@ -72,7 +72,12 @@ func (l *pageWAL) appendBatch(recs []walRecord) ([]int64, error) {
 	start := l.size
 	offsets, err := l.writeBatch(recs)
 	if err != nil {
-		// Best-effort: drop the partial batch so the log stays replayable.
+		// Drop the partial batch so the log stays replayable. writeAll has
+		// already advanced l.size past start; rewind it unconditionally so
+		// the next batch lands contiguously at the replay frontier even when
+		// Truncate itself fails (writeBatch re-checks the real file size
+		// before writing, so leftover partial bytes get cut then).
+		l.size = start
 		_ = l.f.Truncate(start)
 		_, _ = l.f.Seek(start, io.SeekStart)
 		return nil, err
@@ -81,6 +86,17 @@ func (l *pageWAL) appendBatch(recs []walRecord) ([]int64, error) {
 }
 
 func (l *pageWAL) writeBatch(recs []walRecord) ([]int64, error) {
+	// A failed append truncates back to l.size, but if that truncation
+	// errored the file is longer than l.size and replay would stop at the
+	// partial garbage. Verify and re-cut before writing: a batch must never
+	// be written beyond a byte the replay scan cannot cross.
+	if st, err := l.f.Stat(); err != nil {
+		return nil, err
+	} else if st.Size() != l.size {
+		if err := l.f.Truncate(l.size); err != nil {
+			return nil, err
+		}
+	}
 	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
 		return nil, err
 	}
