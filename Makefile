@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux bench-http bench-sql figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
+.PHONY: all build test race cover bench bench-batch bench-cluster bench-json bench-check bench-mux bench-http bench-sql bench-commit figures examples fuzz chaos chaos-cluster metrics clean lint-capabilities
 
 all: build lint-capabilities test
 
@@ -62,14 +62,17 @@ bench-json:
 # Re-measure and fail if any guarded path's allocs/op regressed >20% vs the
 # committed baseline, if the network hot path's throughput / p99 / mux
 # speedup regressed vs BENCH_PR7.json, if the cloudsim HTTP hot path's
-# throughput / p99 / coalesce speedup regressed vs BENCH_PR8.json, or if the
+# throughput / p99 / coalesce speedup regressed vs BENCH_PR8.json, if the
 # paged SQL storage engine's data/cache ratio or cached/paged penalty
-# regressed vs BENCH_PR9.json — the same gates CI runs.
+# regressed vs BENCH_PR9.json, or if the commit pipeline's grouped/serial
+# speedup fell below 3x at 16 writers vs BENCH_PR10.json — the same gates
+# CI runs.
 bench-check:
 	go run ./cmd/udsm-bench -json /tmp/edsc-bench-current.json -baseline BENCH_PR5.json
 	go run ./cmd/udsm-bench -tjson /tmp/edsc-bench-mux.json -tbaseline BENCH_PR7.json
 	go run ./cmd/udsm-bench -hjson /tmp/edsc-bench-http.json -hbaseline BENCH_PR8.json
 	go run ./cmd/udsm-bench -sjson /tmp/edsc-bench-sql.json -sbaseline BENCH_PR9.json
+	go run ./cmd/udsm-bench -cjson /tmp/edsc-bench-commit.json -cbaseline BENCH_PR10.json
 
 # Closed-loop network hot-path throughput (per-request vs pooled vs mux
 # clients, 1k goroutines) into results/ext_mux_throughput.dat, and
@@ -90,6 +93,14 @@ bench-http:
 bench-sql:
 	go run ./cmd/udsm-bench -fig sql -out results
 	go run ./cmd/udsm-bench -sjson BENCH_PR9.json
+
+# Closed-loop commit-pipeline throughput (serial vs grouped commits at
+# 1/4/16/64 concurrent writers, plus a Zipfian hot-key pair) into
+# results/ext_commit_group.dat, and regenerate the committed baseline
+# BENCH_PR10.json.
+bench-commit:
+	go run ./cmd/udsm-bench -fig commit -out results
+	go run ./cmd/udsm-bench -cjson BENCH_PR10.json
 
 # Batched multi-key ablation (one bulk round trip vs a per-key loop) plus
 # the per-store speedup sweep into results/ext_batch_speedup.dat.

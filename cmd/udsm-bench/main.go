@@ -58,6 +58,9 @@ func main() {
 		sbase    = flag.String("sbaseline", "", "compare the SQL throughput report against this committed baseline and exit 1 on ops/sec, p99, data/cache-ratio, or paged-penalty regression (requires -sjson)")
 		sqlOps   = flag.Int("sqlops", 20_000, "operation budget per cache regime for the SQL throughput experiment")
 		sqlKeys  = flag.Int("sqlkeys", 1500, "dataset rows for the SQL throughput experiment")
+		cjsonOut = flag.String("cjson", "", `run the commit-pipeline throughput experiment ("-fig commit": serial vs grouped commits across writer counts) and write the machine-readable report to this path (standalone mode; skips the figures)`)
+		cbase    = flag.String("cbaseline", "", "compare the commit throughput report against this committed baseline and exit 1 on ops/sec, p99, or group-commit-speedup regression (requires -cjson)")
+		cOps     = flag.Int("commitops", 4000, "operation budget per (mode, writers) cell for the commit throughput experiment")
 	)
 	flag.Parse()
 
@@ -104,6 +107,28 @@ func main() {
 	if *sbase != "" {
 		fmt.Fprintln(os.Stderr, "udsm-bench: -sbaseline requires -sjson")
 		os.Exit(1)
+	}
+	if *cjsonOut != "" {
+		if err := runCommitThroughput(*cjsonOut, *cbase, *cOps, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cbase != "" {
+		fmt.Fprintln(os.Stderr, "udsm-bench: -cbaseline requires -cjson")
+		os.Exit(1)
+	}
+	if *fig == "commit" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		if err := runCommitThroughput("", "", *cOps, filepath.Join(*out, "ext_commit_group.dat")); err != nil {
+			fmt.Fprintln(os.Stderr, "udsm-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *fig == "sql" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -372,6 +397,85 @@ func runSQLThroughput(jsonPath, baselinePath string, ops, keys int, datPath stri
 		return fmt.Errorf("%d SQL throughput regression(s) vs %s", len(regs), baselinePath)
 	}
 	fmt.Printf("no SQL throughput regressions vs %s\n", baselinePath)
+	return nil
+}
+
+// runCommitThroughput is the "-fig commit" / -cjson mode: the write-heavy
+// closed loop through the file-backed minisql store, serial commits vs the
+// group-commit pipeline across 1/4/16/64 concurrent writers (plus one
+// hot-key Zipfian pair) — optionally gated against a committed baseline
+// (BENCH_PR10.json). The headline gate is the grouped/serial speedup at 16
+// writers: group commit must buy at least 3x.
+func runCommitThroughput(jsonPath, baselinePath string, ops int, datPath string) error {
+	fmt.Printf("running commit-pipeline throughput (closed loop, %d ops per cell, serial vs grouped) ...\n", ops)
+	rep, err := benchkit.RunCommitThroughput(benchkit.CommitThroughputConfig{Ops: ops})
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		group := ""
+		if r.AvgGroup > 0 {
+			group = fmt.Sprintf("  avg group %5.1f", r.AvgGroup)
+		}
+		fmt.Printf("  * %-20s %10.0f ops/sec  write p99 %8.3f ms  %6d fsyncs / %6d commits%s  (%d errors)\n",
+			r.Name, r.OpsPerSec, r.WriteP99Ms, r.Fsyncs, r.Batches, group, r.Errors)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Printf("  grouped/serial at %2d writers: %.2fx\n", s.Writers, s.Speedup)
+	}
+
+	if datPath != "" {
+		f, err := os.Create(datPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "# extension: group commit vs serial commit, write-heavy closed loop (80%% writes, %d rows x %d B), file-backed minisql\n", rep.Keys, rep.ValueSize)
+		fmt.Fprintln(f, "# columns: cell writers ops_per_sec write_p99_ms wal_fsyncs committed_batches")
+		for _, r := range rep.Results {
+			fmt.Fprintf(f, "%s %d %.0f %.4f %d %d\n", r.Name, r.Writers, r.OpsPerSec, r.WriteP99Ms, r.Fsyncs, r.Batches)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("data written to %s\n", datPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if _, err := rep.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s (* = guarded against baseline)\n", jsonPath)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := benchkit.LoadCommitThroughputReport(bf)
+	if err != nil {
+		return fmt.Errorf("loading baseline %s: %w", baselinePath, err)
+	}
+	// Loose absolute floors (CI runners vary widely in speed); the strict,
+	// machine-independent gate is the grouped/serial ratio at 16 writers —
+	// the acceptance criterion's 3x.
+	if regs := benchkit.CompareCommitThroughput(base, rep, 0.25, 4.0, 3.0); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "commit throughput regression:", r)
+		}
+		return fmt.Errorf("%d commit throughput regression(s) vs %s", len(regs), baselinePath)
+	}
+	fmt.Printf("no commit throughput regressions vs %s\n", baselinePath)
 	return nil
 }
 

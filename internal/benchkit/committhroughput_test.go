@@ -1,0 +1,108 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCommitThroughputSmoke(t *testing.T) {
+	// Tiny budgets: this checks the sweep runs end to end, the engine
+	// counters land in the report, and JSON round-trips — not performance.
+	rep, err := RunCommitThroughput(CommitThroughputConfig{
+		WriterCounts: []int{1, 4},
+		Ops:          200,
+		Keys:         32,
+		ZipfWriters:  4,
+		Runs:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 { // (2 uniform counts + 1 zipf) x 2 modes
+		t.Fatalf("%d cells, want 6", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.OpsPerSec <= 0 {
+			t.Errorf("%s: ops/sec = %v", r.Name, r.OpsPerSec)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s: %d errors", r.Name, r.Errors)
+		}
+		if r.Fsyncs <= 0 || r.Batches <= 0 {
+			t.Errorf("%s: engine counters missing: %d fsyncs, %d batches", r.Name, r.Fsyncs, r.Batches)
+		}
+		if r.Mode == "serial" && r.Fsyncs != r.Batches {
+			t.Errorf("%s: serial mode must pay one fsync per commit (%d fsyncs, %d batches)", r.Name, r.Fsyncs, r.Batches)
+		}
+		if r.Mode == "grouped" && r.Fsyncs > r.Batches {
+			t.Errorf("%s: more fsyncs than batches", r.Name)
+		}
+	}
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("speedups = %+v, want one per uniform writer count", rep.Speedups)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCommitThroughputReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) || back.SpeedupAt16 != rep.SpeedupAt16 {
+		t.Fatal("report did not round-trip")
+	}
+}
+
+func TestCompareCommitThroughput(t *testing.T) {
+	base := &CommitThroughputReport{
+		SpeedupAt16: 5,
+		Results: []CommitThroughputResult{
+			{Name: "serial-16w-uniform", Mode: "serial", Writers: 16, OpsPerSec: 1000, WriteP99Ms: 50, Fsyncs: 2000, Batches: 2000, Guarded: true},
+			{Name: "grouped-16w-uniform", Mode: "grouped", Writers: 16, OpsPerSec: 5000, WriteP99Ms: 10, Fsyncs: 400, Batches: 2000, Guarded: true},
+		},
+	}
+	ok := &CommitThroughputReport{
+		SpeedupAt16: 4,
+		Results: []CommitThroughputResult{
+			// Half the throughput, double the p99: within the loose gates.
+			{Name: "serial-16w-uniform", Mode: "serial", Writers: 16, OpsPerSec: 500, WriteP99Ms: 100, Fsyncs: 2000, Batches: 2000, Guarded: true},
+			{Name: "grouped-16w-uniform", Mode: "grouped", Writers: 16, OpsPerSec: 2000, WriteP99Ms: 20, Fsyncs: 500, Batches: 2000, Guarded: true},
+		},
+	}
+	if regs := CompareCommitThroughput(base, ok, 0.25, 4.0, 3.0); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+
+	bad := &CommitThroughputReport{
+		SpeedupAt16: 1.5, // below the 3x acceptance floor
+		Results: []CommitThroughputResult{
+			{Name: "serial-16w-uniform", Mode: "serial", Writers: 16, OpsPerSec: 100, WriteP99Ms: 500, Fsyncs: 2000, Batches: 2000, Guarded: true},
+			// Grouped cell whose pipeline degraded to one fsync per commit.
+			{Name: "grouped-16w-uniform", Mode: "grouped", Writers: 16, OpsPerSec: 5000, WriteP99Ms: 5, Errors: 3, Fsyncs: 2000, Batches: 2000, Guarded: true},
+		},
+	}
+	regs := CompareCommitThroughput(base, bad, 0.25, 4.0, 3.0)
+	wants := []string{
+		"serial-16w-uniform: ops/sec",   // 100 < 1000*0.25
+		"serial-16w-uniform: write p99", // 500 > 50*4+2
+		"grouped-16w-uniform: 3 errored",
+		"speedup at 16 writers 1.50x below the 3.0x",
+		"did not group",
+	}
+	for _, w := range wants {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing regression %q in %v", w, regs)
+		}
+	}
+	if len(regs) != len(wants) {
+		t.Errorf("%d regressions, want %d: %v", len(regs), len(wants), regs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Result is a query result set.
@@ -30,16 +31,56 @@ type Options struct {
 	// exempt, so a large open transaction can exceed it temporarily.
 	CachePages int
 
+	// CommitMode selects how commits reach the WAL (see CommitMode). The
+	// zero value resolves to group commit for durable databases; in-memory
+	// databases have no fsync to amortize and always commit serially.
+	CommitMode CommitMode
+	// CommitDelay is an optional linger window: the group-commit leader
+	// waits this long before collecting a group, trading commit latency for
+	// larger groups under bursty load. 0 (the default) collects whatever has
+	// queued by the time the leader looks.
+	CommitDelay time.Duration
+
 	// hook receives pager/WAL sync-point events; crash-injection tests in
 	// this package use it to kill commits mid-flight.
 	hook func(event string) error
 }
 
+// CommitMode selects the commit protocol for durable databases.
+type CommitMode int
+
+const (
+	// CommitAuto is the zero value: group commit for durable databases,
+	// serial for in-memory ones.
+	CommitAuto CommitMode = iota
+	// CommitGrouped seals each committing transaction in memory, releases
+	// the writer slot early, and lets a leader append all pending sealed
+	// batches to the WAL under a single fsync. A commit is acknowledged only
+	// after the fsync covering it.
+	CommitGrouped
+	// CommitSerial appends and fsyncs every commit inline while holding the
+	// writer slot (one fsync per transaction).
+	CommitSerial
+)
+
+func (m CommitMode) String() string {
+	switch m {
+	case CommitGrouped:
+		return "grouped"
+	case CommitSerial:
+		return "serial"
+	default:
+		return "auto"
+	}
+}
+
 // Database is an embedded SQL database over a single paged file (or an
 // in-memory page array). Reads run concurrently under a read lock and
 // B-tree cursors; writes are serialized by a single-writer transaction
-// semaphore and commit by appending page images to the WAL with one fsync —
-// the costly commit the paper measures for SQL-store writes.
+// semaphore and commit by appending page images to the WAL — the costly
+// commit the paper measures for SQL-store writes. In the default grouped
+// commit mode, concurrent committers share one fsync through the commit
+// pipeline (see groupcommit.go); in serial mode each commit fsyncs alone.
 type Database struct {
 	mu  sync.RWMutex // exclusive for writes, shared for reads
 	pg  *pager
@@ -55,10 +96,21 @@ type Database struct {
 	closed bool
 
 	// txSem is the single-writer transaction semaphore (capacity 1);
-	// ownerMu guards txOwner, the session currently holding it.
+	// ownerMu guards txOwner, the session currently holding it, and doomed,
+	// the session whose uncommitted work a group-commit failure discarded.
 	txSem   chan struct{}
 	ownerMu sync.Mutex
 	txOwner *Session
+	doomed  *Session
+
+	// pipeline is the group-commit queue (nil in serial mode and for
+	// in-memory databases); sealSeq numbers sealed batches and is guarded by
+	// mu. commitMode/commitDelay record the resolved options so a second
+	// DSN attach can be checked against them.
+	pipeline    *commitPipeline
+	sealSeq     uint64
+	commitMode  CommitMode
+	commitDelay time.Duration
 
 	// legacy is the session behind the Database-level Begin/Commit/
 	// Rollback API; statements Exec'd while it holds a transaction join it,
@@ -103,7 +155,11 @@ func OpenMemoryOptions(opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDatabase(pg, ""), nil
+	db := newDatabase(pg, "")
+	// In-memory commits are plain copies — there is no fsync to amortize —
+	// so a requested CommitGrouped is resolved to serial.
+	db.commitMode = CommitSerial
+	return db, nil
 }
 
 // Open opens (creating if needed) a durable database in dir: data pages in
@@ -131,7 +187,16 @@ func Open(dir string, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDatabase(pg, dir), nil
+	db := newDatabase(pg, dir)
+	db.commitMode = opts.CommitMode
+	if db.commitMode == CommitAuto {
+		db.commitMode = CommitGrouped
+	}
+	db.commitDelay = opts.CommitDelay
+	if db.commitMode == CommitGrouped {
+		db.pipeline = newCommitPipeline(opts.CommitDelay)
+	}
+	return db, nil
 }
 
 func newDatabase(pg *pager, dir string) *Database {
@@ -174,7 +239,18 @@ type PagerStats struct {
 	Misses     uint64
 	Evictions  uint64
 	WALBytes   int64
+	// Commit pipeline: WAL fsyncs issued (serial commits and group syncs),
+	// groups committed, batches carried by those groups, the largest group,
+	// and a group-size histogram with buckets 1, 2–3, 4–7, 8–15, 16+.
+	WALFsyncs      uint64
+	GroupCommits   uint64
+	GroupedBatches uint64
+	MaxGroupSize   int
+	GroupSizeHist  [groupHistBuckets]uint64
 }
+
+// GroupSizeBuckets labels the GroupSizeHist buckets, for metric exporters.
+var GroupSizeBuckets = [groupHistBuckets]string{"1", "2-3", "4-7", "8-15", "16+"}
 
 // --- handle cache ---
 
@@ -345,20 +421,43 @@ func (s *Session) Begin(ctx context.Context) error {
 func (s *Session) release() {
 	s.db.ownerMu.Lock()
 	s.db.txOwner = nil
+	if s.db.doomed == s {
+		s.db.doomed = nil
+	}
 	s.db.ownerMu.Unlock()
 	<-s.db.txSem
 }
 
-// Commit makes the open transaction durable.
+// isDoomed reports whether a group-commit failure discarded this session's
+// uncommitted work while it held the writer slot.
+func (s *Session) isDoomed() bool {
+	s.db.ownerMu.Lock()
+	defer s.db.ownerMu.Unlock()
+	return s.db.doomed == s
+}
+
+// Commit makes the open transaction durable. In grouped mode the writer
+// slot is released as soon as the transaction is sealed and queued; Commit
+// then blocks until the group fsync covering the batch completes, so a
+// successful return always means the commit is on disk.
 func (s *Session) Commit() error {
 	if !s.owns() {
 		return fmt.Errorf("minisql: no open transaction")
 	}
-	s.db.mu.Lock()
-	err := s.db.commitLocked()
-	s.db.mu.Unlock()
-	s.release()
-	return err
+	db := s.db
+	db.mu.Lock()
+	if db.closed {
+		db.rollbackLocked()
+		db.mu.Unlock()
+		s.release()
+		return fmt.Errorf("minisql: database is closed")
+	}
+	if s.isDoomed() {
+		db.mu.Unlock()
+		s.release()
+		return errTxAborted
+	}
+	return db.commitRelease(s.release)
 }
 
 // Rollback discards the open transaction.
@@ -371,6 +470,47 @@ func (s *Session) Rollback() error {
 	s.db.mu.Unlock()
 	s.release()
 	return nil
+}
+
+// commitRelease makes the pending transaction state durable according to the
+// commit mode. Caller holds db.mu for writing and the writer slot;
+// commitRelease unlocks db.mu and invokes release exactly once, as early as
+// the mode allows — in grouped mode right after the batch is sealed and
+// queued, so the next writer runs while this commit awaits its group fsync.
+func (db *Database) commitRelease(release func()) error {
+	if db.pipeline == nil {
+		err := db.commitLocked()
+		db.mu.Unlock()
+		release()
+		return err
+	}
+	if err := db.pg.fireHook("seal"); err != nil {
+		db.rollbackLocked()
+		db.mu.Unlock()
+		release()
+		return errCommit(err)
+	}
+	db.sealSeq++
+	b := db.pg.seal(db.sealSeq)
+	if b == nil {
+		db.mu.Unlock()
+		release()
+		return nil
+	}
+	if err := db.pg.fireHook("enqueue"); err != nil {
+		// The batch is sealed but not yet queued, and db.mu is still held,
+		// so no other writer has built on it: purge it and fail the commit
+		// without a cascade.
+		db.pg.purgeAborted([]*commitBatch{b})
+		db.invalidateHandles()
+		db.mu.Unlock()
+		release()
+		return errCommit(err)
+	}
+	db.pipeline.enqueue(b)
+	db.mu.Unlock()
+	release()
+	return db.pipeline.wait(db, b)
 }
 
 // Exec parses and executes a non-SELECT statement in this session: inside
@@ -402,21 +542,27 @@ func (s *Session) ExecStmt(stmt Stmt) (int, error) {
 		if db.closed {
 			return 0, fmt.Errorf("minisql: database is closed")
 		}
+		if s.isDoomed() {
+			return 0, errTxAborted
+		}
 		return db.applyStmtLocked(stmt)
 	}
-	// Autocommit: take the writer slot for the duration of the statement.
+	// Autocommit: take the writer slot for the statement; in grouped mode it
+	// is handed to the next writer as soon as the commit batch is sealed.
 	db.txSem <- struct{}{}
-	defer func() { <-db.txSem }()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
+		<-db.txSem
 		return 0, fmt.Errorf("minisql: database is closed")
 	}
 	n, err := db.applyStmtLocked(stmt)
 	if err != nil {
+		db.mu.Unlock()
+		<-db.txSem
 		return 0, err
 	}
-	if err := db.commitLocked(); err != nil {
+	if err := db.commitRelease(func() { <-db.txSem }); err != nil {
 		return 0, err
 	}
 	return n, nil
@@ -490,7 +636,11 @@ func (db *Database) Commit() error { return db.legacy.Commit() }
 func (db *Database) Rollback() error { return db.legacy.Rollback() }
 
 // Checkpoint forces WAL images into the data file and truncates the WAL.
+// It claims pipeline leadership first so no group append or fsync runs
+// concurrently with the truncation.
 func (db *Database) Checkpoint() error {
+	db.acquireLeadership()
+	defer db.releaseLeadership()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -499,15 +649,39 @@ func (db *Database) Checkpoint() error {
 	return db.pg.checkpoint()
 }
 
-// Close checkpoints (for durable databases) and releases resources.
+// Close checkpoints (for durable databases) and releases resources. It
+// claims pipeline leadership so in-flight group commits drain first, then
+// flushes any batches that were queued but never picked up by a leader —
+// their committers are still waiting for the ack.
 func (db *Database) Close() error {
+	db.acquireLeadership()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
+		db.releaseLeadership()
 		return nil
 	}
 	db.closed = true
-	return db.pg.close()
+	if p := db.pipeline; p != nil {
+		p.mu.Lock()
+		group := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		if len(group) > 0 {
+			// On failure the WAL is already truncated back to the durable
+			// prefix; the waiting committers get the error instead of an
+			// ack, which is exactly the unacknowledged-commit contract.
+			err := db.pg.commitGroup(group)
+			if err != nil {
+				err = errCommit(err)
+			}
+			p.finish(group, err)
+		}
+	}
+	err := db.pg.close()
+	db.mu.Unlock()
+	db.releaseLeadership()
+	return err
 }
 
 // Tables lists table names (for shells and tests). While another session's
@@ -542,16 +716,21 @@ func (db *Database) applyScript(sql string) error {
 		return err
 	}
 	db.txSem <- struct{}{}
-	defer func() { <-db.txSem }()
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.closed {
+		db.mu.Unlock()
+		<-db.txSem
+		return fmt.Errorf("minisql: database is closed")
+	}
 	for _, s := range stmts {
 		if _, err := db.applyStmtLocked(s); err != nil {
 			db.rollbackLocked()
+			db.mu.Unlock()
+			<-db.txSem
 			return err
 		}
 	}
-	return db.commitLocked()
+	return db.commitRelease(func() { <-db.txSem })
 }
 
 // Schema renders the CREATE TABLE / CREATE INDEX statements for one table,

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // DSN is the parsed form of a minisql connection string:
@@ -12,6 +13,8 @@ import (
 //	:memory:                                 volatile in-memory database
 //	/path/to/db                              durable database directory
 //	/path/to/db?cache_pages=512&page_size=8192&checkpoint_bytes=1048576
+//	/path/to/db?group_commit=off             serial commits (one fsync each)
+//	/path/to/db?commit_delay=200us           leader lingers to grow groups
 //	:memory:?cache_pages=64
 //
 // The path is a directory (the engine stores data.db and wal.log inside
@@ -41,6 +44,15 @@ func (d DSN) String() string {
 	}
 	if d.Opts.CheckpointBytes != 0 {
 		q = append(q, fmt.Sprintf("checkpoint_bytes=%d", d.Opts.CheckpointBytes))
+	}
+	switch d.Opts.CommitMode {
+	case CommitGrouped:
+		q = append(q, "group_commit=on")
+	case CommitSerial:
+		q = append(q, "group_commit=off")
+	}
+	if d.Opts.CommitDelay != 0 {
+		q = append(q, fmt.Sprintf("commit_delay=%s", d.Opts.CommitDelay))
 	}
 	if len(q) == 0 {
 		return path
@@ -73,23 +85,44 @@ func ParseDSN(dsn string) (DSN, error) {
 	}
 	for key, vs := range vals {
 		v := vs[len(vs)-1]
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return DSN{}, fmt.Errorf("minisql: DSN option %s=%q is not a number", key, v)
-		}
 		switch key {
-		case "page_size":
-			if !validPageSize(int(n)) {
-				return DSN{}, fmt.Errorf("minisql: page_size %d must be a power of two in [%d, %d]", n, MinPageSize, MaxPageSize)
+		case "group_commit":
+			switch strings.ToLower(v) {
+			case "on", "1", "true":
+				out.Opts.CommitMode = CommitGrouped
+			case "off", "0", "false":
+				out.Opts.CommitMode = CommitSerial
+			default:
+				return DSN{}, fmt.Errorf("minisql: group_commit=%q, want on or off", v)
 			}
-			out.Opts.PageSize = int(n)
-		case "cache_pages":
-			if n < 1 {
-				return DSN{}, fmt.Errorf("minisql: cache_pages must be >= 1")
+		case "commit_delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return DSN{}, fmt.Errorf("minisql: commit_delay=%q is not a duration (try 200us, 1ms)", v)
 			}
-			out.Opts.CachePages = int(n)
-		case "checkpoint_bytes":
-			out.Opts.CheckpointBytes = n
+			if d < 0 {
+				return DSN{}, fmt.Errorf("minisql: commit_delay must be >= 0")
+			}
+			out.Opts.CommitDelay = d
+		case "page_size", "cache_pages", "checkpoint_bytes":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return DSN{}, fmt.Errorf("minisql: DSN option %s=%q is not a number", key, v)
+			}
+			switch key {
+			case "page_size":
+				if !validPageSize(int(n)) {
+					return DSN{}, fmt.Errorf("minisql: page_size %d must be a power of two in [%d, %d]", n, MinPageSize, MaxPageSize)
+				}
+				out.Opts.PageSize = int(n)
+			case "cache_pages":
+				if n < 1 {
+					return DSN{}, fmt.Errorf("minisql: cache_pages must be >= 1")
+				}
+				out.Opts.CachePages = int(n)
+			case "checkpoint_bytes":
+				out.Opts.CheckpointBytes = n
+			}
 		default:
 			return DSN{}, fmt.Errorf("minisql: unknown DSN option %q", key)
 		}

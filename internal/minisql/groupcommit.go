@@ -1,0 +1,335 @@
+package minisql
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+func errCommit(err error) error     { return fmt.Errorf("minisql: commit: %w", err) }
+func errCheckpoint(err error) error { return fmt.Errorf("minisql: checkpoint: %w", err) }
+
+// Group commit + early writer release: the commit pipeline.
+//
+// A serial commit holds the single-writer slot across its entire WAL append
+// and fsync, so N concurrent writers commit at 1/fsync-latency regardless of
+// N — the costly commit the paper measures for SQL-store writes, made
+// worst-case. The pipeline splits a commit into two halves:
+//
+//  1. seal (under the exclusive database lock): the transaction's dirty
+//     pages are staged as an in-memory WAL batch — after images copied out,
+//     pages flipped clean, undo scopes reset — and the batch joins the
+//     commit queue. The writer slot is released immediately after, so the
+//     next writer starts mutating while this commit is still in flight.
+//  2. drain (no database lock): the first committer to find the pipeline
+//     idle becomes the leader. It takes every queued batch, appends them to
+//     the WAL in seal order, and issues ONE fsync for the whole group; the
+//     followers just wait. Commits are acknowledged only after that fsync —
+//     never before — and WAL order equals seal order, so a crash recovers a
+//     strict prefix of the commit sequence: commit K is never durable
+//     without K−1.
+//
+// Visibility vs durability: sealed-but-unsynced batches ARE the committed
+// state in memory — the next writer builds on them and snapshot readers see
+// them (the sealed overlay in the pager serves their pages until the group
+// fsync installs WAL offsets). What the contract forbids is acknowledging a
+// commit before its batch is on disk, and that is exactly what waiting for
+// the group fsync guarantees.
+//
+// Group failure (disk full, I/O error) is a hard fault: the WAL is already
+// truncated back to the group start, so the leader discards every sealed
+// batch from the failed group onward plus any open transaction built on
+// them, rewinding the in-memory state to the last durable commit. The
+// affected committers get the error instead of an ack, and the session
+// holding the writer slot, if any, is doomed: its statements and COMMIT
+// fail until it rolls back.
+
+// errTxAborted is returned by statements and COMMIT on a session whose
+// uncommitted work was discarded by a group-commit failure cascade.
+var errTxAborted = errors.New("minisql: transaction aborted by a failed group commit")
+
+// commitBatch is one sealed transaction waiting in the commit queue.
+type commitBatch struct {
+	seq  uint64      // seal order; assigned under db.mu, so queue order == seq order
+	ids  []uint32    // pages in the batch (sorted)
+	recs []walRecord // staged WAL records; after images are private copies
+
+	// finished/err are guarded by the pipeline mutex; the committer waits on
+	// the pipeline condition variable until finished flips.
+	finished bool
+	err      error
+}
+
+// commitPipeline is the commit queue plus leader election. Lock order:
+// leadership (leading flag) ≺ db.mu ≺ pipeline.mu.
+type commitPipeline struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // batch finished or leadership released
+	queue   []*commitBatch
+	leading bool
+	delay   time.Duration // optional linger before the leader collects a group
+}
+
+func newCommitPipeline(delay time.Duration) *commitPipeline {
+	p := &commitPipeline{delay: delay}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue adds a sealed batch to the commit queue. Caller holds db.mu, which
+// is what makes queue order equal seal order.
+func (p *commitPipeline) enqueue(b *commitBatch) {
+	p.mu.Lock()
+	p.queue = append(p.queue, b)
+	p.mu.Unlock()
+}
+
+// wait blocks until b's group commit completes, volunteering as leader
+// whenever the pipeline has no one draining it. Returns b's outcome.
+func (p *commitPipeline) wait(db *Database, b *commitBatch) error {
+	p.mu.Lock()
+	for {
+		if b.finished {
+			err := b.err
+			p.mu.Unlock()
+			return err
+		}
+		if !p.leading {
+			p.leading = true
+			p.mu.Unlock()
+			db.leadDrain()
+			p.mu.Lock()
+			continue
+		}
+		p.cond.Wait()
+	}
+}
+
+// finish marks a set of batches complete and wakes their committers.
+func (p *commitPipeline) finish(batches []*commitBatch, err error) {
+	p.mu.Lock()
+	for _, b := range batches {
+		b.err = err
+		b.finished = true
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// leadDrain is the leader loop: collect the queue, append + fsync as one
+// group, acknowledge, repeat until the queue is empty, then hand leadership
+// back. Runs in a committer's goroutine with p.leading held and WITHOUT
+// db.mu — concurrent writers keep mutating while the group is written.
+func (db *Database) leadDrain() {
+	p := db.pipeline
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.leading = false
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+
+		if p.delay > 0 {
+			// Linger: let more committers seal and join this group.
+			time.Sleep(p.delay)
+		}
+		p.mu.Lock()
+		group := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+
+		if err := db.pg.commitGroup(group); err != nil {
+			db.failGroup(group, err)
+			continue
+		}
+		// Auto-checkpoint before acking so callers observe the same WAL
+		// state a serial commit would leave behind; like the serial path, a
+		// checkpoint error reaches the committers even though their commits
+		// are already durable.
+		cerr := db.maybeCheckpoint()
+		_ = db.pg.fireHook("group-ack") // commits are durable; an error here cannot un-ack them
+		p.finish(group, cerr)
+	}
+}
+
+// maybeCheckpoint runs the auto-checkpoint when the WAL has outgrown its
+// threshold. The leader holds leadership (serializing WAL file operations)
+// and takes db.mu so no reader is mid-flight over a WAL offset the truncate
+// is about to cut.
+func (db *Database) maybeCheckpoint() error {
+	pg := db.pg
+	if pg.checkpointBytes <= 0 || pg.wal.size <= pg.checkpointBytes {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := pg.checkpoint(); err != nil {
+		return errCheckpoint(err)
+	}
+	return nil
+}
+
+// failGroup cascades a group append/fsync failure: under db.mu (so no new
+// seal can slip in), every batch from the failed group onward — the queue
+// holds only later seqs — is aborted, the pager rewinds to the last durable
+// state, and the session holding the writer slot is doomed because its
+// uncommitted work built on the aborted batches and has been rolled away.
+func (db *Database) failGroup(group []*commitBatch, cause error) {
+	p := db.pipeline
+	db.mu.Lock()
+	p.mu.Lock()
+	aborted := append(group, p.queue...)
+	p.queue = nil
+	p.mu.Unlock()
+
+	db.pg.rollbackAll()
+	db.pg.purgeAborted(aborted)
+	db.invalidateHandles()
+	db.ownerMu.Lock()
+	db.doomed = db.txOwner
+	db.ownerMu.Unlock()
+	db.mu.Unlock()
+
+	p.finish(aborted, errCommit(cause))
+}
+
+// acquireLeadership claims the pipeline leader role for a non-commit WAL
+// operation (checkpoint, close), excluding concurrent group appends and
+// truncations. No-op without a pipeline.
+func (db *Database) acquireLeadership() {
+	p := db.pipeline
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for p.leading {
+		p.cond.Wait()
+	}
+	p.leading = true
+	p.mu.Unlock()
+}
+
+func (db *Database) releaseLeadership() {
+	p := db.pipeline
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.leading = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// --- pager half of the pipeline ---
+
+func (pg *pager) fireHook(event string) error {
+	if pg.hook != nil {
+		return pg.hook(event)
+	}
+	return nil
+}
+
+// seal stages the current dirty set as commit batch seq without touching the
+// WAL: after images are copied out, the pages flip clean — the next writer
+// and concurrent snapshot readers treat them as committed — and each page
+// gets a sealed-overlay entry so reads find its image even though it has no
+// durable location yet. Returns nil when the transaction dirtied nothing.
+// Caller holds db.mu exclusively.
+func (pg *pager) seal(seq uint64) *commitBatch {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if len(pg.dirty) == 0 {
+		pg.txUndo = map[uint32][]byte{}
+		return nil
+	}
+	ids := make([]uint32, 0, len(pg.dirty))
+	for id := range pg.dirty {
+		ids = append(ids, id)
+	}
+	sortUint32(ids)
+
+	recs := make([]walRecord, 0, len(ids))
+	for _, id := range ids {
+		p := pg.dirty[id]
+		stampCRC(p.buf)
+		after := append([]byte(nil), p.buf...)
+		recs = append(recs, walRecord{id: id, after: after})
+		pg.sealed[id] = sealedImg{seq: seq, img: after}
+	}
+	b := &commitBatch{seq: seq, ids: ids, recs: recs}
+	pg.finishCommitLocked(ids)
+	return b
+}
+
+// commitGroup appends every sealed batch in the group to the WAL in seal
+// order and makes them durable with a single fsync, then installs the WAL
+// offsets and retires the group's sealed-overlay entries. On error the WAL
+// is already truncated back to the group start (see appendGroup); the caller
+// cascades the abort. Runs on the leader, without db.mu.
+func (pg *pager) commitGroup(group []*commitBatch) error {
+	if err := pg.fireHook("group-append"); err != nil {
+		return err
+	}
+	frames := make([][]walRecord, len(group))
+	for i, b := range group {
+		frames[i] = b.recs
+	}
+	offsets, err := pg.wal.appendGroup(frames)
+	if err != nil {
+		return err
+	}
+	pg.mu.Lock()
+	for i, b := range group {
+		for j, r := range b.recs {
+			pg.walIdx[r.id] = offsets[i][j]
+			// Retire the overlay entry only if it is still this batch's: a
+			// later sealed batch may have re-sealed the same page, and its
+			// newer image must keep shadowing the offset just installed.
+			if s, ok := pg.sealed[r.id]; ok && s.seq == b.seq {
+				delete(pg.sealed, r.id)
+			}
+		}
+	}
+	pg.walFsyncs++
+	pg.groupCommits++
+	pg.groupedBatches += uint64(len(group))
+	if len(group) > pg.maxGroup {
+		pg.maxGroup = len(group)
+	}
+	pg.groupHist[groupBucket(len(group))]++
+	pg.walBytes = pg.wal.size
+	pg.mu.Unlock()
+	return nil
+}
+
+// purgeAborted discards every in-memory trace of aborted sealed batches:
+// their pages leave the cache (the durable WAL prefix and data file are the
+// truth again), the sealed overlay empties — aborted batches are always the
+// entire non-durable suffix — and the committed page count rewinds to the
+// durable meta page. Caller holds db.mu exclusively.
+func (pg *pager) purgeAborted(aborted []*commitBatch) {
+	pg.mu.Lock()
+	for _, b := range aborted {
+		for _, id := range b.ids {
+			if p, ok := pg.cache[id]; ok {
+				pg.lruRemove(p)
+				delete(pg.cache, id)
+			}
+			delete(pg.dirty, id)
+		}
+	}
+	pg.sealed = map[uint32]sealedImg{}
+	pg.mu.Unlock()
+	// Re-read the durable meta page for the committed page count; a failure
+	// here leaves the count stale, which the next successful read corrects.
+	if meta, err := pg.get(0); err == nil {
+		pg.mu.Lock()
+		pg.committedNPages = metaGetNPages(meta.buf)
+		pg.mu.Unlock()
+		pg.unpin(meta)
+	}
+}

@@ -2,6 +2,7 @@ package minisql
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"edsc/kv"
@@ -17,6 +18,58 @@ func TestKVStoreConformance(t *testing.T) {
 		}
 		return st, nil
 	}, kvtest.Options{MaxValue: 128 << 10})
+}
+
+func TestKVStoreBatch(t *testing.T) {
+	kvtest.RunBatch(t, func(t *testing.T) (kv.Store, func()) {
+		db := OpenMemory()
+		st, err := NewKVStore("sql", db, "kv_data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, func() { _ = db.Close() }
+	})
+}
+
+// TestKVStoreBatchOneCommit pins the point of native PutMulti: N keys cost
+// one transaction commit, not N. With a durable store that means one
+// group-commit batch instead of N fsync-bearing commits.
+func TestKVStoreBatchOneCommit(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	st, err := NewKVStore("sql", db, "kv_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+
+	before, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make(map[string][]byte)
+	for i := 0; i < 50; i++ {
+		pairs[fmt.Sprintf("k%02d", i)] = []byte(fmt.Sprintf("v%02d", i))
+	}
+	if err := st.PutMulti(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.WALFsyncs - before.WALFsyncs; got > 2 {
+		t.Fatalf("PutMulti of 50 keys cost %d fsyncs, want at most 2", got)
+	}
+	got, err := st.GetMulti(ctx, []string{"k00", "k49", "absent"})
+	if err != nil || len(got) != 2 || string(got["k00"]) != "v00" || string(got["k49"]) != "v49" {
+		t.Fatalf("GetMulti = %v, %v", got, err)
+	}
 }
 
 func TestKVStoreDurable(t *testing.T) {

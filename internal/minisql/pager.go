@@ -38,6 +38,14 @@ type pager struct {
 	// the WAL. Cache misses consult it before the database file.
 	walIdx map[uint32]int64
 
+	// sealed overlays walIdx with committed-but-not-yet-durable page images:
+	// a group-commit seal flips its pages clean before the leader has
+	// appended them to the WAL, so an evicted sealed page has no durable
+	// location yet. readCommitted consults this map ahead of walIdx; the
+	// leader clears entries as their batches become durable. Empty in serial
+	// commit mode.
+	sealed map[uint32]sealedImg
+
 	cache map[uint32]*page
 	// Evictable pages (clean, unpinned) in LRU order: head = oldest.
 	lruHead, lruTail *page
@@ -54,8 +62,25 @@ type pager struct {
 	checkpointBytes int64
 	hook            func(event string) error
 
-	// Stats (guarded by mu).
+	// Stats (guarded by mu). walFsyncs counts WAL fsyncs (serial commits and
+	// group syncs); groupCommits/groupedBatches/maxGroup/groupHist describe
+	// the commit pipeline; walBytes shadows wal.size so Stats never races
+	// the leader's appends.
 	hits, misses, evictions uint64
+	walFsyncs               uint64
+	groupCommits            uint64
+	groupedBatches          uint64
+	maxGroup                int
+	groupHist               [groupHistBuckets]uint64
+	walBytes                int64
+}
+
+// sealedImg is one committed-but-not-yet-durable page image, tagged with the
+// sequence number of the sealing batch so the leader removes exactly the
+// entry its batch installed (a later seal of the same page must survive).
+type sealedImg struct {
+	seq uint64
+	img []byte
 }
 
 // stmtImage is the statement-scope undo entry for one page.
@@ -77,6 +102,34 @@ type pagerStats struct {
 	Misses     uint64
 	Evictions  uint64
 	WALBytes   int64
+	// Commit pipeline counters: WAL fsyncs issued, groups committed, batches
+	// that rode those groups, the largest group, and a group-size histogram
+	// (buckets 1, 2–3, 4–7, 8–15, 16+).
+	WALFsyncs      uint64
+	GroupCommits   uint64
+	GroupedBatches uint64
+	MaxGroupSize   int
+	GroupSizeHist  [groupHistBuckets]uint64
+}
+
+// groupHistBuckets is the number of group-size histogram buckets: exponential
+// bounds 1, 2–3, 4–7, 8–15, 16+.
+const groupHistBuckets = 5
+
+// groupBucket maps a group size onto its histogram bucket.
+func groupBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n < 4:
+		return 1
+	case n < 8:
+		return 2
+	case n < 16:
+		return 3
+	default:
+		return 4
+	}
 }
 
 const defaultCachePages = 256
@@ -89,6 +142,7 @@ func newMemPager(pageSize, cachePages int) (*pager, error) {
 		cacheCap: cachePages,
 		mem:      [][]byte{}, // non-nil selects the in-memory backend
 		walIdx:   map[uint32]int64{},
+		sealed:   map[uint32]sealedImg{},
 		cache:    map[uint32]*page{},
 		dirty:    map[uint32]*page{},
 		txUndo:   map[uint32][]byte{},
@@ -177,6 +231,8 @@ func openFilePager(dataPath, walPath string, pageSize, cachePages int, checkpoin
 		file:            f,
 		wal:             wal,
 		walIdx:          walIdx,
+		sealed:          map[uint32]sealedImg{},
+		walBytes:        wal.size,
 		cache:           map[uint32]*page{},
 		dirty:           map[uint32]*page{},
 		txUndo:          map[uint32][]byte{},
@@ -350,14 +406,22 @@ func (pg *pager) get(id uint32) (*page, error) {
 	return p, nil
 }
 
-// readCommitted fills buf with the committed image of page id: WAL overlay
-// first, then the database file, then the memory array.
+// readCommitted fills buf with the committed image of page id: sealed
+// overlay first (commit-pipeline batches not yet fsynced), then the WAL
+// index, then the database file, then the memory array. Sealed images rank
+// first because a sealed batch is committed — its commit just has not been
+// acknowledged yet — and its pages have no durable location until the group
+// fsync installs their WAL offsets.
 func (pg *pager) readCommitted(id uint32, buf []byte) error {
 	if pg.mem != nil {
 		if int(id) >= len(pg.mem) || pg.mem[id] == nil {
 			return fmt.Errorf("minisql: page %d does not exist", id)
 		}
 		copy(buf, pg.mem[id])
+		return nil
+	}
+	if s, ok := pg.sealed[id]; ok {
+		copy(buf, s.img)
 		return nil
 	}
 	if off, ok := pg.walIdx[id]; ok {
@@ -665,8 +729,8 @@ func (pg *pager) rollbackAll() {
 	pg.evictIfNeeded()
 }
 
-// commit makes the current dirty set durable: one WAL batch (before/after
-// images) plus one fsync for file-backed databases, a plain copy for
+// commit makes the current dirty set durable: one WAL batch of after
+// images plus one fsync for file-backed databases, a plain copy for
 // in-memory ones. On success the dirty pages become clean cache entries;
 // on failure the caller is expected to rollbackAll.
 func (pg *pager) commit() error {
@@ -706,7 +770,7 @@ func (pg *pager) commit() error {
 	for _, id := range ids {
 		p := pg.dirty[id]
 		stampCRC(p.buf)
-		recs = append(recs, walRecord{id: id, before: pg.txUndo[id], after: p.buf})
+		recs = append(recs, walRecord{id: id, after: p.buf})
 	}
 	pg.mu.Unlock()
 
@@ -725,7 +789,9 @@ func (pg *pager) commit() error {
 		pg.walIdx[r.id] = offsets[i]
 	}
 	pg.finishCommitLocked(ids)
+	pg.walFsyncs++
 	walSize := pg.wal.size
+	pg.walBytes = walSize
 	pg.mu.Unlock()
 
 	if pg.checkpointBytes > 0 && walSize > pg.checkpointBytes {
@@ -773,12 +839,19 @@ func (pg *pager) checkpoint() error {
 
 	buf := make([]byte, pg.pageSize)
 	for id, off := range idx {
-		// Serve from cache when the committed image is resident.
+		// Serve from cache when the committed image is resident. A page with
+		// a sealed-but-unsynced image must NOT be served from cache: its
+		// cached content belongs to a commit that is not durable yet, and
+		// writing it to the data file here would leak part of an
+		// unacknowledged commit past the WAL ordering. The walIdx offset
+		// still holds its last durable image; read that instead.
 		pg.mu.Lock()
 		var src []byte
 		if p, ok := pg.cache[id]; ok && !p.dirty {
-			src = append(buf[:0], p.buf...)
-			stampCRC(src)
+			if _, pending := pg.sealed[id]; !pending {
+				src = append(buf[:0], p.buf...)
+				stampCRC(src)
+			}
 		}
 		pg.mu.Unlock()
 		if src == nil {
@@ -809,6 +882,7 @@ func (pg *pager) checkpoint() error {
 	}
 	pg.mu.Lock()
 	pg.walIdx = map[uint32]int64{}
+	pg.walBytes = pg.wal.size
 	pg.mu.Unlock()
 	return nil
 }
@@ -833,17 +907,25 @@ func (pg *pager) stats() pagerStats {
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
 	st := pagerStats{
-		PageSize:   pg.pageSize,
-		Pages:      pg.committedNPages,
-		CacheCap:   pg.cacheCap,
-		CacheUsed:  len(pg.cache),
-		DirtyPages: len(pg.dirty),
-		Hits:       pg.hits,
-		Misses:     pg.misses,
-		Evictions:  pg.evictions,
+		PageSize:       pg.pageSize,
+		Pages:          pg.committedNPages,
+		CacheCap:       pg.cacheCap,
+		CacheUsed:      len(pg.cache),
+		DirtyPages:     len(pg.dirty),
+		Hits:           pg.hits,
+		Misses:         pg.misses,
+		Evictions:      pg.evictions,
+		WALFsyncs:      pg.walFsyncs,
+		GroupCommits:   pg.groupCommits,
+		GroupedBatches: pg.groupedBatches,
+		MaxGroupSize:   pg.maxGroup,
+		GroupSizeHist:  pg.groupHist,
 	}
 	if pg.wal != nil {
-		st.WALBytes = pg.wal.size
+		// walBytes shadows wal.size under pg.mu: the pipeline leader appends
+		// to the WAL without the database lock, so reading wal.size directly
+		// here would race its writes.
+		st.WALBytes = pg.walBytes
 	}
 	return st
 }

@@ -8,12 +8,17 @@ import (
 )
 
 // The write-ahead log carries page images instead of SQL text: each commit
-// appends one batch of the transaction's dirty pages — the before image
-// (for diagnostics and the crash-recovery torture tests: a recovered
-// database must never contain a committed page's before image) and the
-// after image — framed by a header and a commit marker, then fsyncs. That
+// appends one batch of the transaction's dirty pages — the after image of
+// each page — framed by a header and a commit marker, then fsyncs. That
 // single fsync is the costly commit the paper measures for SQL-store
 // writes; reads never touch the log except through the recovery index.
+//
+// The log is redo-only: rollback is served entirely from the pager's
+// in-memory first-touch images (txUndo), so writing before images to disk
+// would double the bytes behind every fsync for nothing — on a
+// bandwidth-bound group commit that halves throughput. The record header
+// keeps the hasBefore flag so replay still crosses logs written by builds
+// that did log before images; new batches always write it as 0.
 //
 // Batch framing:
 //
@@ -31,9 +36,8 @@ const (
 
 // walRecord is one page in a commit batch.
 type walRecord struct {
-	id     uint32
-	before []byte // nil when the page did not exist before this transaction
-	after  []byte // CRC already stamped
+	id    uint32
+	after []byte // CRC already stamped
 }
 
 type pageWAL struct {
@@ -64,28 +68,72 @@ func (l *pageWAL) fire(event string) error {
 	return nil
 }
 
-// appendBatch writes one commit batch and fsyncs. On success it returns the
-// file offset of each record's after image, in record order. On any error
-// it truncates the log back to its pre-batch size so a failed commit cannot
-// shadow later ones, and reports the original error.
+// appendBatch writes one commit batch and fsyncs (the serial commit path).
+// On success it returns the file offset of each record's after image, in
+// record order. On any error it truncates the log back to its pre-batch size
+// so a failed commit cannot shadow later ones, and reports the original
+// error.
 func (l *pageWAL) appendBatch(recs []walRecord) ([]int64, error) {
 	start := l.size
-	offsets, err := l.writeBatch(recs)
+	offsets, err := l.writeFrames(recs)
+	if err == nil {
+		if err = l.fire("wal-sync"); err == nil {
+			err = l.f.Sync()
+		}
+	}
 	if err != nil {
-		// Drop the partial batch so the log stays replayable. writeAll has
-		// already advanced l.size past start; rewind it unconditionally so
-		// the next batch lands contiguously at the replay frontier even when
-		// Truncate itself fails (writeBatch re-checks the real file size
-		// before writing, so leftover partial bytes get cut then).
-		l.size = start
-		_ = l.f.Truncate(start)
-		_, _ = l.f.Seek(start, io.SeekStart)
+		l.rewind(start)
 		return nil, err
 	}
 	return offsets, nil
 }
 
-func (l *pageWAL) writeBatch(recs []walRecord) ([]int64, error) {
+// appendGroup writes several commit batches contiguously, in slice order,
+// and makes all of them durable with a single fsync — the group-commit path.
+// The per-batch framing is identical to appendBatch's, so recovery replays a
+// group exactly as it would the same batches committed one at a time; the
+// append order is the seal order, which keeps the recovered state a strict
+// prefix of the commit sequence. On any error (including a failed sync) the
+// log is truncated back to the group start: a group becomes durable as a
+// whole or not at all, so a later batch's full-page images can never smuggle
+// in state from an earlier batch that failed to persist.
+func (l *pageWAL) appendGroup(batches [][]walRecord) ([][]int64, error) {
+	start := l.size
+	all := make([][]int64, 0, len(batches))
+	for _, recs := range batches {
+		offsets, err := l.writeFrames(recs)
+		if err != nil {
+			l.rewind(start)
+			return nil, err
+		}
+		all = append(all, offsets)
+	}
+	if err := l.fire("group-sync"); err != nil {
+		l.rewind(start)
+		return nil, err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.rewind(start)
+		return nil, err
+	}
+	return all, nil
+}
+
+// rewind drops a partial append so the log stays replayable. writeAll has
+// already advanced l.size past start; rewind it unconditionally so the next
+// batch lands contiguously at the replay frontier even when Truncate itself
+// fails (writeFrames re-checks the real file size before writing, so
+// leftover partial bytes get cut then).
+func (l *pageWAL) rewind(start int64) {
+	l.size = start
+	_ = l.f.Truncate(start)
+	_, _ = l.f.Seek(start, io.SeekStart)
+}
+
+// writeFrames writes one batch's framing (header, records, commit marker)
+// without syncing; the caller decides whether the fsync covers one batch or
+// a whole group.
+func (l *pageWAL) writeFrames(recs []walRecord) ([]int64, error) {
 	// A failed append truncates back to l.size, but if that truncation
 	// errored the file is longer than l.size and replay would stop at the
 	// partial garbage. Verify and re-cut before writing: a batch must never
@@ -111,16 +159,9 @@ func (l *pageWAL) writeBatch(recs []walRecord) ([]int64, error) {
 	for i, r := range recs {
 		var rh [5]byte
 		binary.BigEndian.PutUint32(rh[:4], r.id)
-		if r.before != nil {
-			rh[4] = 1
-		}
+		// rh[4] (hasBefore) stays 0: the log is redo-only.
 		if err := l.writeAll(rh[:]); err != nil {
 			return nil, err
-		}
-		if r.before != nil {
-			if err := l.writeAll(r.before); err != nil {
-				return nil, err
-			}
 		}
 		offsets[i] = l.size
 		if err := l.writeAll(r.after); err != nil {
@@ -138,12 +179,6 @@ func (l *pageWAL) writeBatch(recs []walRecord) ([]int64, error) {
 		return nil, err
 	}
 	if err := l.writeAll(mk[:]); err != nil {
-		return nil, err
-	}
-	if err := l.fire("wal-sync"); err != nil {
-		return nil, err
-	}
-	if err := l.f.Sync(); err != nil {
 		return nil, err
 	}
 	return offsets, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"edsc/kv"
@@ -126,5 +127,98 @@ func TestPagedSQLStoreLargeDataset(t *testing.T) {
 
 	if err := st.DB().CheckIntegrity(); err != nil {
 		t.Fatalf("integrity after large workload: %v", err)
+	}
+}
+
+// TestSQLStoreEngineMetrics scrapes a Manager registry after SQL-store work
+// and checks the engine internals (page cache, WAL, commit pipeline) appear
+// as Prometheus series next to the per-op recorders.
+func TestSQLStoreEngineMetrics(t *testing.T) {
+	mgr := New(Options{})
+	defer mgr.Close()
+	st, err := OpenSQLStore("sqlm", SQLStoreOptions{
+		Dir:     filepath.Join(t.TempDir(), "db"),
+		Metrics: mgr.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := mgr.Register(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Deregister(st.Name())
+
+	ctx := context.Background()
+	pairs := make(map[string][]byte)
+	for i := 0; i < 40; i++ {
+		pairs[fmt.Sprintf("k%02d", i)] = []byte("v")
+	}
+	if err := ds.PutMulti(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Get(ctx, "k00"); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := mgr.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, series := range []string{
+		`edsc_minisql_pager_events_total{store="sqlm",event="hit"}`,
+		`edsc_minisql_pager_events_total{store="sqlm",event="miss"}`,
+		`edsc_minisql_pager_events_total{store="sqlm",event="eviction"}`,
+		`edsc_minisql_wal_bytes{store="sqlm",event="since_checkpoint"}`,
+		`edsc_minisql_commit_events_total{store="sqlm",event="fsync"}`,
+		`edsc_minisql_commit_events_total{store="sqlm",event="group_commit"}`,
+		`edsc_minisql_commit_events_total{store="sqlm",event="grouped_batch"}`,
+		`edsc_minisql_group_size_total{store="sqlm",event="1"}`,
+		`edsc_minisql_group_size_total{store="sqlm",event="16+"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("scrape missing %s\n%s", series, out)
+		}
+	}
+}
+
+// TestSQLStoreNativeBatch pins that batch operations on a registered SQL
+// store route to the engine's native one-transaction implementation, not the
+// per-key fan-out fallback.
+func TestSQLStoreNativeBatch(t *testing.T) {
+	st, err := OpenSQLStore("sqlb", SQLStoreOptions{Dir: filepath.Join(t.TempDir(), "db")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok := kv.As[kv.Batch](kv.Store(st)); !ok {
+		t.Fatal("SQLStore does not surface the engine's native kv.Batch")
+	}
+
+	ctx := context.Background()
+	before, err := st.DB().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make(map[string][]byte)
+	for i := 0; i < 64; i++ {
+		pairs[fmt.Sprintf("b%02d", i)] = []byte("v")
+	}
+	if err := kv.PutMulti(ctx, st, pairs); err != nil {
+		t.Fatal(err)
+	}
+	after, err := st.DB().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Native routing = one transaction = at most a couple of fsyncs; the
+	// fan-out fallback would commit 64 times.
+	if got := after.WALFsyncs - before.WALFsyncs; got > 2 {
+		t.Fatalf("PutMulti cost %d fsyncs; batch is not routing natively", got)
+	}
+	got, err := kv.GetMulti(ctx, st, []string{"b00", "b63", "absent"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("GetMulti = %v, %v", got, err)
 	}
 }

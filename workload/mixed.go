@@ -22,7 +22,8 @@ type MixedConfig struct {
 	// Ops is the total operation budget across all workers (default 1000).
 	Ops int
 	// ReadFraction in [0,1] is the probability an operation is a read
-	// (default 0.9, a cache-friendly mix).
+	// (default 0.9, a cache-friendly mix). Pass a negative value for a
+	// pure-write run (0 means "use the default").
 	ReadFraction float64
 	// Keys is the working-set size (default 100). Keys are preloaded so
 	// reads never miss.
@@ -35,6 +36,43 @@ type MixedConfig struct {
 	Seed int64
 	// KeyPrefix namespaces the run's keys.
 	KeyPrefix string
+	// Distribution selects how operations pick keys from the working set:
+	// DistUniform (the default) or DistZipf, the standard hot-key skew where
+	// a few keys absorb most of the traffic — the shape real caches and
+	// contended rows see.
+	Distribution Distribution
+	// ZipfS is the Zipf skew exponent when Distribution is DistZipf; larger
+	// is more skewed. Must be > 1 (default 1.2, a pronounced hot set).
+	ZipfS float64
+}
+
+// Distribution names a key-popularity distribution for MixedConfig.
+type Distribution string
+
+const (
+	// DistUniform draws every key with equal probability.
+	DistUniform Distribution = "uniform"
+	// DistZipf draws keys Zipf-distributed: key 0 is the hottest, the tail
+	// is cold.
+	DistZipf Distribution = "zipf"
+)
+
+// keyPicker returns a per-worker closure drawing key indexes in [0, Keys)
+// under the configured distribution. Each worker gets its own rng, so
+// pickers are not shared across goroutines.
+func (c MixedConfig) keyPicker(rng *rand.Rand) (func() int, error) {
+	switch c.Distribution {
+	case "", DistUniform:
+		return func() int { return rng.Intn(c.Keys) }, nil
+	case DistZipf:
+		z := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Keys-1))
+		if z == nil {
+			return nil, fmt.Errorf("workload: bad Zipf parameters (s=%v must be > 1)", c.ZipfS)
+		}
+		return func() int { return int(z.Uint64()) }, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown key distribution %q", c.Distribution)
+	}
 }
 
 func (c MixedConfig) withDefaults() MixedConfig {
@@ -47,6 +85,9 @@ func (c MixedConfig) withDefaults() MixedConfig {
 	if c.ReadFraction == 0 {
 		c.ReadFraction = 0.9
 	}
+	if c.ReadFraction < 0 {
+		c.ReadFraction = 0
+	}
 	if c.Keys <= 0 {
 		c.Keys = 100
 	}
@@ -58,6 +99,9 @@ func (c MixedConfig) withDefaults() MixedConfig {
 	}
 	if c.KeyPrefix == "" {
 		c.KeyPrefix = "mixed:"
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
 	}
 	return c
 }
@@ -94,6 +138,12 @@ func RunMixed(ctx context.Context, store kv.Store, cfg MixedConfig) (*MixedRepor
 	var remaining atomic.Int64
 	remaining.Store(int64(cfg.Ops))
 
+	// Validate the distribution before spawning workers so a bad config is
+	// one clean error, not a per-goroutine failure.
+	if _, err := cfg.keyPicker(rand.New(rand.NewSource(cfg.Seed))); err != nil {
+		return nil, err
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Clients; w++ {
@@ -101,8 +151,9 @@ func RunMixed(ctx context.Context, store kv.Store, cfg MixedConfig) (*MixedRepor
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			pick, _ := cfg.keyPicker(rng)
 			for remaining.Add(-1) >= 0 {
-				key := keyOf(rng.Intn(cfg.Keys))
+				key := keyOf(pick())
 				if rng.Float64() < cfg.ReadFraction {
 					opStart := time.Now()
 					_, err := store.Get(ctx, key)

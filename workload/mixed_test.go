@@ -2,6 +2,8 @@ package workload
 
 import (
 	"context"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -99,5 +101,67 @@ func TestRunMixedConcurrencyScales(t *testing.T) {
 	if eight.Throughput < 2*one.Throughput {
 		t.Fatalf("throughput did not scale: 1 client %.0f ops/s, 8 clients %.0f ops/s",
 			one.Throughput, eight.Throughput)
+	}
+}
+
+// TestZipfDistributionSkews checks DistZipf concentrates traffic on a hot
+// set while DistUniform spreads it, and that bad configs fail loudly.
+func TestZipfDistributionSkews(t *testing.T) {
+	const keys, draws = 100, 10000
+	counts := func(cfg MixedConfig) []int {
+		cfg = cfg.withDefaults()
+		pick, err := cfg.keyPicker(rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, keys)
+		for i := 0; i < draws; i++ {
+			out[pick()]++
+		}
+		return out
+	}
+	hotShare := func(c []int) float64 {
+		sorted := append([]int(nil), c...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		hot := 0
+		for _, n := range sorted[:10] { // hottest 10% of keys
+			hot += n
+		}
+		return float64(hot) / draws
+	}
+
+	zipf := hotShare(counts(MixedConfig{Keys: keys, Distribution: DistZipf}))
+	uniform := hotShare(counts(MixedConfig{Keys: keys}))
+	if zipf < 0.5 {
+		t.Fatalf("zipf hot-10%% share = %.2f, want skewed (>= 0.5)", zipf)
+	}
+	if uniform > 0.2 {
+		t.Fatalf("uniform hot-10%% share = %.2f, want flat (<= 0.2)", uniform)
+	}
+
+	if _, err := (MixedConfig{Keys: keys, Distribution: "pareto"}).withDefaults().keyPicker(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := (MixedConfig{Keys: keys, Distribution: DistZipf, ZipfS: 0.5}).withDefaults().keyPicker(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("ZipfS <= 1 accepted")
+	}
+}
+
+// TestRunMixedZipf runs the full workload under the hot-key distribution.
+func TestRunMixedZipf(t *testing.T) {
+	store := kv.NewMem("m")
+	rep, err := RunMixed(context.Background(), store, MixedConfig{
+		Clients: 4, Ops: 400, Keys: 50, Distribution: DistZipf, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 400 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := RunMixed(context.Background(), store, MixedConfig{
+		Ops: 10, Distribution: "bogus",
+	}); err == nil {
+		t.Fatal("RunMixed accepted an unknown distribution")
 	}
 }
